@@ -1,0 +1,88 @@
+//! Ablations of the design choices DESIGN.md calls out, plus the paper's
+//! prose claim that shrink-wrap range extension needs only one or two
+//! iterations on real control flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipra_core::config::AllocOptions;
+use ipra_driver::{compile_and_run, compile_only, Config};
+
+fn custom(name: &str, f: impl FnOnce(&mut AllocOptions)) -> Config {
+    let mut c = Config::c();
+    c.name = name.to_string();
+    f(&mut c.opts);
+    c
+}
+
+fn print_ablation() {
+    println!("\n=== Ablations: scalar loads/stores under -O3 variants ===");
+    let configs = vec![
+        Config::c(),
+        custom("-split", |o| o.split_ranges = false),
+        custom("-params", |o| o.custom_param_regs = false),
+        custom("-promote", |o| o.promote_globals = false),
+        Config::b(), // -O3 without shrink-wrap (drops the §6 rule too)
+    ];
+    print!("{:<10}", "program");
+    for c in &configs {
+        print!(" {:>10}", c.name);
+    }
+    println!("  | sw-iters");
+    for w in ipra_workloads::all() {
+        let module = ipra_workloads::compile_workload(w).expect("workload compiles");
+        print!("{:<10}", w.name);
+        let mut base_out = None;
+        for c in &configs {
+            let m = compile_and_run(&module, c)
+                .unwrap_or_else(|t| panic!("[{}/{}] {t}", w.name, c.name));
+            match &base_out {
+                None => base_out = Some(m.output.clone()),
+                Some(o) => assert_eq!(&m.output, o, "[{}/{}]", w.name, c.name),
+            }
+            print!(" {:>10}", m.scalar_mem());
+        }
+        // Paper §5: "this extension ... requires from one to two iterations".
+        let compiled = compile_only(&module, &Config::c());
+        let max_iters =
+            compiled.reports.iter().map(|r| r.shrink_iterations).max().unwrap_or(0);
+        println!("  | {max_iters}");
+        assert!(max_iters <= 3, "[{}] extension exploded: {max_iters}", w.name);
+    }
+    println!("(columns: full -O3, without splitting, without §4 parameter binding,");
+    println!(" without global promotion, without shrink-wrap/§6)\n");
+
+    // Live-range splitting only matters under register pressure; repeat the
+    // split ablation with a starved register file (4 caller + 3 callee).
+    println!("=== Splitting under register starvation (4+3 registers), scalar l/s ===");
+    println!("{:<10} {:>12} {:>12} {:>9}", "program", "split", "no-split", "benefit");
+    let mut tight = Config::c();
+    tight.target = ipra_machine::Target::with_class_limits(4, 3);
+    let mut tight_nosplit = tight.clone();
+    tight_nosplit.opts.split_ranges = false;
+    for w in ipra_workloads::all() {
+        let module = ipra_workloads::compile_workload(w).expect("workload compiles");
+        let a = compile_and_run(&module, &tight).unwrap();
+        let b = compile_and_run(&module, &tight_nosplit).unwrap();
+        assert_eq!(a.output, b.output, "[{}]", w.name);
+        println!(
+            "{:<10} {:>12} {:>12} {:>8.1}%",
+            w.name,
+            a.scalar_mem(),
+            b.scalar_mem(),
+            (b.scalar_mem() as f64 - a.scalar_mem() as f64) / b.scalar_mem().max(1) as f64
+                * 100.0
+        );
+    }
+    println!();
+}
+
+fn run(c: &mut Criterion) {
+    print_ablation();
+    let module =
+        ipra_workloads::compile_workload(ipra_workloads::by_name("upas").unwrap()).unwrap();
+    c.bench_function("ablation_compile_nosplit", |b| {
+        b.iter(|| compile_only(&module, &custom("-split", |o| o.split_ranges = false)))
+    });
+}
+
+criterion_group!(benches, run);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Allocator throughput: the paper claims the per-register priorities "do
+//! not add noticeably to the running time of the coloring algorithm" (§2).
+//! We time intra- vs inter-procedural compilation over growing synthetic
+//! call trees and over the largest workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipra_driver::{compile_only, Config};
+use ipra_workloads::synth::call_tree_program;
+
+fn print_summary() {
+    println!("\n=== Allocator throughput: intra vs inter (wall-clock via criterion) ===");
+    println!("The paper's claim (§2): per-(variable,register) priorities add no");
+    println!("noticeable cost — compare o2/o3 pairs below.\n");
+}
+
+fn run(c: &mut Criterion) {
+    print_summary();
+    let mut group = c.benchmark_group("call_tree");
+    for depth in [4usize, 6, 8] {
+        let module = call_tree_program(depth, 2, 6, 1);
+        let insts = module.num_insts() as u64;
+        group.throughput(Throughput::Elements(insts));
+        group.bench_with_input(BenchmarkId::new("o2", depth), &module, |b, m| {
+            b.iter(|| compile_only(m, &Config::o2_base()))
+        });
+        group.bench_with_input(BenchmarkId::new("o3", depth), &module, |b, m| {
+            b.iter(|| compile_only(m, &Config::c()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("workload");
+    for name in ["stanford", "uopt"] {
+        let module =
+            ipra_workloads::compile_workload(ipra_workloads::by_name(name).unwrap()).unwrap();
+        group.bench_with_input(BenchmarkId::new("o2", name), &module, |b, m| {
+            b.iter(|| compile_only(m, &Config::o2_base()))
+        });
+        group.bench_with_input(BenchmarkId::new("o3", name), &module, |b, m| {
+            b.iter(|| compile_only(m, &Config::c()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, run);
+criterion_main!(benches);

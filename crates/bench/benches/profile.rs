@@ -1,0 +1,110 @@
+//! Profile feedback (the paper's §8 future work, implemented): per-block
+//! execution counts from a training run replace the static loop-depth
+//! weights in the priority function. The demonstration case is the one the
+//! paper describes for ccom: static weights favour loop-resident values,
+//! but the loop is cold and the straight-line path is hot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipra_driver::{compile_and_run, profile_guided, Config};
+
+/// A function with a cold loop whose variables look hot to static weights,
+/// competing against genuinely hot straight-line values that span calls.
+fn misleading_module() -> ipra_ir::Module {
+    ipra_frontend::compile(
+        r#"
+        fn callee(x: int) -> int { return x + 1; }
+        fn work(n: int) -> int {
+            // Hot straight-line values live across calls.
+            var h1: int = n * 3;
+            var h2: int = n * 5;
+            var h3: int = n * 7;
+            var a: int = callee(h1);
+            var b: int = callee(h2);
+            var c: int = callee(h3);
+            var hot: int = a + b + c + h1 + h2 + h3;
+            // A loop that static weights consider 10x hotter, but that
+            // almost never executes.
+            var acc: int = 0;
+            if n < 0 {
+                var i: int = 0;
+                while i < 100 {
+                    var l1: int = i * 2;
+                    var l2: int = i * 3;
+                    var l3: int = callee(l1);
+                    acc = acc + l2 + l3;
+                    i = i + 1;
+                }
+            }
+            return hot + acc;
+        }
+        fn main() {
+            var t: int = 0;
+            var k: int = 0;
+            while k < 300 {
+                t = t + work(k);
+                k = k + 1;
+            }
+            print(t);
+        }
+        "#,
+    )
+    .expect("module compiles")
+}
+
+fn print_comparison() {
+    println!("\n=== Profile feedback (paper §8 future work) ===");
+    println!("  (register file restricted to 3 caller-saved + 2 callee-saved so the");
+    println!("   allocator must choose; static loop weights favour the cold loop)");
+    let module = misleading_module();
+    let mut tight_intra = Config::o2_base();
+    tight_intra.target = ipra_machine::Target::with_class_limits(3, 2);
+    let mut tight_inter = Config::c();
+    tight_inter.target = ipra_machine::Target::with_class_limits(3, 2);
+    for config in [tight_intra, tight_inter] {
+        let static_m = compile_and_run(&module, &config).unwrap();
+        let pg = profile_guided(&module, &config).unwrap();
+        assert_eq!(static_m.output, pg.output);
+        println!(
+            "  {:<6} static-weights: {:>8} cycles / {:>6} scalar l-s   profile: {:>8} cycles / {:>6} scalar l-s",
+            config.name,
+            static_m.cycles(),
+            static_m.scalar_mem(),
+            pg.cycles(),
+            pg.scalar_mem()
+        );
+        assert!(
+            pg.cycles() <= static_m.cycles(),
+            "profile feedback must not lose on the training input: {} vs {}",
+            pg.cycles(),
+            static_m.cycles()
+        );
+    }
+
+    println!("\n  workloads (cycles, -O3 static vs profile-guided):");
+    for name in ["nim", "ccom", "dhrystone", "uopt"] {
+        let module =
+            ipra_workloads::compile_workload(ipra_workloads::by_name(name).unwrap()).unwrap();
+        let s = compile_and_run(&module, &Config::c()).unwrap();
+        let p = profile_guided(&module, &Config::c()).unwrap();
+        assert_eq!(s.output, p.output, "[{name}]");
+        println!(
+            "  {:<10} {:>10} -> {:>10}  ({:+.2}%)",
+            name,
+            s.cycles(),
+            p.cycles(),
+            (s.cycles() as f64 - p.cycles() as f64) / s.cycles() as f64 * 100.0
+        );
+    }
+    println!();
+}
+
+fn run(c: &mut Criterion) {
+    print_comparison();
+    let module = misleading_module();
+    c.bench_function("profile_guided_pipeline", |b| {
+        b.iter(|| profile_guided(&module, &Config::c()).unwrap())
+    });
+}
+
+criterion_group!(benches, run);
+criterion_main!(benches);

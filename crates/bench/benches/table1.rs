@@ -1,0 +1,56 @@
+//! Table 1 reproduction (paper §8): percentage reduction in cycles and in
+//! scalar loads/stores for configurations
+//!   A = -O2 + shrink-wrap, B = -O3 without shrink-wrap, C = -O3 + SW,
+//! relative to the -O2 baseline, over the 13 workload analogs — then a
+//! criterion timing of the full compilation pipeline on one workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipra_driver::{compile_only, table_row, Config};
+
+fn print_table() {
+    println!("\n=== Table 1 reproduction: % reduction vs -O2 (shrink-wrap off) ===");
+    println!(
+        "{:<10} {:>11} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "program", "cycles/call", "I.A", "I.B", "I.C", "II.A", "II.B", "II.C"
+    );
+    for w in ipra_workloads::all() {
+        let module = ipra_workloads::compile_workload(w).expect("workload compiles");
+        let row = table_row(
+            w.name,
+            &module,
+            &Config::o2_base(),
+            &[Config::a(), Config::b(), Config::c()],
+        );
+        println!(
+            "{:<10} {:>11.0} | {:>6.1}% {:>6.1}% {:>6.1}% | {:>6.1}% {:>6.1}% {:>6.1}%",
+            row.workload,
+            row.cycles_per_call,
+            row.columns[0].1,
+            row.columns[1].1,
+            row.columns[2].1,
+            row.columns[0].2,
+            row.columns[1].2,
+            row.columns[2].2
+        );
+    }
+    println!("(key: A = -O2+SW, B = -O3 no SW, C = -O3+SW; paper Table 1)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let w = ipra_workloads::by_name("dhrystone").unwrap();
+    let module = ipra_workloads::compile_workload(w).unwrap();
+    c.bench_function("compile_dhrystone_o2", |b| {
+        b.iter(|| compile_only(&module, &Config::o2_base()))
+    });
+    c.bench_function("compile_dhrystone_o3", |b| {
+        b.iter(|| compile_only(&module, &Config::c()))
+    });
+}
+
+fn table_then_bench(c: &mut Criterion) {
+    print_table();
+    bench(c);
+}
+
+criterion_group!(benches, table_then_bench);
+criterion_main!(benches);

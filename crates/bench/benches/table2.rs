@@ -1,0 +1,48 @@
+//! Table 2 reproduction (paper §8): the register-class experiment.
+//! D = inter-procedural allocation restricted to 7 caller-saved registers,
+//! E = restricted to 7 callee-saved registers, both vs the full-set -O2
+//! baseline. The paper's claim: caller-saved wins on the small programs
+//! (nim, map, stanford, and the anomalous ccom), callee-saved on the large.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipra_driver::{compile_only, table_row, Config};
+
+fn print_table() {
+    println!("\n=== Table 2 reproduction: % reduction vs -O2 full register set ===");
+    println!(
+        "{:<10} | {:>7} {:>7} | {:>7} {:>7} | winner",
+        "program", "I.D", "I.E", "II.D", "II.E"
+    );
+    for w in ipra_workloads::all() {
+        let module = ipra_workloads::compile_workload(w).expect("workload compiles");
+        let row = table_row(w.name, &module, &Config::o2_base(), &[Config::d(), Config::e()]);
+        let (d_c, e_c) = (row.columns[0].1, row.columns[1].1);
+        let winner = if (d_c - e_c).abs() < 0.05 {
+            "tie"
+        } else if d_c > e_c {
+            "caller-saved (D)"
+        } else {
+            "callee-saved (E)"
+        };
+        println!(
+            "{:<10} | {:>6.1}% {:>6.1}% | {:>6.1}% {:>6.1}% | {winner}",
+            row.workload, d_c, e_c, row.columns[0].2, row.columns[1].2
+        );
+    }
+    println!("(key: D = -O3+SW with 7 caller-saved regs, E = with 7 callee-saved; paper Table 2)\n");
+}
+
+fn table_then_bench(c: &mut Criterion) {
+    print_table();
+    let w = ipra_workloads::by_name("map").unwrap();
+    let module = ipra_workloads::compile_workload(w).unwrap();
+    c.bench_function("compile_map_7caller", |b| {
+        b.iter(|| compile_only(&module, &Config::d()))
+    });
+    c.bench_function("compile_map_7callee", |b| {
+        b.iter(|| compile_only(&module, &Config::e()))
+    });
+}
+
+criterion_group!(benches, table_then_bench);
+criterion_main!(benches);

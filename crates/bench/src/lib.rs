@@ -1,0 +1,1 @@
+//! Bench crate: table/figure harnesses live in benches/ and src/bin/.

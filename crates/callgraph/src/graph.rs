@@ -1,0 +1,156 @@
+//! Call-graph construction.
+
+use ipra_ir::{Callee, FuncId, Inst, InstLoc, Module};
+
+/// One call site inside a function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CallSite {
+    /// Location of the call instruction.
+    pub loc: InstLoc,
+    /// Statically known target; `None` for indirect calls.
+    pub target: Option<FuncId>,
+}
+
+/// The static call graph of a module.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// Deduplicated direct callees per function.
+    pub callees: Vec<Vec<FuncId>>,
+    /// Deduplicated direct callers per function.
+    pub callers: Vec<Vec<FuncId>>,
+    /// All call sites per function, in block order.
+    pub call_sites: Vec<Vec<CallSite>>,
+    /// Whether each function contains at least one indirect call site.
+    pub has_indirect_site: Vec<bool>,
+    /// Whether each function's address is taken somewhere in the module.
+    pub address_taken: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `module`.
+    pub fn build(module: &Module) -> Self {
+        let n = module.funcs.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut call_sites: Vec<Vec<CallSite>> = vec![Vec::new(); n];
+        let mut has_indirect_site = vec![false; n];
+
+        for (id, f) in module.funcs.iter() {
+            for (loc, inst) in f.inst_locs() {
+                if let Inst::Call { callee, .. } = inst {
+                    match callee {
+                        Callee::Direct(t) => {
+                            call_sites[id.index()].push(CallSite { loc, target: Some(*t) });
+                            if !callees[id.index()].contains(t) {
+                                callees[id.index()].push(*t);
+                            }
+                            if !callers[t.index()].contains(&id) {
+                                callers[t.index()].push(id);
+                            }
+                        }
+                        Callee::Indirect(_) => {
+                            call_sites[id.index()].push(CallSite { loc, target: None });
+                            has_indirect_site[id.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        CallGraph {
+            callees,
+            callers,
+            call_sites,
+            has_indirect_site,
+            address_taken: module.address_taken(),
+        }
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.callees.len()
+    }
+
+    /// Whether the graph has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.callees.is_empty()
+    }
+
+    /// Direct callees of `f`.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// Direct callers of `f`.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_ir::builder::FunctionBuilder;
+
+    fn three_level_module() -> (Module, FuncId, FuncId, FuncId) {
+        let mut m = Module::new();
+        let leaf = m.declare_func("leaf");
+        let mid = m.declare_func("mid");
+        let top = m.declare_func("top");
+        {
+            let mut b = FunctionBuilder::new("leaf");
+            b.ret(Some(ipra_ir::Operand::Imm(1)));
+            m.define_func(leaf, b.build());
+        }
+        {
+            let mut b = FunctionBuilder::new("mid");
+            let r = b.call(leaf, vec![]);
+            let s = b.call(leaf, vec![]);
+            let t = b.bin(ipra_ir::BinOp::Add, r, s);
+            b.ret(Some(t.into()));
+            m.define_func(mid, b.build());
+        }
+        {
+            let mut b = FunctionBuilder::new("top");
+            let r = b.call(mid, vec![]);
+            b.print(r);
+            b.ret(None);
+            m.define_func(top, b.build());
+        }
+        m.main = Some(top);
+        (m, leaf, mid, top)
+    }
+
+    #[test]
+    fn edges_and_sites() {
+        let (m, leaf, mid, top) = three_level_module();
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.callees(top), &[mid]);
+        assert_eq!(cg.callees(mid), &[leaf], "duplicate edges are collapsed");
+        assert_eq!(cg.call_sites[mid.index()].len(), 2, "both call sites kept");
+        assert_eq!(cg.callers(leaf), &[mid]);
+        assert_eq!(cg.callers(top), &[] as &[FuncId]);
+        assert!(!cg.has_indirect_site[top.index()]);
+    }
+
+    #[test]
+    fn indirect_sites_flagged() {
+        let mut m = Module::new();
+        let f = m.declare_func("f");
+        {
+            let mut b = FunctionBuilder::new("f");
+            b.ret(None);
+            m.define_func(f, b.build());
+        }
+        let mut b = FunctionBuilder::new("main");
+        let p = b.func_addr(f);
+        let _ = b.call_indirect(p, vec![]);
+        b.ret(None);
+        let main = m.add_func(b.build());
+        m.main = Some(main);
+        let cg = CallGraph::build(&m);
+        assert!(cg.has_indirect_site[main.index()]);
+        assert!(cg.address_taken[f.index()]);
+        assert_eq!(cg.call_sites[main.index()][0].target, None);
+    }
+}

@@ -1,0 +1,43 @@
+//! # ipra-callgraph — call-graph analyses
+//!
+//! Call-graph construction, Tarjan SCCs (recursion detection), the
+//! open/closed procedure classification of Chow's PLDI 1988 paper (§3), the
+//! bottom-up processing order used by the one-pass inter-procedural register
+//! allocator, and transitive global mod/ref summaries.
+//!
+//! ```
+//! use ipra_ir::{builder::FunctionBuilder, Module};
+//! use ipra_callgraph::{CallGraph, Openness, SccInfo};
+//!
+//! let mut m = Module::new();
+//! let leaf = m.declare_func("leaf");
+//! let mut b = FunctionBuilder::new("leaf");
+//! b.ret(None);
+//! m.define_func(leaf, b.build());
+//! let mut b = FunctionBuilder::new("main");
+//! b.call_void(leaf, vec![]);
+//! b.ret(None);
+//! let main = m.add_func(b.build());
+//! m.main = Some(main);
+//!
+//! let cg = CallGraph::build(&m);
+//! let scc = SccInfo::compute(&cg);
+//! let open = Openness::compute(&m, &cg, &scc);
+//! assert!(open.is_closed(leaf));
+//! assert!(open.is_open(main), "main is always open");
+//! // Bottom-up order visits the leaf before main.
+//! let order = scc.bottom_up_order();
+//! assert_eq!(order, vec![leaf, main]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod graph;
+pub mod modref;
+pub mod scc;
+
+pub use classify::{OpenReason, Openness};
+pub use graph::{CallGraph, CallSite};
+pub use modref::ModRef;
+pub use scc::SccInfo;

@@ -1,0 +1,194 @@
+//! Transitive global mod/ref summaries.
+//!
+//! Used by the global-scalar promotion pass: a global scalar may live in a
+//! register across a call only when the callee (transitively) neither reads
+//! nor writes it. Indirect call sites conservatively touch every global.
+
+use ipra_ir::{Address, FuncId, Inst, Module};
+
+use crate::graph::CallGraph;
+use crate::scc::SccInfo;
+
+/// Per-function sets of globals (by index) that may be read/written,
+/// including effects of all transitive callees.
+#[derive(Clone, Debug)]
+pub struct ModRef {
+    /// Globals possibly read by the function or its callees.
+    pub reads: Vec<Vec<bool>>,
+    /// Globals possibly written by the function or its callees.
+    pub writes: Vec<Vec<bool>>,
+    /// Whether the function may (transitively) perform an indirect call,
+    /// in which case it must be assumed to touch every global.
+    pub calls_unknown: Vec<bool>,
+}
+
+impl ModRef {
+    /// Computes summaries bottom-up over the SCC condensation. Functions in
+    /// one SCC share one fixpoint (iterated until stable).
+    pub fn compute(module: &Module, cg: &CallGraph, scc: &SccInfo) -> Self {
+        let nf = module.funcs.len();
+        let ng = module.globals.len();
+        let mut reads = vec![vec![false; ng]; nf];
+        let mut writes = vec![vec![false; ng]; nf];
+        let mut calls_unknown = vec![false; nf];
+
+        // Direct effects.
+        for (id, f) in module.funcs.iter() {
+            let i = id.index();
+            for (_, inst) in f.inst_locs() {
+                match inst {
+                    Inst::Load { addr: Address::Global { global, .. }, .. } => {
+                        reads[i][global.index()] = true;
+                    }
+                    Inst::Store { addr: Address::Global { global, .. }, .. } => {
+                        writes[i][global.index()] = true;
+                    }
+                    _ => {}
+                }
+            }
+            calls_unknown[i] = cg.has_indirect_site[i];
+        }
+
+        // Propagate over components bottom-up; iterate within a component
+        // until its members stabilize (cycles).
+        for comp in &scc.components {
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &f in comp {
+                    let fi = f.index();
+                    for c in cg.callees(f).to_vec() {
+                        let ci = c.index();
+                        if ci == fi {
+                            continue;
+                        }
+                        if calls_unknown[ci] && !calls_unknown[fi] {
+                            calls_unknown[fi] = true;
+                            changed = true;
+                        }
+                        for g in 0..ng {
+                            if reads[ci][g] && !reads[fi][g] {
+                                reads[fi][g] = true;
+                                changed = true;
+                            }
+                            if writes[ci][g] && !writes[fi][g] {
+                                writes[fi][g] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        ModRef { reads, writes, calls_unknown }
+    }
+
+    /// Whether a call to `callee` may read or write global index `g`.
+    pub fn touches(&self, callee: FuncId, g: usize) -> bool {
+        let i = callee.index();
+        self.calls_unknown[i] || self.reads[i][g] || self.writes[i][g]
+    }
+
+    /// Whether a call to `callee` may write global index `g`.
+    pub fn may_write(&self, callee: FuncId, g: usize) -> bool {
+        let i = callee.index();
+        self.calls_unknown[i] || self.writes[i][g]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_ir::builder::FunctionBuilder;
+    use ipra_ir::{GlobalData, Operand};
+
+    #[test]
+    fn effects_propagate_through_calls() {
+        let mut m = Module::new();
+        let g = m.add_global(GlobalData::scalar("x"));
+        let h = m.add_global(GlobalData::scalar("y"));
+        let writer = m.declare_func("writer");
+        let mid = m.declare_func("mid");
+        let top = m.declare_func("top");
+        {
+            let mut b = FunctionBuilder::new("writer");
+            b.store(1, Address::global_scalar(g));
+            b.ret(None);
+            m.define_func(writer, b.build());
+        }
+        {
+            let mut b = FunctionBuilder::new("mid");
+            b.call_void(writer, vec![]);
+            let v = b.load(Address::global_scalar(h));
+            b.print(v);
+            b.ret(None);
+            m.define_func(mid, b.build());
+        }
+        {
+            let mut b = FunctionBuilder::new("top");
+            b.call_void(mid, vec![]);
+            b.ret(None);
+            m.define_func(top, b.build());
+        }
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        let mr = ModRef::compute(&m, &cg, &scc);
+        assert!(mr.writes[top.index()][g.index()], "write reaches top transitively");
+        assert!(mr.reads[top.index()][h.index()]);
+        assert!(!mr.reads[writer.index()][h.index()]);
+        assert!(mr.may_write(top, g.index()));
+        assert!(!mr.may_write(writer, h.index()));
+        assert!(mr.touches(mid, h.index()));
+    }
+
+    #[test]
+    fn indirect_calls_are_conservative() {
+        let mut m = Module::new();
+        let g = m.add_global(GlobalData::scalar("x"));
+        let f = m.declare_func("f");
+        {
+            let mut b = FunctionBuilder::new("f");
+            b.ret(None);
+            m.define_func(f, b.build());
+        }
+        let mut b = FunctionBuilder::new("main");
+        let p = b.func_addr(f);
+        let _ = b.call_indirect(p, vec![]);
+        b.ret(None);
+        let main = m.add_func(b.build());
+        m.main = Some(main);
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        let mr = ModRef::compute(&m, &cg, &scc);
+        assert!(mr.calls_unknown[main.index()]);
+        assert!(mr.touches(main, g.index()), "indirect call touches everything");
+        assert!(!mr.touches(f, g.index()));
+    }
+
+    #[test]
+    fn recursive_component_reaches_fixpoint() {
+        let mut m = Module::new();
+        let g = m.add_global(GlobalData::scalar("x"));
+        let a = m.declare_func("a");
+        let b_id = m.declare_func("b");
+        {
+            let mut b = FunctionBuilder::new("a");
+            b.call_void(b_id, vec![]);
+            b.ret(None);
+            m.define_func(a, b.build());
+        }
+        {
+            let mut b = FunctionBuilder::new("b");
+            b.store(Operand::Imm(1), Address::global_scalar(g));
+            b.call_void(a, vec![]);
+            b.ret(None);
+            m.define_func(b_id, b.build());
+        }
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        let mr = ModRef::compute(&m, &cg, &scc);
+        assert!(mr.writes[a.index()][g.index()], "cycle member inherits partner's effect");
+        assert!(mr.writes[b_id.index()][g.index()]);
+    }
+}

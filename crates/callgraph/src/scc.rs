@@ -1,0 +1,185 @@
+//! Tarjan strongly-connected components over the call graph.
+
+use ipra_ir::FuncId;
+
+use crate::graph::CallGraph;
+
+/// SCC decomposition of the call graph.
+///
+/// Components are emitted in *bottom-up* (reverse topological) order: every
+/// component appears before any component that calls into it. This is
+/// exactly the processing order the one-pass inter-procedural allocator
+/// needs (paper §2: depth-first traversal, callees first).
+#[derive(Clone, Debug)]
+pub struct SccInfo {
+    /// Components in bottom-up order.
+    pub components: Vec<Vec<FuncId>>,
+    /// Component index of each function.
+    pub component_of: Vec<usize>,
+    /// Whether each function sits on a call-graph cycle (member of a
+    /// multi-node SCC, or directly self-recursive).
+    pub on_cycle: Vec<bool>,
+}
+
+impl SccInfo {
+    /// Runs Tarjan's algorithm (iterative) over all functions.
+    pub fn compute(cg: &CallGraph) -> Self {
+        let n = cg.len();
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<FuncId>> = Vec::new();
+        let mut component_of = vec![usize::MAX; n];
+
+        // Iterative Tarjan: frame = (node, next callee position).
+        for start in 0..n {
+            if index[start] != UNVISITED {
+                continue;
+            }
+            let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+            index[start] = next_index;
+            lowlink[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+                let callees = &cg.callees[v];
+                if *ci < callees.len() {
+                    let w = callees[*ci].index();
+                    *ci += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&mut (parent, _)) = frames.last_mut() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        // v roots a component.
+                        let comp_idx = components.len();
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component_of[w] = comp_idx;
+                            comp.push(FuncId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+
+        let mut on_cycle = vec![false; n];
+        for comp in &components {
+            if comp.len() > 1 {
+                for &f in comp {
+                    on_cycle[f.index()] = true;
+                }
+            }
+        }
+        // Direct self-recursion forms a singleton SCC but is still a cycle.
+        for f in 0..n {
+            if cg.callees[f].iter().any(|c| c.index() == f) {
+                on_cycle[f] = true;
+            }
+        }
+
+        SccInfo { components, component_of, on_cycle }
+    }
+
+    /// A flat bottom-up processing order over all functions: every function
+    /// appears after all functions it calls, except along cycle edges.
+    pub fn bottom_up_order(&self) -> Vec<FuncId> {
+        self.components.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_ir::builder::FunctionBuilder;
+    use ipra_ir::Module;
+
+    /// Builds a module from an adjacency list (functions call in order).
+    fn module_from_edges(n: usize, edges: &[(usize, usize)]) -> Module {
+        let mut m = Module::new();
+        let ids: Vec<FuncId> = (0..n).map(|i| m.declare_func(format!("f{i}"))).collect();
+        for i in 0..n {
+            let mut b = FunctionBuilder::new(format!("f{i}"));
+            for &(from, to) in edges {
+                if from == i {
+                    b.call_void(ids[to], vec![]);
+                }
+            }
+            b.ret(None);
+            m.define_func(ids[i], b.build());
+        }
+        m
+    }
+
+    #[test]
+    fn dag_bottom_up_order_respects_edges() {
+        // 0 -> 1 -> 2, 0 -> 2
+        let m = module_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        assert_eq!(scc.components.len(), 3);
+        assert!(scc.on_cycle.iter().all(|&c| !c));
+        let order = scc.bottom_up_order();
+        let pos = |f: usize| order.iter().position(|x| x.index() == f).unwrap();
+        assert!(pos(2) < pos(1), "callee before caller");
+        assert!(pos(1) < pos(0));
+        assert!(pos(2) < pos(0));
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_component() {
+        // 0 -> 1 -> 2 -> 1 (cycle between 1 and 2)
+        let m = module_from_edges(3, &[(0, 1), (1, 2), (2, 1)]);
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        assert_eq!(scc.components.len(), 2);
+        assert_eq!(scc.component_of[1], scc.component_of[2]);
+        assert!(scc.on_cycle[1] && scc.on_cycle[2]);
+        assert!(!scc.on_cycle[0]);
+        let order = scc.bottom_up_order();
+        assert_eq!(order.last().unwrap().index(), 0, "root processed last");
+    }
+
+    #[test]
+    fn self_recursion_flagged() {
+        let m = module_from_edges(2, &[(0, 0), (0, 1)]);
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        assert!(scc.on_cycle[0]);
+        assert!(!scc.on_cycle[1]);
+    }
+
+    #[test]
+    fn disconnected_functions_all_appear() {
+        let m = module_from_edges(4, &[(0, 1)]);
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        let order = scc.bottom_up_order();
+        assert_eq!(order.len(), 4);
+        let mut seen: Vec<usize> = order.iter().map(|f| f.index()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy).
+
+use ipra_ir::BlockId;
+
+use crate::graph::Cfg;
+
+/// Immediate-dominator table for the reachable part of a CFG.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; the entry block is its
+    /// own idom; unreachable blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators with the Cooper–Harvey–Kennedy iterative
+    /// algorithm over the reverse postorder.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.num_blocks();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[cfg.entry.index()] = Some(cfg.entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while cfg.rpo_pos[a.index()] > cfg.rpo_pos[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while cfg.rpo_pos[b.index()] > cfg.rpo_pos[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom, entry: cfg.entry }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and for unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_ir::builder::FunctionBuilder;
+    use ipra_ir::Function;
+
+    /// bb0 -> bb1 -> bb2 -> bb1 (loop); bb1 -> bb3 (exit)
+    fn looped() -> Function {
+        let mut b = FunctionBuilder::new("l");
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(h);
+        let c = b.copy(1);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        b.br(h);
+        b.switch_to(exit);
+        b.ret(None);
+        b.build()
+    }
+
+    #[test]
+    fn idoms_of_loop() {
+        let f = looped();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(dom.dominates(BlockId(1), BlockId(1)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_join_dominated_by_entry_only() {
+        let mut b = FunctionBuilder::new("d");
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.copy(1);
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.ret(None);
+        let f = b.build();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)), "join's idom skips both arms");
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+    }
+}

@@ -1,0 +1,399 @@
+//! Per-function register allocation: coloring + save/restore planning +
+//! call-site planning + summary construction.
+//!
+//! This is where the paper's pieces meet: the priority coloring of §2, the
+//! open/closed summary protocol of §3, parameter binding of §4, shrink-wrap
+//! placement of §5 and the propagation rule of §6.
+
+use std::collections::HashMap;
+
+use ipra_cfg::{Cfg, Dominators, Liveness, LoopInfo};
+use ipra_ir::{FuncId, InstLoc, Module, Operand};
+use ipra_machine::{PReg, RegMask, Target};
+
+use crate::color::{color, Assignment, VregLoc};
+use crate::config::{AllocMode, AllocOptions};
+use crate::priority::PriorityCtx;
+use crate::ranges::{BlockWeights, RangeData};
+use crate::shrinkwrap::{shrink_wrap, SavePlan};
+use crate::summary::{FuncSummary, ParamLoc};
+
+/// What the caller must do at one call site.
+#[derive(Clone, Debug)]
+pub struct CallPlan {
+    /// Location of the call instruction.
+    pub loc: InstLoc,
+    /// Registers holding values live across the call that the callee (or
+    /// the argument setup) clobbers: saved before, restored after.
+    pub save_around: RegMask,
+    /// Where each outgoing argument goes (the callee's convention).
+    pub arg_locs: Vec<ParamLoc>,
+    /// Number of stack-passed arguments.
+    pub num_stack_args: u32,
+    /// Registers the call sequence may destroy: the callee's clobber mask,
+    /// the argument-target registers and the return register.
+    pub danger: RegMask,
+}
+
+/// Complete allocation decision for one function.
+#[derive(Clone, Debug)]
+pub struct FuncAllocation {
+    /// Register/memory assignment per vreg (split-aware).
+    pub assignment: Assignment,
+    /// Callee-saved registers this function saves/restores locally.
+    pub locally_saved: RegMask,
+    /// Placement of the local saves/restores.
+    pub save_plan: SavePlan,
+    /// One plan per call site (aligned with
+    /// [`RangeData::call_sites`]).
+    pub call_plans: Vec<CallPlan>,
+    /// How this function's own parameters arrive.
+    pub param_locs: Vec<ParamLoc>,
+    /// The summary published to callers (meaningful for closed procedures).
+    pub summary: FuncSummary,
+    /// Registers used anywhere in this function's call tree (for the Fig. 1
+    /// tie-break in ancestors).
+    pub tree_used: RegMask,
+    /// Whether the function was treated as open.
+    pub is_open: bool,
+    /// Shrink-wrap range-extension iterations (0 when disabled).
+    pub shrink_iterations: u32,
+}
+
+/// Allocation plus the analyses lowering needs.
+#[derive(Clone, Debug)]
+pub struct FuncArtifacts {
+    /// Control-flow graph.
+    pub cfg: Cfg,
+    /// Loop nesting.
+    pub loops: LoopInfo,
+    /// Per-block liveness.
+    pub liveness: Liveness,
+    /// Ranges and call sites.
+    pub ranges: RangeData,
+    /// The allocation.
+    pub alloc: FuncAllocation,
+}
+
+/// Per-callee information the allocator consumes: summaries of processed
+/// closed procedures, plus their whole-tree register usage.
+#[derive(Clone, Debug, Default)]
+pub struct SummaryEnv {
+    /// Summaries of processed *closed* functions.
+    pub summaries: HashMap<FuncId, FuncSummary>,
+    /// Whole-call-tree register usage of processed functions (closed or
+    /// open), for the tie-break preference.
+    pub tree_used: HashMap<FuncId, RegMask>,
+}
+
+/// Allocates registers for one function. `profile` optionally supplies
+/// measured per-block execution counts (profile feedback, the paper's §8
+/// future work); otherwise static loop-based weights are used.
+pub fn allocate_function(
+    module: &Module,
+    fid: FuncId,
+    target: &Target,
+    opts: &AllocOptions,
+    is_open: bool,
+    env: &SummaryEnv,
+    profile: Option<&[u64]>,
+) -> FuncArtifacts {
+    let func = &module.funcs[fid];
+    let cfg = Cfg::new(func);
+    let dom = Dominators::compute(&cfg);
+    let loops = LoopInfo::compute(&cfg, &dom);
+    let liveness = Liveness::compute(func, &cfg);
+    let weights = match profile {
+        Some(counts) => BlockWeights::from_profile(&cfg, &loops, counts),
+        None => BlockWeights::from_loops(&cfg, &loops),
+    };
+    let ranges = RangeData::build(func, &cfg, &liveness, &weights);
+
+    let inter = opts.mode == AllocMode::Inter;
+
+    // Resolve each call site: clobber mask + callee argument convention.
+    let mut site_clobbers: Vec<RegMask> = Vec::with_capacity(ranges.call_sites.len());
+    let mut site_args: Vec<Vec<ParamLoc>> = Vec::with_capacity(ranges.call_sites.len());
+    for site in &ranges.call_sites {
+        let summary = site
+            .callee
+            .filter(|_| inter)
+            .and_then(|callee| env.summaries.get(&callee));
+        match summary {
+            Some(s) => {
+                site_clobbers.push(s.clobbers);
+                site_args.push(s.param_locs.clone());
+            }
+            None => {
+                let nargs = match func.inst(site.loc) {
+                    ipra_ir::Inst::Call { args, .. } => args.len(),
+                    _ => unreachable!("call site points at a call"),
+                };
+                let d = FuncSummary::default_for(&target.regs, nargs);
+                site_clobbers.push(d.clobbers);
+                site_args.push(d.param_locs);
+            }
+        }
+    }
+
+    // Register preference from the call tree below (Fig. 1: minimize the
+    // tree's register footprint).
+    let mut subtree_used = RegMask::EMPTY;
+    for site in &ranges.call_sites {
+        if let Some(c) = site.callee {
+            if let Some(&m) = env.tree_used.get(&c) {
+                subtree_used |= m;
+            }
+        }
+    }
+
+    // Whether this function's parameters use the default convention.
+    let custom_params = inter && !is_open && opts.custom_param_regs;
+
+    // Hints: parameter homes and §4 outgoing-argument bindings.
+    let mut hints: Vec<Vec<(PReg, f64)>> = vec![Vec::new(); func.num_vregs()];
+    let entry_weight = weights.weight(func.entry).max(1e-6);
+    if !custom_params {
+        for (i, &p) in func.params.iter().enumerate() {
+            if let Some(&r) = target.regs.param_regs().get(i) {
+                if target.regs.allocatable().contains(&r) {
+                    hints[p.index()].push((r, entry_weight * target.cost.alu as f64));
+                }
+            }
+        }
+    }
+    for (si, site) in ranges.call_sites.iter().enumerate() {
+        let ipra_ir::Inst::Call { args, .. } = func.inst(site.loc) else { continue };
+        for (j, arg) in args.iter().enumerate() {
+            let (Operand::Reg(v), Some(ParamLoc::Reg(r))) = (arg, site_args[si].get(j)) else {
+                continue;
+            };
+            if target.regs.allocatable().contains(r) {
+                hints[v.index()].push((*r, site.weight * target.cost.alu as f64));
+            }
+        }
+    }
+
+    // Color.
+    let assignment = if opts.mode == AllocMode::NoAlloc {
+        Assignment {
+            whole: vec![VregLoc::Mem; func.num_vregs()],
+            split: vec![None; func.num_vregs()],
+            used: RegMask::EMPTY,
+        }
+    } else {
+        let ctx = PriorityCtx {
+            target,
+            ranges: &ranges,
+            site_clobbers: &site_clobbers,
+            charge_callee_saved_entry: !inter || is_open,
+            entry_weight,
+            subtree_used,
+            hints: &hints,
+            weights: &weights,
+        };
+        color(&ctx, &cfg, &liveness, opts.split_ranges)
+    };
+
+    // My own parameter arrival convention.
+    let mut param_locs = Vec::with_capacity(func.params.len());
+    if custom_params {
+        let mut next_stack = 0u32;
+        let entry_in = &liveness.live_in[func.entry.index()];
+        for &p in &func.params {
+            // A parameter whose incoming value is dead on arrival (never
+            // read before being overwritten) needs no transport at all —
+            // and must not claim a register, since dead-on-arrival
+            // parameters do not interfere with each other.
+            if !entry_in.contains(p.index()) {
+                param_locs.push(ParamLoc::Ignored);
+                continue;
+            }
+            match assignment.loc(p, func.entry) {
+                VregLoc::Reg(r) => param_locs.push(ParamLoc::Reg(r)),
+                VregLoc::Mem => {
+                    param_locs.push(ParamLoc::Stack(next_stack));
+                    next_stack += 1;
+                }
+            }
+        }
+    } else {
+        let d = FuncSummary::default_for(&target.regs, func.params.len());
+        param_locs = d.param_locs;
+    }
+    let mut param_target_regs = RegMask::EMPTY;
+    for l in &param_locs {
+        if let ParamLoc::Reg(r) = l {
+            param_target_regs.insert(*r);
+        }
+    }
+
+    // Local save set and placement.
+    let cs = target.regs.callee_saved_mask();
+    let used = assignment.used;
+    let clobber_union = site_clobbers.iter().fold(RegMask::EMPTY, |a, &m| a | m);
+
+    // APP: block-level appearance of each register (assignment occupancy
+    // plus, per register, the calls whose callee clobbers it — the local
+    // save region must span those calls to actually protect the original
+    // value).
+    let nb = func.num_blocks();
+    let mut occupancy = vec![RegMask::EMPTY; nb];
+    for lr in &ranges.ranges {
+        match &assignment.split[lr.vreg.index()] {
+            Some(map) => {
+                for (&b, &r) in map {
+                    occupancy[b].insert(r);
+                }
+            }
+            None => {
+                if let VregLoc::Reg(r) = assignment.whole[lr.vreg.index()] {
+                    for b in lr.blocks.iter() {
+                        occupancy[b].insert(r);
+                    }
+                }
+            }
+        }
+    }
+
+    let app_for = |regs: RegMask| -> Vec<RegMask> {
+        let mut app: Vec<RegMask> = occupancy.iter().map(|m| m.intersect(regs)).collect();
+        for (si, site) in ranges.call_sites.iter().enumerate() {
+            let m = site_clobbers[si].intersect(regs);
+            app[site.loc.block.index()] |= m;
+        }
+        app
+    };
+
+    let (locally_saved, save_plan, shrink_iterations);
+    if opts.mode == AllocMode::NoAlloc {
+        locally_saved = RegMask::EMPTY;
+        save_plan = SavePlan::at_entry_exits(&cfg, RegMask::EMPTY);
+        shrink_iterations = 0;
+    } else if !inter || is_open {
+        // Intra-procedural or open: every callee-saved register used here —
+        // or clobbered below a call — must be protected locally (§3: "when
+        // a callee-saved register is used by the parent or any of its
+        // children, the parent must save it on entry and restore it on
+        // exit").
+        let candidates =
+            RegMask(cs.0 & (used | clobber_union).0 & !param_target_regs.0);
+        if opts.shrink_wrap {
+            let plan = shrink_wrap(&cfg, &loops, &app_for(candidates));
+            shrink_iterations = plan.iterations;
+            save_plan = plan;
+        } else {
+            save_plan = SavePlan::at_entry_exits(&cfg, candidates);
+            shrink_iterations = 0;
+        }
+        locally_saved = candidates;
+    } else if !opts.shrink_wrap {
+        // Closed, inter-procedural, no shrink-wrap (configuration B): every
+        // save propagates to the ancestors (§3).
+        locally_saved = RegMask::EMPTY;
+        save_plan = SavePlan::at_entry_exits(&cfg, RegMask::EMPTY);
+        shrink_iterations = 0;
+    } else {
+        // Closed + shrink-wrap: the §6 rule. Consider locally protecting
+        // each callee-saved register used here; keep the protection only if
+        // its save does NOT land at the entry, otherwise propagate up.
+        let consider = RegMask(cs.0 & used.0 & !param_target_regs.0);
+        let plan = shrink_wrap(&cfg, &loops, &app_for(consider));
+        shrink_iterations = plan.iterations;
+        let keep = RegMask(consider.0 & !plan.entry_spanning.0);
+        // The analysis is bitwise-independent per register, so dropping the
+        // propagated registers from every mask yields the plan for `keep`.
+        let strip = |v: &[RegMask]| -> Vec<RegMask> {
+            v.iter().map(|m| m.intersect(keep)).collect()
+        };
+        save_plan = SavePlan {
+            save_at: strip(&plan.save_at),
+            restore_at: strip(&plan.restore_at),
+            entry_spanning: RegMask::EMPTY,
+            iterations: plan.iterations,
+        };
+        locally_saved = keep;
+    }
+
+    // Summary.
+    let summary = if inter && !is_open && opts.mode != AllocMode::NoAlloc {
+        let mut clobbers = RegMask((used | clobber_union).0 & !locally_saved.0);
+        clobbers.insert(target.regs.ret_reg());
+        clobbers |= param_target_regs;
+        FuncSummary { clobbers, param_locs: param_locs.clone(), is_default: false }
+    } else {
+        FuncSummary::default_for(&target.regs, func.params.len())
+    };
+
+    let tree_used = {
+        let mut m = used | subtree_used | locally_saved;
+        for (si, site) in ranges.call_sites.iter().enumerate() {
+            if site.callee.map_or(true, |c| !env.tree_used.contains_key(&c)) {
+                m |= site_clobbers[si];
+            }
+        }
+        m
+    };
+
+    // Call plans.
+    let mut call_plans: Vec<CallPlan> = ranges
+        .call_sites
+        .iter()
+        .enumerate()
+        .map(|(si, site)| {
+            let mut arg_targets = RegMask::EMPTY;
+            for l in &site_args[si] {
+                if let ParamLoc::Reg(r) = l {
+                    arg_targets.insert(*r);
+                }
+            }
+            let danger = site_clobbers[si] | arg_targets | RegMask::single(target.regs.ret_reg());
+            CallPlan {
+                loc: site.loc,
+                save_around: RegMask::EMPTY,
+                arg_locs: site_args[si].clone(),
+                num_stack_args: site_args[si]
+                    .iter()
+                    .map(|l| match l {
+                        ParamLoc::Stack(i) => i + 1,
+                        ParamLoc::Reg(_) | ParamLoc::Ignored => 0,
+                    })
+                    .max()
+                    .unwrap_or(0),
+                danger,
+            }
+        })
+        .collect();
+
+    // Fill save_around: registers of values live across each call that the
+    // call may destroy.
+    for lr in &ranges.ranges {
+        for &site in &lr.spans_calls {
+            let site = site as usize;
+            let block = ranges.call_sites[site].loc.block;
+            if let VregLoc::Reg(r) = assignment.loc(lr.vreg, block) {
+                if call_plans[site].danger.contains(r) {
+                    call_plans[site].save_around.insert(r);
+                }
+            }
+        }
+    }
+
+    FuncArtifacts {
+        cfg,
+        loops,
+        liveness,
+        ranges,
+        alloc: FuncAllocation {
+            assignment,
+            locally_saved,
+            save_plan,
+            call_plans,
+            param_locs,
+            summary,
+            tree_used,
+            is_open,
+            shrink_iterations,
+        },
+    }
+}

@@ -1,0 +1,318 @@
+//! Priority-based coloring with live-range splitting.
+//!
+//! Live ranges are processed in order of decreasing priority density; each
+//! takes the register with the best net priority among those its
+//! interference neighbours have not taken. A range that cannot be colored
+//! (or whose whole-range priority is negative) is either *split* — a
+//! connected, profitable sub-region of its blocks gets a register, the rest
+//! stays in memory — or left in its home memory slot.
+
+use std::collections::HashMap;
+
+use ipra_cfg::{Cfg, Liveness};
+use ipra_ir::{BlockId, Vreg};
+use ipra_machine::{PReg, RegClass, RegMask};
+
+use crate::priority::PriorityCtx;
+
+/// Where a virtual register lives (over its whole range, or per block for
+/// split ranges).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VregLoc {
+    /// In a physical register.
+    Reg(PReg),
+    /// In its home stack slot.
+    Mem,
+}
+
+/// The result of coloring one function.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    /// Whole-range location per vreg (the fallback for split ranges).
+    pub whole: Vec<VregLoc>,
+    /// Per-block overrides for split ranges.
+    pub split: Vec<Option<HashMap<usize, PReg>>>,
+    /// All registers the assignment uses.
+    pub used: RegMask,
+}
+
+impl Assignment {
+    /// Location of `v` inside `block`.
+    pub fn loc(&self, v: Vreg, block: BlockId) -> VregLoc {
+        if let Some(map) = &self.split[v.index()] {
+            return match map.get(&block.index()) {
+                Some(&r) => VregLoc::Reg(r),
+                None => VregLoc::Mem,
+            };
+        }
+        self.whole[v.index()]
+    }
+
+    /// Whether `v` was split.
+    pub fn is_split(&self, v: Vreg) -> bool {
+        self.split[v.index()].is_some()
+    }
+
+    /// Whether `v` touches memory anywhere (home slot needed).
+    pub fn needs_home(&self, v: Vreg) -> bool {
+        match (&self.split[v.index()], self.whole[v.index()]) {
+            (Some(_), _) => true,
+            (None, VregLoc::Mem) => true,
+            (None, VregLoc::Reg(_)) => false,
+        }
+    }
+}
+
+/// Runs the coloring algorithm.
+///
+/// `liveness` is needed for split boundary-cost estimation; `split_enabled`
+/// turns live-range splitting on.
+pub fn color(
+    ctx: &PriorityCtx<'_>,
+    cfg: &Cfg,
+    liveness: &Liveness,
+    split_enabled: bool,
+) -> Assignment {
+    let nv = ctx.ranges.ranges.len();
+    let nb = cfg.num_blocks();
+    let mut whole = vec![VregLoc::Mem; nv];
+    let mut split: Vec<Option<HashMap<usize, PReg>>> = vec![None; nv];
+    let mut used = RegMask::EMPTY;
+    // Precise interference forbiddance for whole-range assignments.
+    let mut forbidden = vec![RegMask::EMPTY; nv];
+    // Block-granular occupancy: registers taken in a block by whole-range
+    // assignments / by split regions.
+    let mut occ_whole = vec![RegMask::EMPTY; nb];
+    let mut occ_split = vec![RegMask::EMPTY; nb];
+
+    let split_forbid = |occ_split: &[RegMask], lr: &crate::ranges::LiveRange| -> RegMask {
+        let mut m = RegMask::EMPTY;
+        for b in lr.blocks.iter() {
+            m |= occ_split[b];
+        }
+        m
+    };
+
+    // Max-heap of (density, vreg); keys may go stale, so they are
+    // re-validated on pop.
+    let mut heap: std::collections::BinaryHeap<(Score, usize)> = std::collections::BinaryHeap::new();
+    for lr in &ctx.ranges.ranges {
+        if !lr.is_candidate() {
+            continue;
+        }
+        let forbid = forbidden[lr.vreg.index()] | split_forbid(&occ_split, lr);
+        if let Some((_, d)) = ctx.best(lr, forbid, used) {
+            heap.push((Score(d), lr.vreg.index()));
+        }
+    }
+
+    let mut done = vec![false; nv];
+    while let Some((Score(d), vi)) = heap.pop() {
+        if done[vi] {
+            continue;
+        }
+        let lr = &ctx.ranges.ranges[vi];
+        let forbid = forbidden[vi] | split_forbid(&occ_split, lr);
+        match ctx.best(lr, forbid, used) {
+            Some((r, d2)) => {
+                if d2 < d - 1e-9 {
+                    // Stale key (a neighbour took our best register);
+                    // re-queue with the current value.
+                    heap.push((Score(d2), vi));
+                    continue;
+                }
+                done[vi] = true;
+                if d2 < -1e-9 {
+                    // Strictly unprofitable as a whole range (a zero-net
+                    // range costs nothing in a register, and its register —
+                    // once saved — is free for every later range); maybe a
+                    // sub-region still pays.
+                    if split_enabled {
+                        try_split(
+                            ctx, cfg, liveness, vi, &mut split, &mut occ_whole, &mut occ_split,
+                            &mut used,
+                        );
+                    }
+                    continue;
+                }
+                whole[vi] = VregLoc::Reg(r);
+                used.insert(r);
+                for n in ctx.ranges.adj[vi].iter() {
+                    forbidden[n].insert(r);
+                }
+                for b in lr.blocks.iter() {
+                    occ_whole[b].insert(r);
+                }
+            }
+            None => {
+                // Every register is forbidden over the whole range.
+                done[vi] = true;
+                if split_enabled {
+                    try_split(
+                        ctx, cfg, liveness, vi, &mut split, &mut occ_whole, &mut occ_split,
+                        &mut used,
+                    );
+                }
+            }
+        }
+    }
+
+    Assignment { whole, split, used }
+}
+
+/// Attempts to give connected, profitable sub-regions of `vi`'s live range
+/// a register each; leaves the rest in memory.
+#[allow(clippy::too_many_arguments)]
+fn try_split(
+    ctx: &PriorityCtx<'_>,
+    cfg: &Cfg,
+    liveness: &Liveness,
+    vi: usize,
+    split: &mut [Option<HashMap<usize, PReg>>],
+    occ_whole: &mut [RegMask],
+    occ_split: &mut [RegMask],
+    used: &mut RegMask,
+) {
+    let lr = &ctx.ranges.ranges[vi];
+    if lr.size() < 2 {
+        return;
+    }
+    let c = &ctx.target.cost;
+    let save_restore = (c.load + c.store) as f64;
+
+    // Per-block weighted reference gain for this vreg.
+    let gain_of = per_block_gain(ctx, vi);
+
+    // Calls spanned by the range, by block.
+    let mut call_cost_in_block: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
+    for &site in &lr.spans_calls {
+        let s = &ctx.ranges.call_sites[site as usize];
+        call_cost_in_block
+            .entry(s.loc.block.index())
+            .or_default()
+            .push((site as usize, s.weight));
+    }
+
+    let mut remaining = lr.blocks.clone();
+    let mut map: HashMap<usize, PReg> = HashMap::new();
+
+    loop {
+        let mut best: Option<(PReg, Vec<usize>, f64)> = None;
+        for &r in ctx.target.regs.allocatable() {
+            // Blocks where r is free, within the remaining range.
+            let mut free = Vec::new();
+            for b in remaining.iter() {
+                if !occ_whole[b].contains(r) && !occ_split[b].contains(r) {
+                    free.push(b);
+                }
+            }
+            // Seed at the highest-gain referenced free block.
+            let Some(&seed) = free
+                .iter()
+                .filter(|&&b| gain_of.get(&b).copied().unwrap_or(0.0) > 0.0)
+                .max_by(|&&a, &&b| gain_of[&a].total_cmp(&gain_of[&b]))
+            else {
+                continue;
+            };
+            // Grow a connected region inside the free set.
+            let free_set: std::collections::HashSet<usize> = free.iter().copied().collect();
+            let mut region = vec![seed];
+            let mut in_region: std::collections::HashSet<usize> = [seed].into();
+            let mut work = vec![seed];
+            while let Some(b) = work.pop() {
+                let bid = BlockId(b as u32);
+                for &n in cfg.succs(bid).iter().chain(cfg.preds(bid)) {
+                    let ni = n.index();
+                    if free_set.contains(&ni) && in_region.insert(ni) {
+                        region.push(ni);
+                        work.push(ni);
+                    }
+                }
+            }
+
+            // Estimate the region's net value.
+            let mut net = 0.0;
+            for &b in &region {
+                net += gain_of.get(&b).copied().unwrap_or(0.0);
+                if let Some(calls) = call_cost_in_block.get(&b) {
+                    for &(site, w) in calls {
+                        if ctx.site_clobbers[site].contains(r) {
+                            net -= w * save_restore;
+                        }
+                    }
+                }
+            }
+            // Boundary transfers: loads entering, stores leaving, priced at
+            // the block's real execution weight (a transfer on a loop-edge
+            // block executes per iteration).
+            for &b in &region {
+                let bid = BlockId(b as u32);
+                let w = ctx.weights.weight(bid).max(1.0);
+                if liveness.live_in[b].contains(vi)
+                    && cfg.preds(bid).iter().any(|p| !in_region.contains(&p.index()))
+                {
+                    net -= w * c.load as f64;
+                }
+                if cfg.succs(bid).iter().any(|s| {
+                    liveness.live_in[s.index()].contains(vi) && !in_region.contains(&s.index())
+                }) {
+                    net -= w * c.store as f64;
+                }
+            }
+            if ctx.charge_callee_saved_entry
+                && ctx.target.regs.class(r) == Some(RegClass::CalleeSaved)
+                && !used.contains(r)
+            {
+                net -= ctx.entry_weight * save_restore;
+            }
+
+            if net > 1e-9 && best.as_ref().map_or(true, |(_, _, bn)| net > *bn) {
+                best = Some((r, region, net));
+            }
+        }
+
+        let Some((r, region, _)) = best else { break };
+        for &b in &region {
+            map.insert(b, r);
+            occ_split[b].insert(r);
+            remaining.remove(b);
+        }
+        used.insert(r);
+        if remaining.is_empty() {
+            break;
+        }
+    }
+
+    if !map.is_empty() {
+        split[vi] = Some(map);
+    }
+}
+
+/// Weighted memory-traffic gain per block for one vreg: loads avoided for
+/// uses, stores avoided for defs, from the range's per-block detail.
+fn per_block_gain(ctx: &PriorityCtx<'_>, vi: usize) -> HashMap<usize, f64> {
+    let lr = &ctx.ranges.ranges[vi];
+    let c = &ctx.target.cost;
+    lr.block_refs
+        .iter()
+        .map(|(&b, &(wu, wd))| (b as usize, wu * c.load as f64 + wd * c.store as f64))
+        .collect()
+}
+
+/// Max-heap key over f64 (total order).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub(crate) struct Score(pub f64);
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}

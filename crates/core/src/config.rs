@@ -1,0 +1,118 @@
+//! Allocation configuration: the compiler flags of the paper's §8.
+
+use std::collections::HashSet;
+
+/// How registers are allocated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocMode {
+    /// No register allocation: every virtual register lives in its home
+    /// slot. Baseline/oracle configuration.
+    NoAlloc,
+    /// Intra-procedural priority-based coloring (the paper's `-O2`).
+    Intra,
+    /// Inter-procedural allocation over the bottom-up call-graph order
+    /// (the paper's `-O3`).
+    Inter,
+}
+
+/// Register-allocation options.
+#[derive(Clone, Debug)]
+pub struct AllocOptions {
+    /// Allocation mode.
+    pub mode: AllocMode,
+    /// Shrink-wrap callee-saved save/restore placement (§5). Independent of
+    /// the mode, exactly as in the paper ("performed under both -O2 and
+    /// -O3"). Under [`AllocMode::Inter`] this also enables the §6 rule:
+    /// saves that would land at procedure entry are propagated up instead.
+    pub shrink_wrap: bool,
+    /// Bind outgoing arguments to the callee's chosen parameter registers
+    /// (§4). Only effective under [`AllocMode::Inter`].
+    pub custom_param_regs: bool,
+    /// Promote global scalars to registers within procedures where no call
+    /// can touch them (§1: "we do allocate them to registers within
+    /// procedures in which they appear").
+    pub promote_globals: bool,
+    /// Split uncolorable live ranges instead of leaving them in memory
+    /// (priority-based coloring's splitting step).
+    pub split_ranges: bool,
+    /// Function names to treat as separately compiled (their summaries are
+    /// invisible and they are open), simulating incomplete program
+    /// information (§3) without editing the IR.
+    pub forced_open: HashSet<String>,
+}
+
+impl AllocOptions {
+    /// The paper's baseline: `-O2` with shrink-wrap disabled.
+    pub fn o2_base() -> Self {
+        AllocOptions {
+            mode: AllocMode::Intra,
+            shrink_wrap: false,
+            custom_param_regs: false,
+            promote_globals: true,
+            split_ranges: true,
+            forced_open: HashSet::new(),
+        }
+    }
+
+    /// Table 1 configuration A: `-O2` with shrink-wrap.
+    pub fn o2_shrink_wrap() -> Self {
+        AllocOptions { shrink_wrap: true, ..Self::o2_base() }
+    }
+
+    /// Table 1 configuration B: `-O3` without shrink-wrap.
+    pub fn o3_no_shrink_wrap() -> Self {
+        AllocOptions { mode: AllocMode::Inter, custom_param_regs: true, ..Self::o2_base() }
+    }
+
+    /// Table 1 configuration C: `-O3` with shrink-wrap.
+    pub fn o3() -> Self {
+        AllocOptions { shrink_wrap: true, ..Self::o3_no_shrink_wrap() }
+    }
+
+    /// The no-allocation oracle configuration.
+    pub fn no_alloc() -> Self {
+        AllocOptions {
+            mode: AllocMode::NoAlloc,
+            shrink_wrap: false,
+            custom_param_regs: false,
+            promote_globals: false,
+            split_ranges: false,
+            forced_open: HashSet::new(),
+        }
+    }
+
+    /// Marks `name` as separately compiled.
+    pub fn force_open(mut self, name: impl Into<String>) -> Self {
+        self.forced_open.insert(name.into());
+        self
+    }
+}
+
+impl Default for AllocOptions {
+    fn default() -> Self {
+        Self::o3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_shapes() {
+        assert_eq!(AllocOptions::o2_base().mode, AllocMode::Intra);
+        assert!(!AllocOptions::o2_base().shrink_wrap);
+        assert!(AllocOptions::o2_shrink_wrap().shrink_wrap);
+        assert_eq!(AllocOptions::o3().mode, AllocMode::Inter);
+        assert!(AllocOptions::o3().custom_param_regs);
+        assert!(!AllocOptions::o3_no_shrink_wrap().shrink_wrap);
+        assert_eq!(AllocOptions::no_alloc().mode, AllocMode::NoAlloc);
+    }
+
+    #[test]
+    fn force_open_collects_names() {
+        let o = AllocOptions::o3().force_open("lib_fn").force_open("other");
+        assert!(o.forced_open.contains("lib_fn"));
+        assert_eq!(o.forced_open.len(), 2);
+    }
+}

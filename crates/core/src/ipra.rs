@@ -1,0 +1,175 @@
+//! The one-pass inter-procedural driver (paper §2, §7).
+//!
+//! Processes the procedures of a module in a depth-first (bottom-up)
+//! traversal of the call graph, so every closed procedure's register-usage
+//! summary is available at its call sites when the callers are allocated.
+//! Open procedures (paper §3) fall back to the default convention. The same
+//! driver also runs the intra-procedural and no-allocation configurations,
+//! which simply never consult summaries.
+
+use ipra_callgraph::{CallGraph, OpenReason, Openness, SccInfo};
+use ipra_ir::{EntityVec, FuncId, Module};
+use ipra_machine::{MModule, RegMask, Target};
+
+use crate::alloc::{allocate_function, FuncArtifacts, SummaryEnv};
+use crate::config::{AllocMode, AllocOptions};
+use crate::lower::lower_function;
+use crate::normalize::normalize_entries;
+use crate::promote::{promote_globals, PromotionStats};
+use crate::summary::FuncSummary;
+
+/// Per-function diagnostics of one compilation.
+#[derive(Clone, Debug)]
+pub struct FuncReport {
+    /// Function name.
+    pub name: String,
+    /// Whether the function was treated as open, and why.
+    pub open_reasons: Vec<OpenReason>,
+    /// Whether forced open by [`AllocOptions::forced_open`].
+    pub forced_open: bool,
+    /// Registers the assignment uses.
+    pub used: RegMask,
+    /// Callee-saved registers saved locally.
+    pub locally_saved: RegMask,
+    /// Shrink-wrap range-extension iterations.
+    pub shrink_iterations: u32,
+    /// Virtual registers left fully in memory (referenced ones only).
+    pub memory_vregs: usize,
+    /// Virtual registers split between registers and memory.
+    pub split_vregs: usize,
+    /// Total referenced virtual registers.
+    pub candidate_vregs: usize,
+}
+
+/// A fully compiled module.
+#[derive(Clone, Debug)]
+pub struct CompiledModule {
+    /// Executable machine code.
+    pub mmodule: MModule,
+    /// Final summaries (default summaries for open procedures).
+    pub summaries: Vec<FuncSummary>,
+    /// Per-function clobber masks for the simulator's convention checker.
+    pub clobber_masks: Vec<RegMask>,
+    /// Per-function diagnostics.
+    pub reports: Vec<FuncReport>,
+    /// Global-promotion statistics (zero when the pass is off).
+    pub promotion: PromotionStats,
+}
+
+/// Compiles a module under the given options.
+pub fn compile_module(module: &Module, target: &Target, opts: &AllocOptions) -> CompiledModule {
+    compile_module_with_profile(module, target, opts, None)
+}
+
+/// Compiles with measured per-`[function][block]` execution counts feeding
+/// the priority function's weights — the profile feedback the paper lists
+/// as future work ("knowledge of such profile data can enable the register
+/// allocator to distribute saves/restores more optimally").
+pub fn compile_module_with_profile(
+    module: &Module,
+    target: &Target,
+    opts: &AllocOptions,
+    profile: Option<&[Vec<u64>]>,
+) -> CompiledModule {
+    let mut module = module.clone();
+    // Prologue code must run once per invocation, so entries may not be
+    // branch targets (front ends guarantee this; generated IR may not).
+    normalize_entries(&mut module);
+    let promotion =
+        if opts.promote_globals { promote_globals(&mut module) } else { PromotionStats::default() };
+
+    let cg = CallGraph::build(&module);
+    let scc = SccInfo::compute(&cg);
+    let openness = Openness::compute(&module, &cg, &scc);
+
+    let inter = opts.mode == AllocMode::Inter;
+    let n = module.funcs.len();
+    let mut env = SummaryEnv::default();
+    let mut artifacts: Vec<Option<FuncArtifacts>> = (0..n).map(|_| None).collect();
+
+    for fid in scc.bottom_up_order() {
+        let forced = opts.forced_open.contains(&module.funcs[fid].name);
+        let is_open = !inter || forced || openness.is_open(fid);
+        let art = allocate_function(
+            &module,
+            fid,
+            target,
+            opts,
+            is_open,
+            &env,
+            profile.map(|p| p[fid.index()].as_slice()),
+        );
+        if inter && !is_open {
+            env.summaries.insert(fid, art.alloc.summary.clone());
+        }
+        env.tree_used.insert(fid, art.alloc.tree_used);
+        artifacts[fid.index()] = Some(art);
+    }
+
+    let mut funcs = EntityVec::new();
+    let mut summaries = Vec::with_capacity(n);
+    let mut clobber_masks = Vec::with_capacity(n);
+    let mut reports = Vec::with_capacity(n);
+    for (fid, func) in module.funcs.iter() {
+        let art = artifacts[fid.index()].as_ref().expect("every function allocated");
+        funcs.push(lower_function(&module, func, target, art));
+
+        let a = &art.alloc;
+        summaries.push(a.summary.clone());
+        clobber_masks.push(if inter && !a.is_open {
+            a.summary.clobbers
+        } else {
+            target.regs.default_clobbers()
+        });
+        let mut memory_vregs = 0;
+        let mut split_vregs = 0;
+        let mut candidates = 0;
+        for lr in &art.ranges.ranges {
+            if !lr.is_candidate() {
+                continue;
+            }
+            candidates += 1;
+            if a.assignment.is_split(lr.vreg) {
+                split_vregs += 1;
+            } else if a.assignment.whole[lr.vreg.index()] == crate::color::VregLoc::Mem {
+                memory_vregs += 1;
+            }
+        }
+        reports.push(FuncReport {
+            name: func.name.clone(),
+            open_reasons: openness.reasons(fid).to_vec(),
+            forced_open: opts.forced_open.contains(&func.name),
+            used: a.assignment.used,
+            locally_saved: a.locally_saved,
+            shrink_iterations: a.shrink_iterations,
+            memory_vregs,
+            split_vregs,
+            candidate_vregs: candidates,
+        });
+    }
+
+    CompiledModule {
+        mmodule: MModule { funcs, globals: module.globals.clone(), main: module.main },
+        summaries,
+        clobber_masks,
+        reports,
+        promotion,
+    }
+}
+
+/// Convenience: which functions ended up open under `opts`.
+pub fn open_functions(module: &Module, opts: &AllocOptions) -> Vec<FuncId> {
+    let cg = CallGraph::build(module);
+    let scc = SccInfo::compute(&cg);
+    let openness = Openness::compute(module, &cg, &scc);
+    module
+        .funcs
+        .iter()
+        .filter(|(id, f)| {
+            opts.mode != AllocMode::Inter
+                || opts.forced_open.contains(&f.name)
+                || openness.is_open(*id)
+        })
+        .map(|(id, _)| id)
+        .collect()
+}

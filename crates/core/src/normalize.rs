@@ -1,0 +1,90 @@
+//! IR normalization required by the allocator.
+//!
+//! A procedure's prologue (parameter moves, entry saves) must execute
+//! exactly once per invocation, so the entry block must not be a branch
+//! target. Front ends normally guarantee this; hand-built or generated IR
+//! may not, so the driver splits a fresh entry block in front when needed.
+
+use ipra_ir::{Block, Function, Module, Terminator};
+
+/// Ensures every function's entry block has no predecessors, splitting a
+/// new empty entry in front when necessary. Returns how many functions were
+/// changed.
+pub fn normalize_entries(module: &mut Module) -> usize {
+    let mut changed = 0;
+    for f in module.funcs.values_mut() {
+        if entry_is_branch_target(f) {
+            let old = f.entry;
+            let new = f.blocks.push(Block::new(Terminator::Br(old)));
+            f.entry = new;
+            changed += 1;
+        }
+    }
+    changed
+}
+
+fn entry_is_branch_target(f: &Function) -> bool {
+    let entry = f.entry;
+    f.blocks.values().any(|b| {
+        let mut hit = false;
+        b.term.for_each_succ(|s| hit |= s == entry);
+        hit
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_ir::builder::FunctionBuilder;
+
+    #[test]
+    fn splits_entry_on_cycle() {
+        // entry loops back to itself.
+        let mut b = FunctionBuilder::new("f");
+        let e = b.current_block();
+        let out = b.new_block();
+        let c = b.copy(0);
+        b.cond_br(c, e, out);
+        b.switch_to(out);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.add_func(b.build());
+        m.main = Some(fid);
+
+        let before = ipra_ir::interp::run_function(
+            &m,
+            fid,
+            &[],
+            ipra_ir::interp::InterpOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(normalize_entries(&mut m), 1);
+        ipra_ir::verify::verify_module(&m).unwrap();
+        let f = &m.funcs[fid];
+        assert_ne!(f.entry, e);
+        assert!(!entry_is_branch_target(f));
+        let after = ipra_ir::interp::run_function(
+            &m,
+            fid,
+            &[],
+            ipra_ir::interp::InterpOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(before.output, after.output);
+    }
+
+    #[test]
+    fn leaves_normal_functions_alone() {
+        let mut b = FunctionBuilder::new("f");
+        let l = b.new_block();
+        let out = b.new_block();
+        b.br(l);
+        let c = b.copy(0);
+        b.cond_br(c, l, out);
+        b.switch_to(out);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add_func(b.build());
+        assert_eq!(normalize_entries(&mut m), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Parallel move resolution.
+//!
+//! Placing outgoing arguments in the callee's parameter registers (and
+//! shuffling incoming parameters to their assigned registers) is a parallel
+//! assignment: all sources are read "at once". Sequentializing it naively
+//! can clobber a source before it is read; this module orders the moves and
+//! breaks cycles through a scratch register.
+
+use ipra_machine::{MAddress, MInst, MOperand, MemClass, PReg};
+
+/// A source of a parallel move.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MoveSrc {
+    /// Value currently in a register.
+    Reg(PReg),
+    /// Constant.
+    Imm(i64),
+    /// Value in memory (a home slot); loaded with the given accounting
+    /// class.
+    Mem(MAddress, MemClass),
+}
+
+/// Sequentializes the parallel assignment `dst_i <- src_i`.
+///
+/// Register-to-register moves are emitted in an order that never overwrites
+/// a still-needed source; cycles are broken through `scratch`. Constant and
+/// memory fills are emitted last (their sources cannot be clobbered by
+/// register moves).
+///
+/// # Panics
+///
+/// Panics if two moves share a destination, or if `scratch` appears as a
+/// destination or register source.
+pub fn resolve_parallel_moves(moves: &[(PReg, MoveSrc)], scratch: PReg) -> Vec<MInst> {
+    // Validate preconditions.
+    {
+        let mut seen = std::collections::HashSet::new();
+        for (dst, src) in moves {
+            assert!(seen.insert(*dst), "duplicate destination {dst} in parallel move");
+            assert_ne!(*dst, scratch, "scratch register used as destination");
+            if let MoveSrc::Reg(s) = src {
+                assert_ne!(*s, scratch, "scratch register used as source");
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+
+    // Pending register-to-register moves as (dst, src).
+    let mut pending: Vec<(PReg, PReg)> = moves
+        .iter()
+        .filter_map(|(d, s)| match s {
+            MoveSrc::Reg(s) if s != d => Some((*d, *s)),
+            _ => None,
+        })
+        .collect();
+
+    while !pending.is_empty() {
+        // A move is safe when its destination is not a pending source.
+        let safe = pending
+            .iter()
+            .position(|(d, _)| pending.iter().all(|(_, s)| s != d));
+        match safe {
+            Some(i) => {
+                let (d, s) = pending.swap_remove(i);
+                out.push(MInst::Copy { dst: d, src: MOperand::Reg(s) });
+            }
+            None => {
+                // Pure cycle(s): break one by parking a source in scratch.
+                let (d0, s0) = pending[0];
+                out.push(MInst::Copy { dst: scratch, src: MOperand::Reg(s0) });
+                // Every pending read of s0 now reads scratch.
+                for (_, s) in pending.iter_mut() {
+                    if *s == s0 {
+                        *s = scratch;
+                    }
+                }
+                let _ = d0;
+            }
+        }
+    }
+
+    // Constant and memory fills last.
+    for (d, s) in moves {
+        match s {
+            MoveSrc::Imm(i) => out.push(MInst::Copy { dst: *d, src: MOperand::Imm(*i) }),
+            MoveSrc::Mem(addr, class) => {
+                out.push(MInst::Load { dst: *d, addr: *addr, class: *class })
+            }
+            MoveSrc::Reg(_) => {}
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(moves: &[(PReg, MoveSrc)], scratch: PReg, nregs: usize) -> Vec<i64> {
+        // Interpret: register i starts holding value i.
+        let mut regs: Vec<i64> = (0..nregs as i64).collect();
+        for inst in resolve_parallel_moves(moves, scratch) {
+            match inst {
+                MInst::Copy { dst, src } => {
+                    regs[dst.index()] = match src {
+                        MOperand::Reg(r) => regs[r.index()],
+                        MOperand::Imm(i) => i,
+                    }
+                }
+                MInst::Load { dst, .. } => regs[dst.index()] = -1, // marker
+                other => panic!("unexpected inst {other:?}"),
+            }
+        }
+        regs
+    }
+
+    #[test]
+    fn independent_moves() {
+        let scratch = PReg(9);
+        let regs = apply(&[(PReg(0), MoveSrc::Reg(PReg(5))), (PReg(1), MoveSrc::Imm(42))], scratch, 10);
+        assert_eq!(regs[0], 5);
+        assert_eq!(regs[1], 42);
+    }
+
+    #[test]
+    fn overlapping_chain_ordered_correctly() {
+        // 1 <- 0, 2 <- 1 : must copy 2<-1 before 1<-0.
+        let scratch = PReg(9);
+        let regs = apply(
+            &[(PReg(1), MoveSrc::Reg(PReg(0))), (PReg(2), MoveSrc::Reg(PReg(1)))],
+            scratch,
+            10,
+        );
+        assert_eq!(regs[2], 1, "old value of r1");
+        assert_eq!(regs[1], 0);
+    }
+
+    #[test]
+    fn two_cycle_uses_scratch() {
+        // swap r0 and r1.
+        let scratch = PReg(9);
+        let moves = [(PReg(0), MoveSrc::Reg(PReg(1))), (PReg(1), MoveSrc::Reg(PReg(0)))];
+        let insts = resolve_parallel_moves(&moves, scratch);
+        assert_eq!(insts.len(), 3, "cycle of two needs three moves");
+        let regs = apply(&moves, scratch, 10);
+        assert_eq!(regs[0], 1);
+        assert_eq!(regs[1], 0);
+    }
+
+    #[test]
+    fn three_cycle() {
+        // r0 <- r1 <- r2 <- r0.
+        let scratch = PReg(9);
+        let moves = [
+            (PReg(0), MoveSrc::Reg(PReg(1))),
+            (PReg(1), MoveSrc::Reg(PReg(2))),
+            (PReg(2), MoveSrc::Reg(PReg(0))),
+        ];
+        let regs = apply(&moves, scratch, 10);
+        assert_eq!((regs[0], regs[1], regs[2]), (1, 2, 0));
+    }
+
+    #[test]
+    fn self_move_is_elided() {
+        let scratch = PReg(9);
+        let insts = resolve_parallel_moves(&[(PReg(3), MoveSrc::Reg(PReg(3)))], scratch);
+        assert!(insts.is_empty());
+    }
+
+    #[test]
+    fn mixed_cycle_and_fills() {
+        let scratch = PReg(9);
+        let moves = [
+            (PReg(0), MoveSrc::Reg(PReg(1))),
+            (PReg(1), MoveSrc::Reg(PReg(0))),
+            (PReg(2), MoveSrc::Imm(7)),
+        ];
+        let regs = apply(&moves, scratch, 10);
+        assert_eq!((regs[0], regs[1], regs[2]), (1, 0, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate destination")]
+    fn duplicate_destination_panics() {
+        let _ = resolve_parallel_moves(
+            &[(PReg(0), MoveSrc::Imm(1)), (PReg(0), MoveSrc::Imm(2))],
+            PReg(9),
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! The priority function (Chow–Hennessy, extended per the paper's §2).
+//!
+//! Under intra-procedural allocation the cost of a register depends only on
+//! its *class*: a callee-saved register pays one save/restore at entry/exit
+//! (only on its first use in the function), a caller-saved register pays a
+//! save/restore around every call the live range spans. Under
+//! inter-procedural allocation the cost is computed *per register*: a call
+//! site only charges for registers its callee's summary actually clobbers,
+//! so priorities exist per (variable, register) pair.
+
+use ipra_machine::{PReg, RegClass, RegMask, Target};
+
+use crate::ranges::{BlockWeights, LiveRange, RangeData};
+
+/// Everything needed to evaluate priorities in one function.
+#[derive(Debug)]
+pub struct PriorityCtx<'a> {
+    /// Target machine.
+    pub target: &'a Target,
+    /// Ranges and call sites.
+    pub ranges: &'a RangeData,
+    /// Clobber mask per call site (resolved from callee summaries, or the
+    /// default mask for open/unknown callees).
+    pub site_clobbers: &'a [RegMask],
+    /// Whether a callee-saved register's first use in this function pays a
+    /// local entry/exit save/restore. True for intra-procedural allocation
+    /// and for open procedures; false for closed procedures under
+    /// inter-procedural allocation, where the save propagates to ancestors
+    /// (§3).
+    pub charge_callee_saved_entry: bool,
+    /// Loop weight of the entry block (the save/restore at entry/exit
+    /// executes once per invocation).
+    pub entry_weight: f64,
+    /// Registers already used somewhere in the current call tree —
+    /// preferred on ties to minimize the tree's register footprint (§2,
+    /// Fig. 1 discussion).
+    pub subtree_used: RegMask,
+    /// Per-vreg register affinities: `(reg, bonus)` pairs. Used for §4
+    /// parameter-register binding and default-convention parameter homes.
+    pub hints: &'a [Vec<(PReg, f64)>],
+    /// Execution-frequency weight per block (static loop-based or measured
+    /// profile); the splitter prices boundary transfers with these.
+    pub weights: &'a BlockWeights,
+}
+
+impl PriorityCtx<'_> {
+    /// Memory operations avoided by keeping the range in a register,
+    /// weighted by loop depth: each use avoids a load, each def a store.
+    pub fn benefit(&self, lr: &LiveRange) -> f64 {
+        let c = &self.target.cost;
+        lr.weighted_uses * c.load as f64 + lr.weighted_defs * c.store as f64
+    }
+
+    /// Cost of holding `lr` in register `r`:
+    /// save/restore around every spanned call whose callee clobbers `r`,
+    /// plus (when this function must protect callee-saved registers
+    /// locally) one entry/exit save/restore on the first use of `r`.
+    pub fn reg_cost(&self, lr: &LiveRange, r: PReg, used_in_func: RegMask) -> f64 {
+        let c = &self.target.cost;
+        let save_restore = (c.load + c.store) as f64;
+        let mut cost = 0.0;
+        for &site in &lr.spans_calls {
+            if self.site_clobbers[site as usize].contains(r) {
+                cost += self.ranges.call_sites[site as usize].weight * save_restore;
+            }
+        }
+        if self.charge_callee_saved_entry
+            && self.target.regs.class(r) == Some(RegClass::CalleeSaved)
+            && !used_in_func.contains(r)
+        {
+            cost += self.entry_weight * save_restore;
+        }
+        cost
+    }
+
+    /// Affinity bonus of `(lr, r)` from hints.
+    pub fn hint_bonus(&self, lr: &LiveRange, r: PReg) -> f64 {
+        self.hints[lr.vreg.index()]
+            .iter()
+            .filter(|(hr, _)| *hr == r)
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Net priority of assigning `r` to `lr`.
+    pub fn net(&self, lr: &LiveRange, r: PReg, used_in_func: RegMask) -> f64 {
+        self.benefit(lr) - self.reg_cost(lr, r, used_in_func) + self.hint_bonus(lr, r)
+    }
+
+    /// The best allowed register for `lr`, with its priority *density*
+    /// (net priority normalized by live-range size, the paper's ordering
+    /// criterion). Ties prefer registers already used in the call tree,
+    /// then already used in this function, then lower index.
+    pub fn best(
+        &self,
+        lr: &LiveRange,
+        forbidden: RegMask,
+        used_in_func: RegMask,
+    ) -> Option<(PReg, f64)> {
+        let size = lr.size().max(1) as f64;
+        let mut best: Option<(PReg, f64, (bool, bool))> = None;
+        for &r in self.target.regs.allocatable() {
+            if forbidden.contains(r) {
+                continue;
+            }
+            let density = self.net(lr, r, used_in_func) / size;
+            let pref = (self.subtree_used.contains(r), used_in_func.contains(r));
+            let better = match best {
+                None => true,
+                Some((_, bd, bp)) => {
+                    density > bd + 1e-9
+                        || (density > bd - 1e-9 && pref_rank(pref) > pref_rank(bp))
+                }
+            };
+            if better {
+                best = Some((r, density, pref));
+            }
+        }
+        best.map(|(r, d, _)| (r, d))
+    }
+}
+
+fn pref_rank(p: (bool, bool)) -> u8 {
+    // Already used in this function beats only-in-subtree beats fresh.
+    match p {
+        (_, true) => 2,
+        (true, false) => 1,
+        (false, false) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_cfg::{Cfg, Dominators, Liveness, LoopInfo};
+    use ipra_ir::builder::FunctionBuilder;
+    use ipra_ir::{BinOp, Function, Module};
+
+    fn range_data(f: &Function) -> (RangeData, BlockWeights) {
+        let cfg = Cfg::new(f);
+        let dom = Dominators::compute(&cfg);
+        let loops = LoopInfo::compute(&cfg, &dom);
+        let live = Liveness::compute(f, &cfg);
+        let weights = BlockWeights::from_loops(&cfg, &loops);
+        (RangeData::build(f, &cfg, &live, &weights), weights)
+    }
+
+    /// x is live across one call; t is a short temp.
+    fn func_with_call() -> (Function, ipra_ir::Vreg, ipra_ir::Vreg) {
+        let mut m = Module::new();
+        let callee = m.declare_func("callee");
+        let mut b = FunctionBuilder::new("f");
+        let x = b.copy(5);
+        b.call_void(callee, vec![]);
+        let t = b.bin(BinOp::Add, x, 1);
+        b.print(t);
+        b.ret(None);
+        (b.build(), x, t)
+    }
+
+    #[test]
+    fn call_spanning_range_prefers_callee_saved_intra() {
+        let (f, x, _) = func_with_call();
+        let target = Target::mips_like();
+        let (rd, weights) = range_data(&f);
+        let clobbers = vec![target.regs.default_clobbers()];
+        let ctx = PriorityCtx {
+            target: &target,
+            ranges: &rd,
+            site_clobbers: &clobbers,
+            charge_callee_saved_entry: true,
+            entry_weight: 1.0,
+            subtree_used: RegMask::EMPTY,
+            hints: &vec![Vec::new(); f.num_vregs()],
+            weights: &weights,
+        };
+        let lr = &rd.ranges[x.index()];
+        let caller = target.regs.allocatable_of(RegClass::CallerSaved).next().unwrap();
+        let callee_saved = target.regs.allocatable_of(RegClass::CalleeSaved).next().unwrap();
+        // Both classes cost one save/restore here (around the call vs at
+        // entry/exit), so they tie for a single call...
+        assert_eq!(
+            ctx.reg_cost(lr, caller, RegMask::EMPTY),
+            ctx.reg_cost(lr, callee_saved, RegMask::EMPTY)
+        );
+        // ...but with the callee-saved register already used, it is free.
+        let used = RegMask::single(callee_saved);
+        assert_eq!(ctx.reg_cost(lr, callee_saved, used), 0.0);
+        assert!(ctx.reg_cost(lr, caller, used) > 0.0);
+        let (best, _) = ctx.best(lr, RegMask::EMPTY, used).unwrap();
+        assert_eq!(best, callee_saved);
+    }
+
+    #[test]
+    fn short_temp_prefers_caller_saved() {
+        let (f, _, t) = func_with_call();
+        let target = Target::mips_like();
+        let (rd, weights) = range_data(&f);
+        let clobbers = vec![target.regs.default_clobbers()];
+        let ctx = PriorityCtx {
+            target: &target,
+            ranges: &rd,
+            site_clobbers: &clobbers,
+            charge_callee_saved_entry: true,
+            entry_weight: 1.0,
+            subtree_used: RegMask::EMPTY,
+            hints: &vec![Vec::new(); f.num_vregs()],
+            weights: &weights,
+        };
+        let lr = &rd.ranges[t.index()];
+        let (best, density) = ctx.best(lr, RegMask::EMPTY, RegMask::EMPTY).unwrap();
+        assert_eq!(
+            target.regs.class(best),
+            Some(RegClass::CallerSaved),
+            "temp not spanning calls must take a free caller-saved register"
+        );
+        assert!(density > 0.0);
+    }
+
+    #[test]
+    fn interprocedural_cost_depends_on_callee_summary() {
+        let (f, x, _) = func_with_call();
+        let target = Target::mips_like();
+        let (rd, weights) = range_data(&f);
+        // The callee's summary says it clobbers only one specific register.
+        let hot = target.regs.allocatable()[5];
+        let clobbers = vec![RegMask::single(hot)];
+        let ctx = PriorityCtx {
+            target: &target,
+            ranges: &rd,
+            site_clobbers: &clobbers,
+            charge_callee_saved_entry: false,
+            entry_weight: 1.0,
+            subtree_used: RegMask::EMPTY,
+            hints: &vec![Vec::new(); f.num_vregs()],
+            weights: &weights,
+        };
+        let lr = &rd.ranges[x.index()];
+        assert!(ctx.reg_cost(lr, hot, RegMask::EMPTY) > 0.0, "clobbered register costs");
+        let other = target.regs.allocatable()[6];
+        assert_eq!(ctx.reg_cost(lr, other, RegMask::EMPTY), 0.0, "unclobbered register is free");
+        let (best, _) = ctx.best(lr, RegMask::EMPTY, RegMask::EMPTY).unwrap();
+        assert_ne!(best, hot);
+    }
+
+    #[test]
+    fn hints_steer_selection() {
+        let (f, x, _) = func_with_call();
+        let target = Target::mips_like();
+        let (rd, weights) = range_data(&f);
+        let clobbers = vec![RegMask::EMPTY];
+        let fav = target.regs.allocatable()[9];
+        let mut hints = vec![Vec::new(); f.num_vregs()];
+        hints[x.index()].push((fav, 50.0));
+        let ctx = PriorityCtx {
+            target: &target,
+            ranges: &rd,
+            site_clobbers: &clobbers,
+            charge_callee_saved_entry: false,
+            entry_weight: 1.0,
+            subtree_used: RegMask::EMPTY,
+            hints: &hints,
+            weights: &weights,
+        };
+        let (best, _) = ctx.best(&rd.ranges[x.index()], RegMask::EMPTY, RegMask::EMPTY).unwrap();
+        assert_eq!(best, fav);
+    }
+
+    #[test]
+    fn subtree_preference_breaks_ties() {
+        let (f, x, _) = func_with_call();
+        let target = Target::mips_like();
+        let (rd, weights) = range_data(&f);
+        let clobbers = vec![RegMask::EMPTY];
+        let ctx_no_pref = PriorityCtx {
+            target: &target,
+            ranges: &rd,
+            site_clobbers: &clobbers,
+            charge_callee_saved_entry: false,
+            entry_weight: 1.0,
+            subtree_used: RegMask::EMPTY,
+            hints: &vec![Vec::new(); f.num_vregs()],
+            weights: &weights,
+        };
+        let preferred = target.regs.allocatable()[7];
+        let (b1, _) =
+            ctx_no_pref.best(&rd.ranges[x.index()], RegMask::EMPTY, RegMask::EMPTY).unwrap();
+        let ctx_pref =
+            PriorityCtx { subtree_used: RegMask::single(preferred), ..ctx_no_pref };
+        let (b2, _) = ctx_pref.best(&rd.ranges[x.index()], RegMask::EMPTY, RegMask::EMPTY).unwrap();
+        assert_eq!(b1, target.regs.allocatable()[0], "no preference: first register");
+        assert_eq!(b2, preferred, "tie broken toward the call tree's register");
+    }
+}

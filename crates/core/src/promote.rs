@@ -1,0 +1,255 @@
+//! Global-scalar register promotion.
+//!
+//! The paper does not allocate globals to the same register across the
+//! whole program (that would defeat the one-pass scheme), but it *does*
+//! "allocate them to registers within procedures in which they appear"
+//! (§1). This pass rewrites, per procedure, accesses to a global scalar
+//! into accesses to a fresh virtual register — loaded once at entry and
+//! stored back at the exits — whenever no call in the procedure can touch
+//! that global (per the transitive mod/ref summaries). The virtual register
+//! then participates in ordinary priority-based coloring.
+
+use ipra_callgraph::{CallGraph, ModRef, SccInfo};
+use ipra_ir::{Address, GlobalId, Inst, Module, Operand, Terminator};
+
+/// Statistics of one promotion run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PromotionStats {
+    /// Number of (function, global) pairs promoted.
+    pub promoted: usize,
+    /// Accesses rewritten into register operations.
+    pub accesses_rewritten: usize,
+}
+
+/// Promotes global scalars to virtual registers within safe procedures.
+/// Returns statistics.
+pub fn promote_globals(module: &mut Module) -> PromotionStats {
+    let cg = CallGraph::build(module);
+    let scc = SccInfo::compute(&cg);
+    let mr = ModRef::compute(module, &cg, &scc);
+
+    let mut stats = PromotionStats::default();
+    let fids: Vec<_> = module.funcs.ids().collect();
+    for fid in fids {
+        let func = &module.funcs[fid];
+        if cg.has_indirect_site[fid.index()] {
+            continue; // an indirect call may touch any global
+        }
+
+        // Gather scalar globals accessed with constant index 0 only, and
+        // count their accesses. A global accessed through a dynamic index
+        // anywhere in this function is skipped.
+        let mut counts: std::collections::HashMap<GlobalId, (usize, bool)> =
+            std::collections::HashMap::new();
+        let mut rejected: std::collections::HashSet<GlobalId> = std::collections::HashSet::new();
+        for (_, inst) in func.inst_locs() {
+            let (addr, is_store) = match inst {
+                Inst::Load { addr, .. } => (addr, false),
+                Inst::Store { addr, .. } => (addr, true),
+                _ => continue,
+            };
+            if let Address::Global { global, index } = addr {
+                if !module.globals[*global].is_scalar() {
+                    continue;
+                }
+                if *index != Operand::Imm(0) {
+                    rejected.insert(*global);
+                    continue;
+                }
+                let e = counts.entry(*global).or_insert((0, false));
+                e.0 += 1;
+                e.1 |= is_store;
+            }
+        }
+
+        let safe: Vec<(GlobalId, bool, String)> = counts
+            .iter()
+            .filter(|&(g, &(n, _))| {
+                !rejected.contains(g)
+                    && n >= 2
+                    && cg.call_sites[fid.index()].iter().all(|site| match site.target {
+                        Some(c) => !mr.touches(c, g.index()),
+                        None => false,
+                    })
+            })
+            .map(|(g, &(_, stored))| (*g, stored, format!("g_{}", module.globals[*g].name)))
+            .collect();
+        if safe.is_empty() {
+            continue;
+        }
+
+        let func = &mut module.funcs[fid];
+        for (g, stored, name) in safe {
+            let vg = func.new_named_vreg(name);
+            stats.promoted += 1;
+
+            // Rewrite accesses.
+            for block in func.blocks.values_mut() {
+                for inst in &mut block.insts {
+                    match inst {
+                        Inst::Load { dst, addr: Address::Global { global, index } }
+                            if *global == g && *index == Operand::Imm(0) =>
+                        {
+                            stats.accesses_rewritten += 1;
+                            *inst = Inst::Copy { dst: *dst, src: Operand::Reg(vg) };
+                        }
+                        Inst::Store { src, addr: Address::Global { global, index } }
+                            if *global == g && *index == Operand::Imm(0) =>
+                        {
+                            stats.accesses_rewritten += 1;
+                            *inst = Inst::Copy { dst: vg, src: *src };
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            // Load at entry...
+            let entry = func.entry;
+            func.blocks[entry]
+                .insts
+                .insert(0, Inst::Load { dst: vg, addr: Address::global_scalar(g) });
+            // ...store back at every exit when modified.
+            if stored {
+                for block in func.blocks.values_mut() {
+                    if matches!(block.term, Terminator::Ret(_)) {
+                        block
+                            .insts
+                            .push(Inst::Store { src: Operand::Reg(vg), addr: Address::global_scalar(g) });
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_ir::builder::FunctionBuilder;
+    use ipra_ir::{interp, BinOp, GlobalData};
+
+    /// main: counter loop over a global scalar; helper untouched.
+    fn counting_module() -> Module {
+        let mut m = Module::new();
+        let g = m.add_global(GlobalData::scalar("count"));
+        let noop = m.declare_func("noop");
+        {
+            let mut b = FunctionBuilder::new("noop");
+            b.ret(None);
+            m.define_func(noop, b.build());
+        }
+        let mut b = FunctionBuilder::new("main");
+        let h = b.new_block();
+        let body = b.new_block();
+        let out = b.new_block();
+        b.br(h);
+        let c = b.load(Address::global_scalar(g));
+        let t = b.bin(BinOp::Lt, c, 5);
+        b.cond_br(t, body, out);
+        b.switch_to(body);
+        let c2 = b.load(Address::global_scalar(g));
+        let n = b.bin(BinOp::Add, c2, 1);
+        b.store(n, Address::global_scalar(g));
+        b.call_void(noop, vec![]);
+        b.br(h);
+        b.switch_to(out);
+        let fin = b.load(Address::global_scalar(g));
+        b.print(fin);
+        b.ret(None);
+        let main = m.add_func(b.build());
+        m.main = Some(main);
+        m
+    }
+
+    #[test]
+    fn promotes_and_preserves_semantics() {
+        let mut m = counting_module();
+        let before = interp::run_module(&m).unwrap();
+        let stats = promote_globals(&mut m);
+        ipra_ir::verify::verify_module(&m).unwrap();
+        let after = interp::run_module(&m).unwrap();
+        assert_eq!(before.output, after.output);
+        assert_eq!(after.output, vec![5]);
+        assert!(stats.promoted >= 1, "count is promotable in main");
+        assert!(stats.accesses_rewritten >= 4);
+    }
+
+    #[test]
+    fn skips_globals_touched_by_callees() {
+        let mut m = Module::new();
+        let g = m.add_global(GlobalData::scalar("shared"));
+        let bump = m.declare_func("bump");
+        {
+            let mut b = FunctionBuilder::new("bump");
+            let v = b.load(Address::global_scalar(g));
+            let n = b.bin(BinOp::Add, v, 1);
+            b.store(n, Address::global_scalar(g));
+            b.ret(None);
+            m.define_func(bump, b.build());
+        }
+        let mut b = FunctionBuilder::new("main");
+        let v1 = b.load(Address::global_scalar(g));
+        b.call_void(bump, vec![]);
+        let v2 = b.load(Address::global_scalar(g));
+        b.print(v1);
+        b.print(v2);
+        b.ret(None);
+        let main = m.add_func(b.build());
+        m.main = Some(main);
+
+        let before = interp::run_module(&m).unwrap();
+        promote_globals(&mut m);
+        let after = interp::run_module(&m).unwrap();
+        assert_eq!(before.output, after.output, "main must re-read after the call");
+        assert_eq!(after.output, vec![0, 1]);
+        // bump itself has no calls, so bump may promote `shared` locally.
+        let bump_f = &m.funcs[bump];
+        assert!(
+            bump_f.inst_locs().any(|(_, i)| matches!(i, Inst::Load { .. })),
+            "bump keeps an entry load of the global"
+        );
+    }
+
+    #[test]
+    fn skips_dynamic_index_scalars() {
+        let mut m = Module::new();
+        let g = m.add_global(GlobalData::scalar("s"));
+        let mut b = FunctionBuilder::new("main");
+        let i = b.copy(0);
+        let v = b.load(Address::Global { global: g, index: i.into() });
+        let w = b.load(Address::global_scalar(g));
+        let sum = b.bin(BinOp::Add, v, w);
+        b.print(sum);
+        b.ret(None);
+        let main = m.add_func(b.build());
+        m.main = Some(main);
+        let stats = promote_globals(&mut m);
+        assert_eq!(stats.promoted, 0, "dynamic index rejects promotion");
+    }
+
+    #[test]
+    fn indirect_call_blocks_promotion() {
+        let mut m = Module::new();
+        let g = m.add_global(GlobalData::scalar("s"));
+        let f = m.declare_func("f");
+        {
+            let mut b = FunctionBuilder::new("f");
+            b.ret(None);
+            m.define_func(f, b.build());
+        }
+        let mut b = FunctionBuilder::new("main");
+        let v = b.load(Address::global_scalar(g));
+        let p = b.func_addr(f);
+        let _ = b.call_indirect(p, vec![]);
+        let w = b.load(Address::global_scalar(g));
+        let sum = b.bin(BinOp::Add, v, w);
+        b.print(sum);
+        b.ret(None);
+        let main = m.add_func(b.build());
+        m.main = Some(main);
+        let stats = promote_globals(&mut m);
+        assert_eq!(stats.promoted, 0);
+    }
+}

@@ -1,0 +1,404 @@
+//! Live ranges and the interference graph.
+//!
+//! Priority-based coloring allocates *live ranges* (Chow–Hennessy): the set
+//! of basic blocks where a variable is live, together with its weighted
+//! reference counts. Interference is computed precisely, per program point,
+//! by a backward scan of every block. The same scan records, for every call
+//! site, which ranges are live *across* the call — the quantity that drives
+//! the per-(variable, register) cost terms of the inter-procedural
+//! allocator.
+
+use ipra_cfg::{BitSet, Cfg, Liveness, LoopInfo};
+use ipra_ir::{BlockId, Callee, FuncId, Function, Inst, InstLoc, Vreg};
+
+/// Execution-frequency weight per block, from static loop nesting or from a
+/// measured profile (the paper's planned profile feedback).
+#[derive(Clone, Debug)]
+pub struct BlockWeights(Vec<f64>);
+
+impl BlockWeights {
+    /// Static estimate: `10^loop_depth` per block (the classic Uopt rule).
+    pub fn from_loops(cfg: &Cfg, loops: &LoopInfo) -> Self {
+        BlockWeights((0..cfg.num_blocks()).map(|b| loops.weight(BlockId(b as u32))).collect())
+    }
+
+    /// Measured profile: per-block execution counts normalized so the entry
+    /// block weighs 1 per invocation. Falls back to the static estimate for
+    /// functions that never ran.
+    pub fn from_profile(cfg: &Cfg, loops: &LoopInfo, counts: &[u64]) -> Self {
+        let invocations = counts[cfg.entry.index()];
+        if invocations == 0 {
+            return Self::from_loops(cfg, loops);
+        }
+        BlockWeights(
+            counts.iter().map(|&c| c as f64 / invocations as f64).collect(),
+        )
+    }
+
+    /// Weight of one block.
+    pub fn weight(&self, b: BlockId) -> f64 {
+        self.0[b.index()]
+    }
+}
+
+/// A call site, with the loop weight of its block.
+#[derive(Clone, Debug)]
+pub struct CallSiteInfo {
+    /// Location of the call instruction.
+    pub loc: InstLoc,
+    /// Static target; `None` for indirect calls.
+    pub callee: Option<FuncId>,
+    /// Execution-frequency weight of the containing block.
+    pub weight: f64,
+}
+
+/// The live range of one virtual register.
+#[derive(Clone, Debug)]
+pub struct LiveRange {
+    /// The register this range belongs to.
+    pub vreg: Vreg,
+    /// Blocks in the range (live or referenced).
+    pub blocks: BitSet,
+    /// Loop-weighted count of uses (reads).
+    pub weighted_uses: f64,
+    /// Loop-weighted count of definitions (writes).
+    pub weighted_defs: f64,
+    /// Static reference count (uses + defs).
+    pub num_refs: u32,
+    /// Indices (into [`RangeData::call_sites`]) of the calls this range is
+    /// live across.
+    pub spans_calls: Vec<u32>,
+    /// Weighted `(uses, defs)` per block index — the per-block detail the
+    /// splitter needs to seed and value sub-regions.
+    pub block_refs: std::collections::HashMap<u32, (f64, f64)>,
+}
+
+impl LiveRange {
+    /// Number of blocks in the range (the normalization term of the
+    /// priority function).
+    pub fn size(&self) -> usize {
+        self.blocks.count()
+    }
+
+    /// Whether this range is ever referenced (unreferenced ranges are not
+    /// allocation candidates).
+    pub fn is_candidate(&self) -> bool {
+        self.num_refs > 0
+    }
+}
+
+/// Live ranges, interference and call sites for one function.
+#[derive(Clone, Debug)]
+pub struct RangeData {
+    /// One live range per virtual register.
+    pub ranges: Vec<LiveRange>,
+    /// Interference adjacency: `adj[v]` holds every vreg whose value is live
+    /// simultaneously with `v` at some program point.
+    pub adj: Vec<BitSet>,
+    /// All call sites, in block order.
+    pub call_sites: Vec<CallSiteInfo>,
+}
+
+impl RangeData {
+    /// Builds ranges and interference for `func`.
+    pub fn build(func: &Function, cfg: &Cfg, live: &Liveness, weights: &BlockWeights) -> Self {
+        let nv = func.num_vregs();
+        let nb = func.num_blocks();
+
+        let mut ranges: Vec<LiveRange> = (0..nv)
+            .map(|i| LiveRange {
+                vreg: Vreg(i as u32),
+                blocks: BitSet::new(nb),
+                weighted_uses: 0.0,
+                weighted_defs: 0.0,
+                num_refs: 0,
+                spans_calls: Vec::new(),
+                block_refs: std::collections::HashMap::new(),
+            })
+            .collect();
+        let mut adj: Vec<BitSet> = (0..nv).map(|_| BitSet::new(nv)).collect();
+
+        // Collect call sites in forward block order so the backward scan can
+        // index them.
+        let mut call_sites = Vec::new();
+        for (id, b) in func.blocks.iter() {
+            if !cfg.is_reachable(id) {
+                continue;
+            }
+            let w = weights.weight(id);
+            for (i, inst) in b.insts.iter().enumerate() {
+                if let Inst::Call { callee, .. } = inst {
+                    call_sites.push(CallSiteInfo {
+                        loc: InstLoc { block: id, inst: i },
+                        callee: match callee {
+                            Callee::Direct(f) => Some(*f),
+                            Callee::Indirect(_) => None,
+                        },
+                        weight: w,
+                    });
+                }
+            }
+        }
+        // Per-block index of the first call site.
+        let mut site_index = std::collections::HashMap::new();
+        for (i, c) in call_sites.iter().enumerate() {
+            site_index.insert(c.loc, i as u32);
+        }
+
+        // Range membership: every block where the register is live or
+        // referenced.
+        for (id, _) in func.blocks.iter() {
+            if !cfg.is_reachable(id) {
+                continue;
+            }
+            let bi = id.index();
+            for set in [&live.live_in[bi], &live.live_out[bi], &live.uevar[bi], &live.defs[bi]] {
+                for v in set.iter() {
+                    ranges[v].blocks.insert(bi);
+                }
+            }
+        }
+
+        // Backward scan: precise interference, weighted counts, live-across
+        // sets.
+        let interfere = |adj: &mut Vec<BitSet>, d: usize, live_now: &BitSet| {
+            for l in live_now.iter() {
+                if l != d {
+                    adj[d].insert(l);
+                    adj[l].insert(d);
+                }
+            }
+        };
+
+        for (id, b) in func.blocks.iter() {
+            if !cfg.is_reachable(id) {
+                continue;
+            }
+            let bi = id.index();
+            let w = weights.weight(id);
+            let mut live_now = live.live_out[bi].clone();
+
+            b.term.for_each_use(|v| {
+                let r = &mut ranges[v.index()];
+                r.weighted_uses += w;
+                r.num_refs += 1;
+                r.block_refs.entry(bi as u32).or_insert((0.0, 0.0)).0 += w;
+                live_now.insert(v.index());
+            });
+
+            for (i, inst) in b.insts.iter().enumerate().rev() {
+                if inst.is_call() {
+                    let site = site_index[&InstLoc { block: id, inst: i }];
+                    let dst = inst.def();
+                    for v in live_now.iter() {
+                        if dst.map(|d| d.index()) != Some(v) {
+                            ranges[v].spans_calls.push(site);
+                        }
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    let di = d.index();
+                    interfere(&mut adj, di, &live_now);
+                    live_now.remove(di);
+                    ranges[di].weighted_defs += w;
+                    ranges[di].num_refs += 1;
+                    ranges[di].block_refs.entry(bi as u32).or_insert((0.0, 0.0)).1 += w;
+                }
+                inst.for_each_use(|v| {
+                    let r = &mut ranges[v.index()];
+                    r.weighted_uses += w;
+                    r.num_refs += 1;
+                    r.block_refs.entry(bi as u32).or_insert((0.0, 0.0)).0 += w;
+                    live_now.insert(v.index());
+                });
+            }
+        }
+
+        // Parameters are all defined simultaneously at entry; any pair live
+        // at entry interferes (the instruction scan never sees their defs).
+        let entry_in = &live.live_in[func.entry.index()];
+        for (i, &p) in func.params.iter().enumerate() {
+            if !entry_in.contains(p.index()) {
+                continue;
+            }
+            // A parameter's arrival counts as its (free) definition, but its
+            // home-store cost is real when it ends up in memory.
+            let ew = weights.weight(func.entry);
+            ranges[p.index()].weighted_defs += ew;
+            ranges[p.index()]
+                .block_refs
+                .entry(func.entry.index() as u32)
+                .or_insert((0.0, 0.0))
+                .1 += ew;
+            for &q in func.params.iter().skip(i + 1) {
+                if entry_in.contains(q.index()) && p != q {
+                    adj[p.index()].insert(q.index());
+                    adj[q.index()].insert(p.index());
+                }
+            }
+        }
+
+        // De-duplicate spans_calls (a range can be rediscovered live across
+        // the same call only once per scan, so they are already unique).
+        RangeData { ranges, adj, call_sites }
+    }
+
+    /// Whether `a` and `b` interfere.
+    pub fn interferes(&self, a: Vreg, b: Vreg) -> bool {
+        self.adj[a.index()].contains(b.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_cfg::Dominators;
+    use ipra_ir::builder::FunctionBuilder;
+    use ipra_ir::{BinOp, Module};
+
+    fn analyze(func: &Function) -> (Cfg, RangeData) {
+        let cfg = Cfg::new(func);
+        let dom = Dominators::compute(&cfg);
+        let loops = LoopInfo::compute(&cfg, &dom);
+        let live = Liveness::compute(func, &cfg);
+        let weights = BlockWeights::from_loops(&cfg, &loops);
+        let rd = RangeData::build(func, &cfg, &live, &weights);
+        (cfg, rd)
+    }
+
+    #[test]
+    fn sequential_temps_do_not_interfere() {
+        let mut b = FunctionBuilder::new("f");
+        let t1 = b.bin(BinOp::Add, 1, 2);
+        b.print(t1);
+        let t2 = b.bin(BinOp::Add, 3, 4);
+        b.print(t2);
+        b.ret(None);
+        let f = b.build();
+        let (_, rd) = analyze(&f);
+        assert!(!rd.interferes(t1, t2), "t1 dead before t2 defined");
+        assert_eq!(rd.ranges[t1.index()].num_refs, 2);
+    }
+
+    #[test]
+    fn overlapping_values_interfere() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.copy(1);
+        let y = b.copy(2);
+        let s = b.bin(BinOp::Add, x, y);
+        b.print(s);
+        b.ret(None);
+        let f = b.build();
+        let (_, rd) = analyze(&f);
+        assert!(rd.interferes(x, y));
+        assert!(!rd.interferes(x, s), "x dies where s is defined");
+        assert!(!rd.interferes(y, s), "y dies where s is defined");
+    }
+
+    #[test]
+    fn interference_is_symmetric_and_irreflexive() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.copy(1);
+        let y = b.copy(2);
+        let z = b.bin(BinOp::Add, x, y);
+        let w = b.bin(BinOp::Add, z, x);
+        b.print(w);
+        b.print(y);
+        b.ret(None);
+        let f = b.build();
+        let (_, rd) = analyze(&f);
+        for a in 0..f.num_vregs() {
+            assert!(!rd.adj[a].contains(a), "no self interference");
+            for bb in rd.adj[a].iter() {
+                assert!(rd.adj[bb].contains(a), "symmetry {a} vs {bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn live_across_call_recorded() {
+        let mut m = Module::new();
+        let callee = m.declare_func("callee");
+        let mut b = FunctionBuilder::new("caller");
+        let x = b.copy(5);
+        let r = b.call(callee, vec![]);
+        let s = b.bin(BinOp::Add, x, r);
+        b.print(s);
+        b.ret(None);
+        let f = b.build();
+        let (_, rd) = analyze(&f);
+        assert_eq!(rd.call_sites.len(), 1);
+        assert_eq!(rd.call_sites[0].callee, Some(callee));
+        assert_eq!(rd.ranges[x.index()].spans_calls, vec![0], "x survives the call");
+        assert!(rd.ranges[r.index()].spans_calls.is_empty(), "call result is not live across");
+    }
+
+    #[test]
+    fn call_argument_not_live_across() {
+        let mut m = Module::new();
+        let callee = m.declare_func("callee");
+        let mut b = FunctionBuilder::new("caller");
+        let x = b.copy(5);
+        b.call_void(callee, vec![x.into()]);
+        b.ret(None);
+        let f = b.build();
+        let (_, rd) = analyze(&f);
+        assert!(
+            rd.ranges[x.index()].spans_calls.is_empty(),
+            "argument dies at the call; no save needed"
+        );
+    }
+
+    #[test]
+    fn loop_weights_scale_reference_counts() {
+        let mut b = FunctionBuilder::new("f");
+        let i = b.var("i");
+        let h = b.new_block();
+        let body = b.new_block();
+        let out = b.new_block();
+        b.copy_to(i, 0);
+        b.br(h);
+        let c = b.bin(BinOp::Lt, i, 10);
+        b.cond_br(c, body, out);
+        b.switch_to(body);
+        let ni = b.bin(BinOp::Add, i, 1);
+        b.copy_to(i, ni);
+        b.br(h);
+        b.switch_to(out);
+        b.print(i);
+        b.ret(None);
+        let f = b.build();
+        let (_, rd) = analyze(&f);
+        let r = &rd.ranges[i.index()];
+        // i: def w=1 (entry) + def w=10 (body copy), uses w=10 (header cmp) +
+        // w=10 (body add) + w=1 (print).
+        assert_eq!(r.weighted_defs, 11.0);
+        assert_eq!(r.weighted_uses, 21.0);
+        assert_eq!(r.blocks.count(), 4);
+    }
+
+    #[test]
+    fn parameters_interfere_with_each_other() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param("x");
+        let y = b.param("y");
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s.into()));
+        let f = b.build();
+        let (_, rd) = analyze(&f);
+        assert!(rd.interferes(x, y), "both params live at entry");
+    }
+
+    #[test]
+    fn dead_def_still_interferes_with_live_values() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.copy(1);
+        let dead = b.copy(2); // never used
+        let y = b.bin(BinOp::Add, x, 3);
+        b.print(y);
+        b.ret(None);
+        let f = b.build();
+        let (_, rd) = analyze(&f);
+        assert!(rd.interferes(dead, x), "dead def overlaps x's live range at its def point");
+    }
+}

@@ -1,0 +1,248 @@
+//! Unit tests of the allocation layer's observable decisions: summaries,
+//! open/closed behavior, save planning, call plans and lowering shape.
+
+use ipra_core::alloc::{allocate_function, SummaryEnv};
+use ipra_core::config::AllocOptions;
+use ipra_core::ipra::compile_module;
+use ipra_core::summary::{FuncSummary, ParamLoc};
+use ipra_ir::builder::FunctionBuilder;
+use ipra_ir::{BinOp, Module, Operand};
+use ipra_machine::{MInst, MemClass, RegClass, RegMask, Target};
+
+fn leaf_module() -> (Module, ipra_ir::FuncId) {
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("leaf");
+    let x = b.param("x");
+    let y = b.param("y");
+    let r = b.bin(BinOp::Mul, x, y);
+    b.ret(Some(r.into()));
+    let leaf = m.add_func(b.build());
+    (m, leaf)
+}
+
+#[test]
+fn closed_leaf_summary_reports_its_registers_and_params() {
+    let (m, leaf) = leaf_module();
+    let target = Target::mips_like();
+    let opts = AllocOptions::o3();
+    let art = allocate_function(&m, leaf, &target, &opts, false, &SummaryEnv::default(), None);
+    let s = &art.alloc.summary;
+    assert!(!s.is_default);
+    assert_eq!(s.param_locs.len(), 2);
+    // Both params are live and must arrive in distinct registers.
+    let regs: Vec<_> = s
+        .param_locs
+        .iter()
+        .map(|l| match l {
+            ParamLoc::Reg(r) => *r,
+            other => panic!("leaf params should be register-carried, got {other:?}"),
+        })
+        .collect();
+    assert_ne!(regs[0], regs[1]);
+    // Every used register is visible in the clobber mask, plus rv.
+    assert!(art.alloc.assignment.used.0 & !s.clobbers.0 == 0);
+    assert!(s.clobbers.contains(target.regs.ret_reg()));
+    // A leaf needs no local saves under -O3 (propagation).
+    assert!(art.alloc.locally_saved.is_empty());
+}
+
+#[test]
+fn open_function_uses_default_summary_and_saves_callee_saved() {
+    // A function with values across many calls, treated as open.
+    let mut m = Module::new();
+    let callee = m.declare_func("callee");
+    {
+        let mut b = FunctionBuilder::new("callee");
+        b.ret(Some(Operand::Imm(1)));
+        m.define_func(callee, b.build());
+    }
+    let mut b = FunctionBuilder::new("busy");
+    let mut keep = Vec::new();
+    for i in 0..6 {
+        keep.push(b.copy(i));
+    }
+    for _ in 0..3 {
+        let _ = b.call(callee, vec![]);
+    }
+    let mut acc = b.copy(0);
+    for k in &keep {
+        acc = b.bin(BinOp::Add, acc, *k);
+    }
+    b.ret(Some(acc.into()));
+    let busy = m.add_func(b.build());
+
+    let target = Target::mips_like();
+    let opts = AllocOptions::o3();
+    let art = allocate_function(&m, busy, &target, &opts, true, &SummaryEnv::default(), None);
+    assert!(art.alloc.summary.is_default, "open procedures publish the default summary");
+    assert!(
+        !art.alloc.locally_saved.is_empty(),
+        "values across calls want callee-saved registers, which an open \
+         procedure must protect locally"
+    );
+    let cs = target.regs.callee_saved_mask();
+    assert!(art.alloc.locally_saved.0 & !cs.0 == 0, "only callee-saved regs saved locally");
+}
+
+#[test]
+fn closed_procedure_under_o3_without_shrink_wrap_saves_nothing_locally() {
+    let (mut m, leaf) = leaf_module();
+    let mut b = FunctionBuilder::new("mid");
+    let x = b.param("x");
+    let keep = b.bin(BinOp::Mul, x, 9);
+    let r1 = b.call(leaf, vec![x.into(), Operand::Imm(2)]);
+    let s = b.bin(BinOp::Add, keep, r1);
+    b.ret(Some(s.into()));
+    let mid = m.add_func(b.build());
+
+    let target = Target::mips_like();
+    let opts = AllocOptions::o3_no_shrink_wrap();
+    let mut env = SummaryEnv::default();
+    let leaf_art = allocate_function(&m, leaf, &target, &opts, false, &env, None);
+    env.summaries.insert(leaf, leaf_art.alloc.summary.clone());
+    env.tree_used.insert(leaf, leaf_art.alloc.tree_used);
+
+    let art = allocate_function(&m, mid, &target, &opts, false, &env, None);
+    assert!(art.alloc.locally_saved.is_empty(), "configuration B propagates all saves up");
+    // Crucially, `keep` can live across the call in a register the leaf
+    // does not clobber — so the call plan needs no saves either.
+    assert!(
+        art.alloc.call_plans.iter().all(|p| p.save_around.is_empty()),
+        "leaf summary should free a register for `keep`: {:?}",
+        art.alloc.call_plans
+    );
+}
+
+#[test]
+fn default_convention_callers_save_around_calls_when_needed() {
+    let (mut m, leaf) = leaf_module();
+    let mut b = FunctionBuilder::new("mid");
+    let x = b.param("x");
+    let keep = b.bin(BinOp::Mul, x, 9);
+    let r1 = b.call(leaf, vec![x.into(), Operand::Imm(2)]);
+    let s = b.bin(BinOp::Add, keep, r1);
+    b.ret(Some(s.into()));
+    let mid = m.add_func(b.build());
+
+    // Intra mode: the leaf's summary is unknown, so `keep` either takes a
+    // callee-saved register (entry save) or pays around the call.
+    let target = Target::mips_like();
+    let opts = AllocOptions::o2_base();
+    let art = allocate_function(&m, mid, &target, &opts, true, &SummaryEnv::default(), None);
+    let around: u32 = art.alloc.call_plans.iter().map(|p| p.save_around.count()).sum();
+    let local = art.alloc.locally_saved.count();
+    assert!(
+        around + local > 0,
+        "`keep` must be protected one way or the other under -O2"
+    );
+}
+
+#[test]
+fn lowering_emits_expected_memory_classes() {
+    let (m, _) = leaf_module();
+    let target = Target::mips_like();
+    let compiled = compile_module(&m, &target, &AllocOptions::no_alloc());
+    // Under -O0 every variable access is a ScalarHome op; no SaveRestore
+    // except nothing (leaf, no ra).
+    let f = &compiled.mmodule.funcs[ipra_ir::FuncId(0)];
+    let mut scalar = 0;
+    let mut save = 0;
+    let mut data = 0;
+    for b in f.blocks.values() {
+        for i in &b.insts {
+            match i {
+                MInst::Load { class, .. } | MInst::Store { class, .. } => match class {
+                    MemClass::ScalarHome => scalar += 1,
+                    MemClass::SaveRestore => save += 1,
+                    MemClass::Data => data += 1,
+                    MemClass::Spill => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    assert!(scalar > 0, "unallocated code reads/writes home slots");
+    assert_eq!(save, 0, "leaf function has no save/restore");
+    assert_eq!(data, 0, "no arrays here");
+    assert!(f.is_leaf);
+}
+
+#[test]
+fn table2_class_limited_targets_use_only_that_class() {
+    let (m, leaf) = leaf_module();
+    let opts = AllocOptions::o3();
+    for (nc, ne, class) in [(7, 0, RegClass::CallerSaved), (0, 7, RegClass::CalleeSaved)] {
+        let target = Target::with_class_limits(nc, ne);
+        let art =
+            allocate_function(&m, leaf, &target, &opts, false, &SummaryEnv::default(), None);
+        for r in art.alloc.assignment.used.iter() {
+            assert_eq!(
+                target.regs.class(r),
+                Some(class),
+                "register {r} outside the allowed class"
+            );
+        }
+    }
+}
+
+#[test]
+fn ignored_params_do_not_claim_registers() {
+    // p0's incoming value is dead (overwritten before use).
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("f");
+    let p0 = b.param("p0");
+    let p1 = b.param("p1");
+    b.copy_to(p0, 7); // kill the incoming value
+    let s = b.bin(BinOp::Add, p0, p1);
+    b.ret(Some(s.into()));
+    let f = m.add_func(b.build());
+
+    let target = Target::mips_like();
+    let opts = AllocOptions::o3();
+    let art = allocate_function(&m, f, &target, &opts, false, &SummaryEnv::default(), None);
+    assert_eq!(art.alloc.param_locs[0], ParamLoc::Ignored);
+    assert!(matches!(art.alloc.param_locs[1], ParamLoc::Reg(_)));
+}
+
+#[test]
+fn default_summary_matches_machine_convention() {
+    let target = Target::mips_like();
+    let s = FuncSummary::default_for(&target.regs, 5);
+    assert_eq!(s.clobbers, target.regs.default_clobbers());
+    assert_eq!(s.num_stack_args(), 1);
+    assert_eq!(s.param_locs[4], ParamLoc::Stack(0));
+}
+
+#[test]
+fn shrink_iterations_reported_through_compile() {
+    let (m, _) = leaf_module();
+    let compiled = compile_module(&m, &Target::mips_like(), &AllocOptions::o3());
+    assert_eq!(compiled.reports.len(), 1);
+    assert!(compiled.reports[0].shrink_iterations <= 3);
+    assert_eq!(compiled.reports[0].name, "leaf");
+    assert!(compiled.reports[0].candidate_vregs >= 3);
+}
+
+#[test]
+fn tree_used_accumulates_up_the_call_graph() {
+    let (mut m, leaf) = leaf_module();
+    let mut b = FunctionBuilder::new("mid");
+    let x = b.param("x");
+    let r = b.call(leaf, vec![x.into(), Operand::Imm(3)]);
+    b.ret(Some(r.into()));
+    let mid = m.add_func(b.build());
+
+    let target = Target::mips_like();
+    let opts = AllocOptions::o3();
+    let mut env = SummaryEnv::default();
+    let leaf_art = allocate_function(&m, leaf, &target, &opts, false, &env, None);
+    env.summaries.insert(leaf, leaf_art.alloc.summary.clone());
+    env.tree_used.insert(leaf, leaf_art.alloc.tree_used);
+    let mid_art = allocate_function(&m, mid, &target, &opts, false, &env, None);
+    assert_eq!(
+        mid_art.alloc.tree_used.0 & leaf_art.alloc.tree_used.0,
+        leaf_art.alloc.tree_used.0,
+        "the subtree's registers are part of mid's tree usage"
+    );
+    assert!(RegMask(mid_art.alloc.tree_used.0).count() >= leaf_art.alloc.tree_used.count());
+}

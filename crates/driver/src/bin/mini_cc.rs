@@ -1,0 +1,158 @@
+//! `mini-cc` — the command-line compiler driver.
+//!
+//! ```text
+//! mini-cc [OPTIONS] <file.mini>
+//!   -O0 | -O2 | -O3        optimization level (default -O3)
+//!   --no-shrink-wrap       disable save/restore shrink-wrapping
+//!   --limit <nc>,<ne>      restrict allocatable registers per class
+//!   --emit ir|asm|summary  print IR, machine code, or per-function report
+//!   --run                  simulate and print output + statistics
+//!   --workload <name>      compile a bundled benchmark instead of a file
+//! ```
+
+use std::process::ExitCode;
+
+use ipra_core::config::{AllocMode, AllocOptions};
+use ipra_driver::{compile_only, run_compiled, Config};
+use ipra_machine::Target;
+
+struct Args {
+    opts: AllocOptions,
+    target: Target,
+    emit: Option<String>,
+    run: bool,
+    input: Input,
+}
+
+enum Input {
+    File(String),
+    Workload(String),
+}
+
+fn usage() -> &'static str {
+    "usage: mini-cc [-O0|-O2|-O3] [--no-shrink-wrap] [--limit NC,NE] \
+     [--emit ir|asm|summary] [--run] (<file.mini> | --workload <name>)"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut opts = AllocOptions::o3();
+    let mut target = Target::mips_like();
+    let mut emit = None;
+    let mut run = false;
+    let mut input = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-O0" => opts = AllocOptions::no_alloc(),
+            "-O2" => opts = AllocOptions::o2_shrink_wrap(),
+            "-O3" => opts = AllocOptions::o3(),
+            "--no-shrink-wrap" => opts.shrink_wrap = false,
+            "--limit" => {
+                let v = args.next().ok_or("--limit needs NC,NE")?;
+                let (nc, ne) = v.split_once(',').ok_or("--limit needs NC,NE")?;
+                let nc: usize = nc.trim().parse().map_err(|_| "bad NC")?;
+                let ne: usize = ne.trim().parse().map_err(|_| "bad NE")?;
+                target = Target::with_class_limits(nc, ne);
+            }
+            "--emit" => emit = Some(args.next().ok_or("--emit needs a kind")?),
+            "--run" => run = true,
+            "--workload" => {
+                input = Some(Input::Workload(args.next().ok_or("--workload needs a name")?))
+            }
+            "-h" | "--help" => return Err(usage().to_string()),
+            other if !other.starts_with('-') => input = Some(Input::File(other.to_string())),
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    let input = input.ok_or_else(|| usage().to_string())?;
+    Ok(Args { opts, target, emit, run, input })
+}
+
+fn real_main() -> Result<(), String> {
+    let args = parse_args()?;
+    let source = match &args.input {
+        Input::File(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        }
+        Input::Workload(name) => ipra_workloads::by_name(name)
+            .ok_or_else(|| {
+                let names: Vec<_> =
+                    ipra_workloads::all().iter().map(|w| w.name.to_string()).collect();
+                format!("unknown workload `{name}`; available: {}", names.join(", "))
+            })?
+            .source
+            .to_string(),
+    };
+
+    let module = ipra_frontend::compile(&source).map_err(|e| format!("compile error: {e}"))?;
+    let config = Config {
+        name: match args.opts.mode {
+            AllocMode::NoAlloc => "-O0".into(),
+            AllocMode::Intra => "-O2".into(),
+            AllocMode::Inter => "-O3".into(),
+        },
+        target: args.target,
+        opts: args.opts,
+    };
+
+    match args.emit.as_deref() {
+        Some("ir") => println!("{module}"),
+        Some("asm") => {
+            let compiled = compile_only(&module, &config);
+            for (_, f) in compiled.mmodule.funcs.iter() {
+                println!("{}", f.display_in(&config.target.regs, &compiled.mmodule));
+            }
+        }
+        Some("summary") => {
+            let compiled = compile_only(&module, &config);
+            for (report, summary) in compiled.reports.iter().zip(&compiled.summaries) {
+                println!(
+                    "{:<16} open={:<5} used={:?} saved={:?} clobbers={:?} sw-iters={}",
+                    report.name,
+                    !report.open_reasons.is_empty() || report.forced_open,
+                    report.used,
+                    report.locally_saved,
+                    summary.clobbers,
+                    report.shrink_iterations
+                );
+            }
+            println!(
+                "globals promoted: {} ({} accesses rewritten)",
+                compiled.promotion.promoted, compiled.promotion.accesses_rewritten
+            );
+        }
+        Some(other) => return Err(format!("unknown --emit kind `{other}`")),
+        None => {}
+    }
+
+    if args.run || args.emit.is_none() {
+        let compiled = compile_only(&module, &config);
+        let m = run_compiled(&compiled, &config).map_err(|t| format!("runtime trap: {t}"))?;
+        for v in &m.output {
+            println!("{v}");
+        }
+        eprintln!(
+            "[{}] cycles: {}  insts: {}  calls: {}  loads: {}  stores: {}  scalar l/s: {}  cycles/call: {:.1}",
+            config.name,
+            m.stats.cycles,
+            m.stats.insts,
+            m.stats.calls,
+            m.stats.total_loads(),
+            m.stats.total_stores(),
+            m.stats.scalar_mem(),
+            m.stats.cycles_per_call()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Abstract syntax tree of the Mini language.
+
+use crate::token::Pos;
+
+/// A whole source file.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Global declarations, in order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions, in order.
+    pub funcs: Vec<FuncDecl>,
+}
+
+/// Declared type of a variable or global.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// 64-bit integer.
+    Int,
+    /// Array of integers with the given length.
+    Array(u32),
+    /// Function pointer.
+    FnPtr,
+}
+
+/// `global name: ty (= init)?;`
+#[derive(Clone, Debug)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Type (Int or Array).
+    pub ty: Ty,
+    /// Optional initializer values.
+    pub init: Vec<i64>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// `extern? fn name(params) -> int? { ... }`
+#[derive(Clone, Debug)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Parameters (name, type); types are Int or FnPtr.
+    pub params: Vec<(String, Ty)>,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+    /// Whether marked `extern` (externally visible / separately compiled).
+    pub is_extern: bool,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `var name: ty (= expr)?;`
+    Var {
+        /// Name.
+        name: String,
+        /// Type.
+        ty: Ty,
+        /// Optional initializer (scalars only).
+        init: Option<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Value.
+        value: Expr,
+        /// Position.
+        pos: Pos,
+    },
+    /// `if cond { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while cond { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>, Pos),
+    /// `print(expr);`
+    Print(Expr),
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// An expression evaluated for effect (calls).
+    ExprStmt(Expr),
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug)]
+pub enum LValue {
+    /// A scalar variable or global.
+    Name(String),
+    /// An array element `name[index]`.
+    Index(String, Box<Expr>),
+}
+
+/// Binary operators at the AST level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinAst {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Expressions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Variable or global read.
+    Name(String, Pos),
+    /// Array element read.
+    Index(String, Box<Expr>, Pos),
+    /// `&name` — address of a function.
+    FuncAddr(String, Pos),
+    /// Call. Resolution (direct vs indirect) happens during lowering.
+    Call {
+        /// Callee name (a function or a fnptr variable).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position.
+        pos: Pos,
+    },
+    /// Binary operation.
+    Bin(BinAst, Box<Expr>, Box<Expr>, Pos),
+    /// Unary negation.
+    Neg(Box<Expr>, Pos),
+    /// Logical not (`!`).
+    Not(Box<Expr>, Pos),
+}
+
+impl Expr {
+    /// Position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Name(_, p)
+            | Expr::Index(_, _, p)
+            | Expr::FuncAddr(_, p)
+            | Expr::Call { pos: p, .. }
+            | Expr::Bin(_, _, _, p)
+            | Expr::Neg(_, p)
+            | Expr::Not(_, p) => *p,
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Compilation errors with positions.
+
+use crate::token::Pos;
+
+/// A front-end error at a source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompileError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error.
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        CompileError { pos, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}

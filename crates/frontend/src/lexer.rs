@@ -1,0 +1,195 @@
+//! Lexer for the Mini language.
+
+use crate::error::CompileError;
+use crate::token::{Pos, Spanned, Tok};
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for unknown characters or malformed literals.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let text = &source[start..i];
+                let value: i64 = text.parse().map_err(|_| {
+                    CompileError::new(pos, format!("integer literal `{text}` out of range"))
+                })?;
+                out.push(Spanned { tok: Tok::Int(value), pos });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let word = &source[start..i];
+                let tok = match word {
+                    "fn" => Tok::Fn,
+                    "extern" => Tok::Extern,
+                    "global" => Tok::Global,
+                    "var" => Tok::Var,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "print" => Tok::Print,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "int" => Tok::IntTy,
+                    "fnptr" => Tok::FnPtr,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, pos });
+            }
+            _ => {
+                // Punctuation and operators, longest match first.
+                let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+                let (tok, len) = match two {
+                    "->" => (Tok::Arrow, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::NotEq, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    _ => match c {
+                        b'(' => (Tok::LParen, 1),
+                        b')' => (Tok::RParen, 1),
+                        b'{' => (Tok::LBrace, 1),
+                        b'}' => (Tok::RBrace, 1),
+                        b'[' => (Tok::LBracket, 1),
+                        b']' => (Tok::RBracket, 1),
+                        b',' => (Tok::Comma, 1),
+                        b';' => (Tok::Semi, 1),
+                        b':' => (Tok::Colon, 1),
+                        b'=' => (Tok::Assign, 1),
+                        b'+' => (Tok::Plus, 1),
+                        b'-' => (Tok::Minus, 1),
+                        b'*' => (Tok::Star, 1),
+                        b'/' => (Tok::Slash, 1),
+                        b'%' => (Tok::Percent, 1),
+                        b'<' => (Tok::Lt, 1),
+                        b'>' => (Tok::Gt, 1),
+                        b'!' => (Tok::Not, 1),
+                        b'&' => (Tok::Amp, 1),
+                        b'|' => (Tok::Pipe, 1),
+                        b'^' => (Tok::Caret, 1),
+                        other => {
+                            return Err(CompileError::new(
+                                pos,
+                                format!("unexpected character `{}`", other as char),
+                            ))
+                        }
+                    },
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                out.push(Spanned { tok, pos });
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_function_header() {
+        assert_eq!(
+            kinds("fn add(x: int) -> int"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("add".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Colon,
+                Tok::IntTy,
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::IntTy,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_match() {
+        assert_eq!(
+            kinds("a <= b << 2 && !c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Shl,
+                Tok::Int(2),
+                Tok::AndAnd,
+                Tok::Not,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("// header\nx").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("x".into()));
+        assert_eq!(toks[0].pos.line, 2);
+        assert_eq!(toks[0].pos.col, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains("unexpected character"), "{err}");
+        assert_eq!(err.pos.col, 3);
+    }
+
+    #[test]
+    fn rejects_huge_literal() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

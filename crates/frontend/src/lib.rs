@@ -1,0 +1,243 @@
+//! # ipra-frontend — the Mini language
+//!
+//! A small imperative language (integers, globals, arrays, procedures,
+//! recursion, function pointers, `extern` separate-compilation markers)
+//! compiled to the `ipra-ir` register-transfer IR. It plays the role of the
+//! paper's Pascal/C front ends: every workload of the evaluation is written
+//! in Mini.
+//!
+//! ```
+//! let src = r#"
+//!     fn square(x: int) -> int { return x * x; }
+//!     fn main() { print(square(6)); }
+//! "#;
+//! let module = ipra_frontend::compile(src)?;
+//! let out = ipra_ir::interp::run_module(&module).unwrap();
+//! assert_eq!(out.output, vec![36]);
+//! # Ok::<(), ipra_frontend::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use error::CompileError;
+
+use ipra_ir::Module;
+
+/// Compiles Mini source text into a verified IR module.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error.
+pub fn compile(source: &str) -> Result<Module, CompileError> {
+    let prog = parser::parse(source)?;
+    let module = lower::lower(&prog)?;
+    debug_assert!(
+        ipra_ir::verify::verify_module(&module).is_ok(),
+        "front end must produce verifiable IR: {:?}",
+        ipra_ir::verify::verify_module(&module)
+    );
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_ir::interp::run_module;
+
+    fn run(src: &str) -> Vec<i64> {
+        let m = compile(src).unwrap_or_else(|e| panic!("compile error: {e}"));
+        ipra_ir::verify::verify_module(&m).unwrap();
+        run_module(&m).unwrap_or_else(|t| panic!("trap: {t}")).output
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("fn main() { print(1 + 2 * 3 - 4 / 2); }"), vec![5]);
+        assert_eq!(run("fn main() { print((1 + 2) * 3); }"), vec![9]);
+        assert_eq!(run("fn main() { print(-7 % 3); }"), vec![-1]);
+        assert_eq!(run("fn main() { print(1 << 4 | 3); }"), vec![19]);
+    }
+
+    #[test]
+    fn variables_and_loops() {
+        let src = r#"
+            fn main() {
+                var sum: int = 0;
+                var i: int = 1;
+                while i <= 10 { sum = sum + i; i = i + 1; }
+                print(sum);
+            }
+        "#;
+        assert_eq!(run(src), vec![55]);
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let src = r#"
+            fn grade(x: int) -> int {
+                if x >= 90 { return 4; }
+                else if x >= 80 { return 3; }
+                else if x >= 70 { return 2; }
+                else { return 0; }
+            }
+            fn main() { print(grade(85)); print(grade(95)); print(grade(10)); }
+        "#;
+        assert_eq!(run(src), vec![3, 4, 0]);
+    }
+
+    #[test]
+    fn recursion() {
+        let src = r#"
+            fn fact(n: int) -> int {
+                if n <= 1 { return 1; }
+                return n * fact(n - 1);
+            }
+            fn main() { print(fact(10)); }
+        "#;
+        assert_eq!(run(src), vec![3628800]);
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let src = r#"
+            global total: int = 5;
+            global squares: [int; 10];
+            fn fill() {
+                var i: int = 0;
+                while i < 10 { squares[i] = i * i; i = i + 1; }
+            }
+            fn main() {
+                fill();
+                total = total + squares[4] + squares[9];
+                print(total);
+            }
+        "#;
+        assert_eq!(run(src), vec![5 + 16 + 81]);
+    }
+
+    #[test]
+    fn local_arrays() {
+        let src = r#"
+            fn main() {
+                var buf: [int; 4];
+                var i: int = 0;
+                while i < 4 { buf[i] = i + 10; i = i + 1; }
+                print(buf[0] + buf[3]);
+            }
+        "#;
+        assert_eq!(run(src), vec![23]);
+    }
+
+    #[test]
+    fn short_circuit_protects_division() {
+        let src = r#"
+            fn main() {
+                var d: int = 0;
+                if d != 0 && 10 / d > 1 { print(1); } else { print(0); }
+                if d == 0 || 10 / d > 1 { print(2); } else { print(3); }
+            }
+        "#;
+        assert_eq!(run(src), vec![0, 2]);
+    }
+
+    #[test]
+    fn function_pointers() {
+        let src = r#"
+            fn double(x: int) -> int { return x + x; }
+            fn triple(x: int) -> int { return 3 * x; }
+            fn apply(f: fnptr, x: int) -> int { return f(x); }
+            fn main() {
+                print(apply(&double, 5));
+                print(apply(&triple, 5));
+            }
+        "#;
+        assert_eq!(run(src), vec![10, 15]);
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let src = r#"
+            fn main() {
+                var i: int = 0;
+                var sum: int = 0;
+                while i < 100 {
+                    i = i + 1;
+                    if i % 2 == 0 { continue; }
+                    if i > 10 { break; }
+                    sum = sum + i;
+                }
+                print(sum); // 1+3+5+7+9
+                print(i);
+            }
+        "#;
+        assert_eq!(run(src), vec![25, 11]);
+    }
+
+    #[test]
+    fn extern_marks_function_open() {
+        let m = compile("extern fn lib() { } fn main() { lib(); }").unwrap();
+        let lib = m.func_by_name("lib").unwrap();
+        assert!(m.funcs[lib].attrs.external_visible);
+    }
+
+    #[test]
+    fn fall_off_end_returns_zero() {
+        assert_eq!(
+            run("fn f(x: int) -> int { if x > 0 { return 1; } } fn main() { print(f(0)); print(f(2)); }"),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn nested_scopes_shadow() {
+        let src = r#"
+            fn main() {
+                var x: int = 1;
+                if 1 == 1 {
+                    var x: int = 2;
+                    print(x);
+                }
+                print(x);
+            }
+        "#;
+        assert_eq!(run(src), vec![2, 1]);
+    }
+
+    #[test]
+    fn semantic_errors() {
+        assert!(compile("fn main() { print(nope); }").is_err());
+        assert!(compile("fn main() { nope(); }").is_err());
+        assert!(compile("fn f(x: int) {} fn main() { f(); }").is_err());
+        assert!(compile("fn f() {} fn main() { print(f()); }").is_err());
+        assert!(compile("fn f() { return 3; } fn main() { }").is_err());
+        assert!(compile("fn f() -> int { return; } fn main() { }").is_err());
+        assert!(compile("fn f() { }").is_err(), "missing main");
+        assert!(compile("fn main() { break; }").is_err());
+        assert!(compile("fn main() { var a: [int; 3]; print(a); }").is_err());
+        assert!(compile("fn main(x: int) { }").is_err(), "main with params");
+        assert!(compile("fn f() {} fn f() {} fn main() { }").is_err());
+    }
+
+    #[test]
+    fn mutual_recursion_via_source() {
+        let src = r#"
+            fn is_even(n: int) -> int {
+                if n == 0 { return 1; }
+                return is_odd(n - 1);
+            }
+            fn is_odd(n: int) -> int {
+                if n == 0 { return 0; }
+                return is_even(n - 1);
+            }
+            fn main() { print(is_even(20)); print(is_odd(20)); }
+        "#;
+        assert_eq!(run(src), vec![1, 0]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Ergonomic construction of functions.
+
+use crate::function::{Block, Function, SlotData};
+use crate::ids::{BlockId, FuncId, SlotId, Vreg};
+use crate::instr::{Address, BinOp, Callee, Inst, Operand, Terminator, UnOp};
+
+/// Incrementally builds a [`Function`].
+///
+/// Blocks are created with [`FunctionBuilder::new_block`] and filled through
+/// a *current block* cursor. Every block must be closed with exactly one of
+/// [`ret`](Self::ret), [`br`](Self::br) or [`cond_br`](Self::cond_br) before
+/// [`build`](Self::build).
+///
+/// ```
+/// use ipra_ir::builder::FunctionBuilder;
+/// use ipra_ir::instr::BinOp;
+///
+/// let mut b = FunctionBuilder::new("add1");
+/// let x = b.param("x");
+/// let r = b.bin(BinOp::Add, x, 1);
+/// b.ret(Some(r.into()));
+/// let f = b.build();
+/// assert_eq!(f.name, "add1");
+/// assert_eq!(f.params.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+    terminated: Vec<bool>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function; the entry block is created and selected.
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut func = Function::new(name);
+        let entry = func.blocks.push(Block::new(Terminator::Ret(None)));
+        func.entry = entry;
+        FunctionBuilder { func, cur: entry, terminated: vec![false] }
+    }
+
+    /// Adds a named parameter, returning its register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instruction has already been emitted, since parameters
+    /// must be defined at entry.
+    pub fn param(&mut self, name: impl Into<String>) -> Vreg {
+        assert!(
+            self.func.num_insts() == 0,
+            "parameters must be declared before emitting instructions"
+        );
+        let v = self.func.new_named_vreg(name);
+        self.func.params.push(v);
+        v
+    }
+
+    /// Marks the function as externally visible (separately compiled).
+    pub fn set_external_visible(&mut self) {
+        self.func.attrs.external_visible = true;
+    }
+
+    /// Allocates a local stack slot of `size` cells.
+    pub fn slot(&mut self, name: impl Into<String>, size: u32) -> SlotId {
+        self.func.slots.push(SlotData { size, name: name.into() })
+    }
+
+    /// Allocates a fresh unnamed register.
+    pub fn vreg(&mut self) -> Vreg {
+        self.func.new_vreg()
+    }
+
+    /// Allocates a fresh named register (a "program variable").
+    pub fn var(&mut self, name: impl Into<String>) -> Vreg {
+        self.func.new_named_vreg(name)
+    }
+
+    /// Creates a new (unselected) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.terminated.push(false);
+        self.func.blocks.push(Block::new(Terminator::Ret(None)))
+    }
+
+    /// Moves the cursor to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already terminated.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(!self.terminated[block.0 as usize], "cannot append to a terminated block {block}");
+        self.cur = block;
+    }
+
+    /// The block the cursor points at.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Appends a raw instruction to the current block.
+    pub fn emit(&mut self, inst: Inst) {
+        assert!(!self.terminated[self.cur.0 as usize], "block {} already terminated", self.cur);
+        self.func.blocks[self.cur].insts.push(inst);
+    }
+
+    /// `dst = src`, into a fresh register.
+    pub fn copy(&mut self, src: impl Into<Operand>) -> Vreg {
+        let dst = self.vreg();
+        self.copy_to(dst, src);
+        dst
+    }
+
+    /// `dst = src`, into an existing register.
+    pub fn copy_to(&mut self, dst: Vreg, src: impl Into<Operand>) {
+        self.emit(Inst::Copy { dst, src: src.into() });
+    }
+
+    /// `fresh = lhs op rhs`.
+    pub fn bin(&mut self, op: BinOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Vreg {
+        let dst = self.vreg();
+        self.bin_to(dst, op, lhs, rhs);
+        dst
+    }
+
+    /// `dst = lhs op rhs`.
+    pub fn bin_to(
+        &mut self,
+        dst: Vreg,
+        op: BinOp,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) {
+        self.emit(Inst::Bin { op, dst, lhs: lhs.into(), rhs: rhs.into() });
+    }
+
+    /// `fresh = op src`.
+    pub fn un(&mut self, op: UnOp, src: impl Into<Operand>) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::Un { op, dst, src: src.into() });
+        dst
+    }
+
+    /// `fresh = mem[addr]`.
+    pub fn load(&mut self, addr: Address) -> Vreg {
+        let dst = self.vreg();
+        self.load_to(dst, addr);
+        dst
+    }
+
+    /// `dst = mem[addr]`.
+    pub fn load_to(&mut self, dst: Vreg, addr: Address) {
+        self.emit(Inst::Load { dst, addr });
+    }
+
+    /// `mem[addr] = src`.
+    pub fn store(&mut self, src: impl Into<Operand>, addr: Address) {
+        self.emit(Inst::Store { src: src.into(), addr });
+    }
+
+    /// Direct call whose result is used: `fresh = call f(args)`.
+    pub fn call(&mut self, f: FuncId, args: Vec<Operand>) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::Call { callee: Callee::Direct(f), args, dst: Some(dst) });
+        dst
+    }
+
+    /// Direct call whose result is ignored.
+    pub fn call_void(&mut self, f: FuncId, args: Vec<Operand>) {
+        self.emit(Inst::Call { callee: Callee::Direct(f), args, dst: None });
+    }
+
+    /// Indirect call through a computed function address.
+    pub fn call_indirect(&mut self, target: impl Into<Operand>, args: Vec<Operand>) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::Call { callee: Callee::Indirect(target.into()), args, dst: Some(dst) });
+        dst
+    }
+
+    /// `fresh = &f`.
+    pub fn func_addr(&mut self, f: FuncId) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::FuncAddr { dst, func: f });
+        dst
+    }
+
+    /// Emits a value to the program output stream.
+    pub fn print(&mut self, arg: impl Into<Operand>) {
+        self.emit(Inst::Print { arg: arg.into() });
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        assert!(!self.terminated[self.cur.0 as usize], "block {} already terminated", self.cur);
+        self.func.blocks[self.cur].term = term;
+        self.terminated[self.cur.0 as usize] = true;
+    }
+
+    /// Closes the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Terminator::Ret(value));
+    }
+
+    /// Closes the current block with an unconditional branch and moves the
+    /// cursor to `to` if it is still open.
+    pub fn br(&mut self, to: BlockId) {
+        self.terminate(Terminator::Br(to));
+        if !self.terminated[to.0 as usize] {
+            self.cur = to;
+        }
+    }
+
+    /// Closes the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: impl Into<Operand>, then_to: BlockId, else_to: BlockId) {
+        self.terminate(Terminator::CondBr { cond: cond.into(), then_to, else_to });
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block was never terminated.
+    pub fn build(self) -> Function {
+        for (i, t) in self.terminated.iter().enumerate() {
+            assert!(*t, "block bb{i} in function `{}` was never terminated", self.func.name);
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straightline_function() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param("x");
+        let y = b.bin(BinOp::Mul, x, 3);
+        b.print(y);
+        b.ret(Some(y.into()));
+        let f = b.build();
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_insts(), 2);
+        assert_eq!(f.params, vec![x]);
+    }
+
+    #[test]
+    fn builds_diamond() {
+        let mut b = FunctionBuilder::new("abs");
+        let x = b.param("x");
+        let neg = b.new_block();
+        let join = b.new_block();
+        let r = b.var("r");
+        let c = b.bin(BinOp::Lt, x, 0);
+        b.copy_to(r, x);
+        b.cond_br(c, neg, join);
+        b.switch_to(neg);
+        let n = b.un(UnOp::Neg, x);
+        b.copy_to(r, n);
+        b.br(join);
+        b.ret(Some(r.into()));
+        let f = b.build();
+        assert_eq!(f.num_blocks(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn unterminated_block_panics() {
+        let mut b = FunctionBuilder::new("f");
+        let _dangling = b.new_block();
+        b.ret(None);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut b = FunctionBuilder::new("f");
+        b.ret(None);
+        b.ret(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "before emitting")]
+    fn late_param_panics() {
+        let mut b = FunctionBuilder::new("f");
+        let _ = b.copy(1);
+        let _ = b.param("x");
+    }
+}

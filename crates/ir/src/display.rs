@@ -1,0 +1,168 @@
+//! Human-readable textual form of functions and modules.
+
+use std::fmt;
+
+use crate::function::Function;
+use crate::ids::FuncId;
+use crate::instr::{Callee, Inst, Terminator};
+use crate::module::Module;
+
+/// Wraps a function (plus its module, for callee names) for display.
+pub struct FunctionDisplay<'a> {
+    module: Option<&'a Module>,
+    func: &'a Function,
+}
+
+impl Function {
+    /// Displays the function without module context (callees print as ids).
+    pub fn display(&self) -> FunctionDisplay<'_> {
+        FunctionDisplay { module: None, func: self }
+    }
+
+    /// Displays the function with callee names resolved through `module`.
+    pub fn display_in<'a>(&'a self, module: &'a Module) -> FunctionDisplay<'a> {
+        FunctionDisplay { module: Some(module), func: self }
+    }
+}
+
+impl FunctionDisplay<'_> {
+    fn func_name(&self, f: FuncId) -> String {
+        match self.module {
+            Some(m) if m.funcs.contains(f) => format!("@{}", m.funcs[f].name),
+            _ => format!("@{f}"),
+        }
+    }
+
+    fn fmt_inst(&self, f: &mut fmt::Formatter<'_>, inst: &Inst) -> fmt::Result {
+        let vn = |v: crate::ids::Vreg| match self.func.vreg_name(v) {
+            Some(n) => format!("{v}({n})"),
+            None => format!("{v}"),
+        };
+        match inst {
+            Inst::Copy { dst, src } => write!(f, "{} = {}", vn(*dst), src),
+            Inst::Bin { op, dst, lhs, rhs } => {
+                write!(f, "{} = {} {}, {}", vn(*dst), op.mnemonic(), lhs, rhs)
+            }
+            Inst::Un { op, dst, src } => write!(f, "{} = {} {}", vn(*dst), op.mnemonic(), src),
+            Inst::Load { dst, addr } => write!(f, "{} = load {}", vn(*dst), addr),
+            Inst::Store { src, addr } => write!(f, "store {}, {}", src, addr),
+            Inst::Call { callee, args, dst } => {
+                if let Some(d) = dst {
+                    write!(f, "{} = ", vn(*d))?;
+                }
+                match callee {
+                    Callee::Direct(id) => write!(f, "call {}", self.func_name(*id))?,
+                    Callee::Indirect(t) => write!(f, "call_indirect {t}")?,
+                }
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::FuncAddr { dst, func } => {
+                write!(f, "{} = addr {}", vn(*dst), self.func_name(*func))
+            }
+            Inst::Print { arg } => write!(f, "print {arg}"),
+        }
+    }
+}
+
+impl fmt::Display for FunctionDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let func = self.func;
+        write!(f, "func @{}(", func.name)?;
+        for (i, p) in func.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match func.vreg_name(*p) {
+                Some(n) => write!(f, "{p}({n})")?,
+                None => write!(f, "{p}")?,
+            }
+        }
+        write!(f, ")")?;
+        if func.attrs.external_visible {
+            write!(f, " external")?;
+        }
+        writeln!(f, " {{")?;
+        for (id, slot) in func.slots.iter() {
+            writeln!(f, "  slot {id} {} [{}]", slot.name, slot.size)?;
+        }
+        for (id, block) in func.blocks.iter() {
+            let marker = if id == func.entry { " ; entry" } else { "" };
+            writeln!(f, "{id}:{marker}")?;
+            for inst in &block.insts {
+                write!(f, "  ")?;
+                self.fmt_inst(f, inst)?;
+                writeln!(f)?;
+            }
+            match &block.term {
+                Terminator::Ret(None) => writeln!(f, "  ret")?,
+                Terminator::Ret(Some(v)) => writeln!(f, "  ret {v}")?,
+                Terminator::Br(b) => writeln!(f, "  br {b}")?,
+                Terminator::CondBr { cond, then_to, else_to } => {
+                    writeln!(f, "  if {cond} then {then_to} else {else_to}")?
+                }
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, g) in self.globals.iter() {
+            write!(f, "global {id} {} [{}]", g.name, g.size)?;
+            if !g.init.is_empty() {
+                write!(f, " = {:?}", g.init)?;
+            }
+            writeln!(f)?;
+        }
+        for (id, func) in self.funcs.iter() {
+            if self.main == Some(id) {
+                writeln!(f, "; main")?;
+            }
+            writeln!(f, "{}", func.display_in(self))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::BinOp;
+    use crate::module::GlobalData;
+
+    #[test]
+    fn function_display_contains_blocks_and_insts() {
+        let mut b = FunctionBuilder::new("twice");
+        let x = b.param("x");
+        let r = b.bin(BinOp::Add, x, x);
+        b.ret(Some(r.into()));
+        let f = b.build();
+        let s = f.display().to_string();
+        assert!(s.contains("func @twice(v0(x))"), "got: {s}");
+        assert!(s.contains("v1 = add v0, v0"), "got: {s}");
+        assert!(s.contains("ret v1"), "got: {s}");
+    }
+
+    #[test]
+    fn module_display_resolves_callee_names() {
+        let mut m = Module::new();
+        let callee = m.declare_func("target");
+        let mut b = FunctionBuilder::new("src");
+        b.call_void(callee, vec![]);
+        b.ret(None);
+        m.add_func(b.build());
+        m.add_global(GlobalData::array("buf", 8));
+        let s = m.to_string();
+        assert!(s.contains("call @target()"), "got: {s}");
+        assert!(s.contains("global g0 buf [8]"), "got: {s}");
+    }
+}

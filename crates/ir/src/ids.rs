@@ -1,0 +1,48 @@
+//! Id newtypes for all IR entities.
+
+use crate::entity_id;
+
+entity_id!(
+    /// A function in a [`Module`](crate::Module).
+    pub struct FuncId, "fn"
+);
+
+entity_id!(
+    /// A basic block inside a [`Function`](crate::Function).
+    pub struct BlockId, "bb"
+);
+
+entity_id!(
+    /// A virtual register (pseudo register / program variable / temporary).
+    ///
+    /// Virtual registers are unlimited; the register allocator maps them to
+    /// physical registers or to stack homes.
+    pub struct Vreg, "v"
+);
+
+entity_id!(
+    /// A global (module-level) memory object: a scalar cell or an array of
+    /// 64-bit cells.
+    pub struct GlobalId, "g"
+);
+
+entity_id!(
+    /// A stack slot local to one function (used for local arrays).
+    pub struct SlotId, "s"
+);
+
+/// Identifies an instruction position inside a function: block plus index in
+/// the block's instruction list.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstLoc {
+    /// Containing block.
+    pub block: BlockId,
+    /// Index into [`Block::insts`](crate::Block::insts).
+    pub inst: usize,
+}
+
+impl std::fmt::Display for InstLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.block, self.inst)
+    }
+}

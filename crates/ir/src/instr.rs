@@ -1,0 +1,504 @@
+//! Instructions, operands, addresses and terminators.
+//!
+//! The IR is a conventional non-SSA register-transfer three-address code over
+//! 64-bit integer cells, modelled on the shape of Ucode at the point where
+//! Uopt's register allocator runs: unlimited virtual registers, explicit
+//! memory for globals and local arrays, and direct or indirect calls.
+
+use crate::ids::{BlockId, FuncId, GlobalId, SlotId, Vreg};
+
+/// A right-hand-side operand: a virtual register or an immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// Value of a virtual register.
+    Reg(Vreg),
+    /// A 64-bit constant.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    pub fn as_reg(self) -> Option<Vreg> {
+        match self {
+            Operand::Reg(v) => Some(v),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Vreg> for Operand {
+    fn from(v: Vreg) -> Self {
+        Operand::Reg(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Self {
+        Operand::Imm(i)
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(v) => write!(f, "{v}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Binary operators. Comparisons yield `0` or `1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Truncating division; traps on division by zero or overflow.
+    Div,
+    /// Remainder; traps on division by zero or overflow.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (shift amount masked to 0..64).
+    Shl,
+    /// Arithmetic right shift (shift amount masked to 0..64).
+    Shr,
+    /// Equality comparison.
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl BinOp {
+    /// Mnemonic used by the printers.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+        }
+    }
+
+    /// All operators, for random program generation and exhaustive tests.
+    pub const ALL: [BinOp; 16] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ];
+
+    /// Evaluates the operator on concrete values.
+    ///
+    /// Returns `None` for division or remainder by zero (and for the
+    /// `i64::MIN / -1` overflow case), which the interpreters report as a
+    /// trap.
+    pub fn eval(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => a.checked_div(b)?,
+            BinOp::Rem => a.checked_rem(b)?,
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+            BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+            BinOp::Eq => (a == b) as i64,
+            BinOp::Ne => (a != b) as i64,
+            BinOp::Lt => (a < b) as i64,
+            BinOp::Le => (a <= b) as i64,
+            BinOp::Gt => (a > b) as i64,
+            BinOp::Ge => (a >= b) as i64,
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Wrapping negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+}
+
+impl UnOp {
+    /// Mnemonic used by the printers.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+        }
+    }
+
+    /// Evaluates the operator.
+    pub fn eval(self, a: i64) -> i64 {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => !a,
+        }
+    }
+}
+
+/// A memory address: element-indexed into a global or a local stack slot.
+///
+/// All memory is an array of 64-bit cells; `index` selects the element and is
+/// bounds-checked by the interpreter and simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Address {
+    /// `global[index]`. A scalar global is a size-1 array indexed with `0`.
+    Global {
+        /// Target object.
+        global: GlobalId,
+        /// Element index.
+        index: Operand,
+    },
+    /// `slot[index]` in the current frame.
+    Stack {
+        /// Target slot.
+        slot: SlotId,
+        /// Element index.
+        index: Operand,
+    },
+}
+
+impl Address {
+    /// Scalar-global shorthand: `global[0]`.
+    pub fn global_scalar(global: GlobalId) -> Self {
+        Address::Global { global, index: Operand::Imm(0) }
+    }
+
+    /// The register read to compute the index, if any.
+    pub fn index_reg(self) -> Option<Vreg> {
+        match self {
+            Address::Global { index, .. } | Address::Stack { index, .. } => index.as_reg(),
+        }
+    }
+}
+
+impl std::fmt::Display for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Address::Global { global, index } => write!(f, "{global}[{index}]"),
+            Address::Stack { slot, index } => write!(f, "{slot}[{index}]"),
+        }
+    }
+}
+
+/// Callee of a [`Inst::Call`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Callee {
+    /// Statically known target.
+    Direct(FuncId),
+    /// Target is a function address computed at run time
+    /// (see [`Inst::FuncAddr`]).
+    Indirect(Operand),
+}
+
+/// A non-terminator instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Inst {
+    /// `dst = src`.
+    Copy {
+        /// Destination register.
+        dst: Vreg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = lhs op rhs`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Vreg,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = op src`.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Destination register.
+        dst: Vreg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = mem[addr]`.
+    Load {
+        /// Destination register.
+        dst: Vreg,
+        /// Address to read.
+        addr: Address,
+    },
+    /// `mem[addr] = src`.
+    Store {
+        /// Value to write.
+        src: Operand,
+        /// Address to write.
+        addr: Address,
+    },
+    /// `dst = call callee(args...)` (or a call without a result).
+    Call {
+        /// Call target.
+        callee: Callee,
+        /// Argument operands, in order.
+        args: Vec<Operand>,
+        /// Register receiving the return value, if the caller uses it.
+        dst: Option<Vreg>,
+    },
+    /// `dst = &func` — takes the "address" of a function for later indirect
+    /// calls. Marks `func` address-taken (and therefore *open*, paper §3).
+    FuncAddr {
+        /// Destination register.
+        dst: Vreg,
+        /// Function whose address is taken.
+        func: FuncId,
+    },
+    /// Appends the operand's value to the program's output stream.
+    Print {
+        /// Value to emit.
+        arg: Operand,
+    },
+}
+
+impl Inst {
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<Vreg> {
+        match self {
+            Inst::Copy { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::FuncAddr { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Store { .. } | Inst::Print { .. } => None,
+        }
+    }
+
+    /// Invokes `f` on every register read by this instruction.
+    pub fn for_each_use(&self, mut f: impl FnMut(Vreg)) {
+        let mut op = |o: Operand| {
+            if let Operand::Reg(v) = o {
+                f(v)
+            }
+        };
+        match self {
+            Inst::Copy { src, .. } | Inst::Un { src, .. } => op(*src),
+            Inst::Bin { lhs, rhs, .. } => {
+                op(*lhs);
+                op(*rhs);
+            }
+            Inst::Load { addr, .. } => {
+                if let Some(v) = addr.index_reg() {
+                    f(v)
+                }
+            }
+            Inst::Store { src, addr } => {
+                op(*src);
+                if let Some(v) = addr.index_reg() {
+                    f(v)
+                }
+            }
+            Inst::Call { callee, args, .. } => {
+                if let Callee::Indirect(t) = callee {
+                    op(*t);
+                }
+                for a in args {
+                    op(*a);
+                }
+            }
+            Inst::FuncAddr { .. } => {}
+            Inst::Print { arg } => op(*arg),
+        }
+    }
+
+    /// Whether this is a call instruction.
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Call { .. })
+    }
+}
+
+/// A block terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Terminator {
+    /// Return, optionally with a value.
+    Ret(Option<Operand>),
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way branch: to `then_to` when `cond != 0`, else to `else_to`.
+    CondBr {
+        /// Branch condition.
+        cond: Operand,
+        /// Taken when the condition is non-zero.
+        then_to: BlockId,
+        /// Taken when the condition is zero.
+        else_to: BlockId,
+    },
+}
+
+impl Terminator {
+    /// Invokes `f` on every register read by the terminator.
+    pub fn for_each_use(&self, mut f: impl FnMut(Vreg)) {
+        match self {
+            Terminator::Ret(Some(Operand::Reg(v))) => f(*v),
+            Terminator::CondBr { cond: Operand::Reg(v), .. } => f(*v),
+            _ => {}
+        }
+    }
+
+    /// Invokes `f` on every successor block.
+    pub fn for_each_succ(&self, mut f: impl FnMut(BlockId)) {
+        match self {
+            Terminator::Ret(_) => {}
+            Terminator::Br(b) => f(*b),
+            Terminator::CondBr { then_to, else_to, .. } => {
+                f(*then_to);
+                f(*else_to);
+            }
+        }
+    }
+
+    /// Successor blocks as a small vector.
+    pub fn succs(&self) -> Vec<BlockId> {
+        let mut out = Vec::with_capacity(2);
+        self.for_each_succ(|b| out.push(b));
+        out
+    }
+
+    /// Whether this terminator exits the function.
+    pub fn is_ret(&self) -> bool {
+        matches!(self, Terminator::Ret(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_basic() {
+        assert_eq!(BinOp::Add.eval(2, 3), Some(5));
+        assert_eq!(BinOp::Sub.eval(2, 3), Some(-1));
+        assert_eq!(BinOp::Mul.eval(4, -3), Some(-12));
+        assert_eq!(BinOp::Div.eval(7, 2), Some(3));
+        assert_eq!(BinOp::Rem.eval(7, 2), Some(1));
+        assert_eq!(BinOp::Lt.eval(1, 2), Some(1));
+        assert_eq!(BinOp::Ge.eval(1, 2), Some(0));
+    }
+
+    #[test]
+    fn binop_eval_traps() {
+        assert_eq!(BinOp::Div.eval(1, 0), None);
+        assert_eq!(BinOp::Rem.eval(1, 0), None);
+        assert_eq!(BinOp::Div.eval(i64::MIN, -1), None);
+    }
+
+    #[test]
+    fn binop_eval_wraps() {
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(BinOp::Shl.eval(1, 64), Some(1), "shift amount is masked");
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(UnOp::Neg.eval(5), -5);
+        assert_eq!(UnOp::Not.eval(0), -1);
+        assert_eq!(UnOp::Neg.eval(i64::MIN), i64::MIN);
+    }
+
+    #[test]
+    fn inst_def_and_uses() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            dst: Vreg(0),
+            lhs: Operand::Reg(Vreg(1)),
+            rhs: Operand::Imm(3),
+        };
+        assert_eq!(i.def(), Some(Vreg(0)));
+        let mut uses = Vec::new();
+        i.for_each_use(|v| uses.push(v));
+        assert_eq!(uses, vec![Vreg(1)]);
+    }
+
+    #[test]
+    fn call_uses_include_indirect_target() {
+        let i = Inst::Call {
+            callee: Callee::Indirect(Operand::Reg(Vreg(9))),
+            args: vec![Operand::Reg(Vreg(1)), Operand::Imm(2)],
+            dst: Some(Vreg(0)),
+        };
+        let mut uses = Vec::new();
+        i.for_each_use(|v| uses.push(v));
+        assert_eq!(uses, vec![Vreg(9), Vreg(1)]);
+        assert_eq!(i.def(), Some(Vreg(0)));
+        assert!(i.is_call());
+    }
+
+    #[test]
+    fn store_has_no_def() {
+        let i = Inst::Store {
+            src: Operand::Reg(Vreg(2)),
+            addr: Address::Global { global: GlobalId(0), index: Operand::Reg(Vreg(3)) },
+        };
+        assert_eq!(i.def(), None);
+        let mut uses = Vec::new();
+        i.for_each_use(|v| uses.push(v));
+        assert_eq!(uses, vec![Vreg(2), Vreg(3)]);
+    }
+
+    #[test]
+    fn terminator_succs() {
+        let t = Terminator::CondBr {
+            cond: Operand::Reg(Vreg(0)),
+            then_to: BlockId(1),
+            else_to: BlockId(2),
+        };
+        assert_eq!(t.succs(), vec![BlockId(1), BlockId(2)]);
+        assert!(!t.is_ret());
+        assert!(Terminator::Ret(None).is_ret());
+        assert!(Terminator::Ret(None).succs().is_empty());
+    }
+}

@@ -1,0 +1,475 @@
+//! Reference interpreter over virtual registers.
+//!
+//! This interpreter executes IR directly with unlimited registers and is the
+//! *semantic oracle* for the whole pipeline: every optimization
+//! configuration must produce machine code whose simulated output equals the
+//! output computed here.
+
+use std::fmt;
+
+use crate::ids::{FuncId, Vreg};
+use crate::instr::{Address, Callee, Inst, Operand, Terminator};
+use crate::module::Module;
+
+/// Why execution stopped abnormally.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Trap {
+    /// Integer division or remainder by zero (or `i64::MIN / -1`).
+    DivideByZero,
+    /// Memory access outside a global or slot.
+    OutOfBounds {
+        /// Description of the object.
+        what: String,
+        /// Offending index.
+        index: i64,
+        /// Object size.
+        size: u32,
+    },
+    /// Indirect call through a value that is not a function address.
+    BadIndirectTarget(i64),
+    /// Call stack exceeded the configured limit.
+    StackOverflow,
+    /// Instruction budget exhausted.
+    OutOfFuel,
+    /// A call expected a return value but the callee returned none.
+    MissingReturnValue(String),
+    /// Module has no `main`.
+    NoMain,
+    /// Wrong number of arguments to the entry function.
+    BadArity {
+        /// Function called.
+        func: String,
+        /// Arguments provided.
+        got: usize,
+        /// Parameters expected.
+        want: usize,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::DivideByZero => write!(f, "division by zero"),
+            Trap::OutOfBounds { what, index, size } => {
+                write!(f, "index {index} out of bounds for {what} of size {size}")
+            }
+            Trap::BadIndirectTarget(v) => write!(f, "indirect call through non-function value {v}"),
+            Trap::StackOverflow => write!(f, "call stack overflow"),
+            Trap::OutOfFuel => write!(f, "instruction budget exhausted"),
+            Trap::MissingReturnValue(name) => {
+                write!(f, "function `{name}` returned no value to a caller expecting one")
+            }
+            Trap::NoMain => write!(f, "module has no main function"),
+            Trap::BadArity { func, got, want } => {
+                write!(f, "function `{func}` called with {got} args, wants {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Result of a successful execution.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExecResult {
+    /// Values emitted by `print`, in order.
+    pub output: Vec<i64>,
+    /// Return value of the entry function (0 when it returned none).
+    pub return_value: i64,
+    /// Number of IR instructions executed (terminators included).
+    pub insts_executed: u64,
+    /// Number of call instructions executed.
+    pub calls_executed: u64,
+}
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InterpOptions {
+    /// Maximum number of executed instructions before [`Trap::OutOfFuel`].
+    pub fuel: u64,
+    /// Maximum call depth before [`Trap::StackOverflow`].
+    pub max_depth: usize,
+}
+
+impl Default for InterpOptions {
+    fn default() -> Self {
+        InterpOptions { fuel: 500_000_000, max_depth: 10_000 }
+    }
+}
+
+struct Interp<'a> {
+    module: &'a Module,
+    globals: Vec<Vec<i64>>,
+    output: Vec<i64>,
+    fuel: u64,
+    max_depth: usize,
+    insts: u64,
+    calls: u64,
+}
+
+impl Interp<'_> {
+    fn charge(&mut self) -> Result<(), Trap> {
+        if self.insts >= self.fuel {
+            return Err(Trap::OutOfFuel);
+        }
+        self.insts += 1;
+        Ok(())
+    }
+
+    fn global_cell(&mut self, g: crate::ids::GlobalId, index: i64) -> Result<&mut i64, Trap> {
+        let data = &self.module.globals[g];
+        if index < 0 || index >= data.size as i64 {
+            return Err(Trap::OutOfBounds {
+                what: format!("global `{}`", data.name),
+                index,
+                size: data.size,
+            });
+        }
+        Ok(&mut self.globals[g.index()][index as usize])
+    }
+
+    fn call(&mut self, func: FuncId, args: &[i64], depth: usize) -> Result<Option<i64>, Trap> {
+        if depth >= self.max_depth {
+            return Err(Trap::StackOverflow);
+        }
+        let f = &self.module.funcs[func];
+        if f.params.len() != args.len() {
+            return Err(Trap::BadArity { func: f.name.clone(), got: args.len(), want: f.params.len() });
+        }
+        let mut regs = vec![0i64; f.num_vregs()];
+        for (p, a) in f.params.iter().zip(args) {
+            regs[p.index()] = *a;
+        }
+        let mut slots: Vec<Vec<i64>> =
+            f.slots.values().map(|s| vec![0i64; s.size as usize]).collect();
+
+        let read = |regs: &[i64], o: Operand| -> i64 {
+            match o {
+                Operand::Reg(v) => regs[v.index()],
+                Operand::Imm(i) => i,
+            }
+        };
+
+        let mut block = f.entry;
+        loop {
+            let b = &f.blocks[block];
+            for inst in &b.insts {
+                self.charge()?;
+                match inst {
+                    Inst::Copy { dst, src } => regs[dst.index()] = read(&regs, *src),
+                    Inst::Bin { op, dst, lhs, rhs } => {
+                        let a = read(&regs, *lhs);
+                        let c = read(&regs, *rhs);
+                        regs[dst.index()] = op.eval(a, c).ok_or(Trap::DivideByZero)?;
+                    }
+                    Inst::Un { op, dst, src } => {
+                        regs[dst.index()] = op.eval(read(&regs, *src));
+                    }
+                    Inst::Load { dst, addr } => {
+                        let val = match addr {
+                            Address::Global { global, index } => {
+                                let i = read(&regs, *index);
+                                *self.global_cell(*global, i)?
+                            }
+                            Address::Stack { slot, index } => {
+                                let i = read(&regs, *index);
+                                let s = &slots[slot.index()];
+                                if i < 0 || i as usize >= s.len() {
+                                    return Err(Trap::OutOfBounds {
+                                        what: format!("slot `{}`", f.slots[*slot].name),
+                                        index: i,
+                                        size: s.len() as u32,
+                                    });
+                                }
+                                s[i as usize]
+                            }
+                        };
+                        regs[dst.index()] = val;
+                    }
+                    Inst::Store { src, addr } => {
+                        let val = read(&regs, *src);
+                        match addr {
+                            Address::Global { global, index } => {
+                                let i = read(&regs, *index);
+                                *self.global_cell(*global, i)? = val;
+                            }
+                            Address::Stack { slot, index } => {
+                                let i = read(&regs, *index);
+                                let s = &mut slots[slot.index()];
+                                if i < 0 || i as usize >= s.len() {
+                                    return Err(Trap::OutOfBounds {
+                                        what: format!("slot `{}`", f.slots[*slot].name),
+                                        index: i,
+                                        size: s.len() as u32,
+                                    });
+                                }
+                                s[i as usize] = val;
+                            }
+                        }
+                    }
+                    Inst::Call { callee, args: call_args, dst } => {
+                        self.calls += 1;
+                        let vals: Vec<i64> = call_args.iter().map(|a| read(&regs, *a)).collect();
+                        let target = match callee {
+                            Callee::Direct(id) => *id,
+                            Callee::Indirect(t) => {
+                                let raw = read(&regs, *t);
+                                if raw < 0 || raw as usize >= self.module.funcs.len() {
+                                    return Err(Trap::BadIndirectTarget(raw));
+                                }
+                                FuncId(raw as u32)
+                            }
+                        };
+                        let ret = self.call(target, &vals, depth + 1)?;
+                        if let Some(d) = dst {
+                            let name = self.module.funcs[target].name.clone();
+                            regs[d.index()] = ret.ok_or(Trap::MissingReturnValue(name))?;
+                        }
+                    }
+                    Inst::FuncAddr { dst, func } => {
+                        regs[dst.index()] = func.index() as i64;
+                    }
+                    Inst::Print { arg } => {
+                        let v = read(&regs, *arg);
+                        self.output.push(v);
+                    }
+                }
+            }
+            self.charge()?;
+            match &b.term {
+                Terminator::Ret(None) => return Ok(None),
+                Terminator::Ret(Some(v)) => return Ok(Some(read(&regs, *v))),
+                Terminator::Br(t) => block = *t,
+                Terminator::CondBr { cond, then_to, else_to } => {
+                    block = if read(&regs, *cond) != 0 { *then_to } else { *else_to };
+                }
+            }
+        }
+    }
+}
+
+/// Runs `main` of `module` with default options.
+///
+/// # Errors
+///
+/// Returns the [`Trap`] that stopped execution.
+pub fn run_module(module: &Module) -> Result<ExecResult, Trap> {
+    run_module_with(module, InterpOptions::default())
+}
+
+/// Runs `main` of `module` with explicit options.
+///
+/// # Errors
+///
+/// Returns the [`Trap`] that stopped execution.
+pub fn run_module_with(module: &Module, opts: InterpOptions) -> Result<ExecResult, Trap> {
+    let main = module.main.ok_or(Trap::NoMain)?;
+    run_function(module, main, &[], opts)
+}
+
+/// Calls an arbitrary function with arguments; used by unit tests.
+///
+/// # Errors
+///
+/// Returns the [`Trap`] that stopped execution.
+pub fn run_function(
+    module: &Module,
+    func: FuncId,
+    args: &[i64],
+    opts: InterpOptions,
+) -> Result<ExecResult, Trap> {
+    let mut interp = Interp {
+        module,
+        globals: module.globals.values().map(|g| {
+            let mut v = vec![0i64; g.size as usize];
+            for (i, init) in g.init.iter().enumerate().take(g.size as usize) {
+                v[i] = *init;
+            }
+            v
+        }).collect(),
+        output: Vec::new(),
+        fuel: opts.fuel,
+        max_depth: opts.max_depth,
+        insts: 0,
+        calls: 0,
+    };
+    let ret = interp.call(func, args, 0)?;
+    Ok(ExecResult {
+        output: interp.output,
+        return_value: ret.unwrap_or(0),
+        insts_executed: interp.insts,
+        calls_executed: interp.calls,
+    })
+}
+
+/// Unused marker to keep `Vreg` imported for doc links.
+#[doc(hidden)]
+pub fn _vreg_doc_anchor(_: Vreg) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::BinOp;
+    use crate::module::GlobalData;
+
+    fn fib_module() -> Module {
+        let mut m = Module::new();
+        let fib = m.declare_func("fib");
+        {
+            let mut b = FunctionBuilder::new("fib");
+            let n = b.param("n");
+            let rec = b.new_block();
+            let c = b.bin(BinOp::Lt, n, 2);
+            let base = b.current_block();
+            let _ = base;
+            let done = b.new_block();
+            b.cond_br(c, done, rec);
+            b.switch_to(rec);
+            let n1 = b.bin(BinOp::Sub, n, 1);
+            let f1 = b.call(fib, vec![n1.into()]);
+            let n2 = b.bin(BinOp::Sub, n, 2);
+            let f2 = b.call(fib, vec![n2.into()]);
+            let s = b.bin(BinOp::Add, f1, f2);
+            b.ret(Some(s.into()));
+            b.switch_to(done);
+            b.ret(Some(n.into()));
+            m.define_func(fib, b.build());
+        }
+        let mut mb = FunctionBuilder::new("main");
+        let r = mb.call(fib, vec![Operand::Imm(10)]);
+        mb.print(r);
+        mb.ret(None);
+        let main = m.add_func(mb.build());
+        m.main = Some(main);
+        m
+    }
+
+    #[test]
+    fn fib_10_is_55() {
+        let m = fib_module();
+        crate::verify::verify_module(&m).unwrap();
+        let r = run_module(&m).unwrap();
+        assert_eq!(r.output, vec![55]);
+        assert!(r.calls_executed > 100, "recursive calls counted: {}", r.calls_executed);
+    }
+
+    #[test]
+    fn globals_are_initialized_and_writable() {
+        let mut m = Module::new();
+        let g = m.add_global(GlobalData { name: "a".into(), size: 3, init: vec![7, 8] });
+        let mut b = FunctionBuilder::new("main");
+        let v = b.load(Address::Global { global: g, index: Operand::Imm(1) });
+        b.print(v);
+        b.store(v, Address::Global { global: g, index: Operand::Imm(2) });
+        let w = b.load(Address::Global { global: g, index: Operand::Imm(2) });
+        b.print(w);
+        b.ret(None);
+        let id = m.add_func(b.build());
+        m.main = Some(id);
+        let r = run_module(&m).unwrap();
+        assert_eq!(r.output, vec![8, 8]);
+    }
+
+    #[test]
+    fn indirect_call_through_func_addr() {
+        let mut m = Module::new();
+        let sq = m.declare_func("sq");
+        {
+            let mut b = FunctionBuilder::new("sq");
+            let x = b.param("x");
+            let r = b.bin(BinOp::Mul, x, x);
+            b.ret(Some(r.into()));
+            m.define_func(sq, b.build());
+        }
+        let mut b = FunctionBuilder::new("main");
+        let fp = b.func_addr(sq);
+        let r = b.call_indirect(fp, vec![Operand::Imm(9)]);
+        b.print(r);
+        b.ret(None);
+        let id = m.add_func(b.build());
+        m.main = Some(id);
+        let r = run_module(&m).unwrap();
+        assert_eq!(r.output, vec![81]);
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main");
+        let r = b.bin(BinOp::Div, 1, 0);
+        b.print(r);
+        b.ret(None);
+        let id = m.add_func(b.build());
+        m.main = Some(id);
+        assert_eq!(run_module(&m).unwrap_err(), Trap::DivideByZero);
+    }
+
+    #[test]
+    fn oob_store_traps() {
+        let mut m = Module::new();
+        let g = m.add_global(GlobalData::array("a", 2));
+        let mut b = FunctionBuilder::new("main");
+        let i = b.copy(5);
+        b.store(1, Address::Global { global: g, index: i.into() });
+        b.ret(None);
+        let id = m.add_func(b.build());
+        m.main = Some(id);
+        match run_module(&m).unwrap_err() {
+            Trap::OutOfBounds { index: 5, size: 2, .. } => {}
+            t => panic!("unexpected trap {t}"),
+        }
+    }
+
+    #[test]
+    fn fuel_limits_infinite_loop() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("main");
+        let l = b.new_block();
+        b.br(l);
+        b.br(l);
+        let id = m.add_func(b.build());
+        m.main = Some(id);
+        let err =
+            run_module_with(&m, InterpOptions { fuel: 1000, max_depth: 10 }).unwrap_err();
+        assert_eq!(err, Trap::OutOfFuel);
+    }
+
+    #[test]
+    fn stack_overflow_traps() {
+        let mut m = Module::new();
+        let f = m.declare_func("f");
+        {
+            let mut b = FunctionBuilder::new("f");
+            b.call_void(f, vec![]);
+            b.ret(None);
+            m.define_func(f, b.build());
+        }
+        let mut b = FunctionBuilder::new("main");
+        b.call_void(f, vec![]);
+        b.ret(None);
+        let id = m.add_func(b.build());
+        m.main = Some(id);
+        let err =
+            run_module_with(&m, InterpOptions { fuel: u64::MAX, max_depth: 64 }).unwrap_err();
+        assert_eq!(err, Trap::StackOverflow);
+    }
+
+    #[test]
+    fn missing_return_value_traps() {
+        let mut m = Module::new();
+        let f = m.declare_func("noret");
+        {
+            let mut b = FunctionBuilder::new("noret");
+            b.ret(None);
+            m.define_func(f, b.build());
+        }
+        let mut b = FunctionBuilder::new("main");
+        let r = b.call(f, vec![]);
+        b.print(r);
+        b.ret(None);
+        let id = m.add_func(b.build());
+        m.main = Some(id);
+        assert!(matches!(run_module(&m).unwrap_err(), Trap::MissingReturnValue(_)));
+    }
+}

@@ -1,0 +1,67 @@
+//! Cycle cost model for the simulator.
+//!
+//! The paper measures cycles with `pixie` on an R2000, where most
+//! instructions take one cycle and memory operations dominate only through
+//! their count and (cache-free) latency. We use a documented, configurable
+//! approximation; only *relative* numbers are compared with the paper.
+
+use ipra_ir::BinOp;
+
+/// Cycle counts per operation kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CostModel {
+    /// Simple ALU operation / copy / compare.
+    pub alu: u64,
+    /// Integer multiply (R2000 multiplies are multi-cycle).
+    pub mul: u64,
+    /// Integer divide.
+    pub div: u64,
+    /// Memory load (includes the load-delay slot we assume unfilled).
+    pub load: u64,
+    /// Memory store.
+    pub store: u64,
+    /// Branch or jump.
+    pub branch: u64,
+    /// Call (jump-and-link plus its delay slot).
+    pub call: u64,
+    /// Return jump.
+    pub ret: u64,
+    /// Output operation (modelled as a cheap system stub).
+    pub print: u64,
+}
+
+impl CostModel {
+    /// The R2000-flavoured default.
+    pub fn r2000() -> Self {
+        CostModel { alu: 1, mul: 10, div: 30, load: 2, store: 1, branch: 1, call: 2, ret: 2, print: 1 }
+    }
+
+    /// Cycles for a binary operator.
+    pub fn bin_op(&self, op: BinOp) -> u64 {
+        match op {
+            BinOp::Mul => self.mul,
+            BinOp::Div | BinOp::Rem => self.div,
+            _ => self.alu,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::r2000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_r2000_flavoured() {
+        let c = CostModel::default();
+        assert_eq!(c.bin_op(BinOp::Add), 1);
+        assert_eq!(c.bin_op(BinOp::Mul), c.mul);
+        assert_eq!(c.bin_op(BinOp::Rem), c.div);
+        assert!(c.load > c.alu, "memory must cost more than ALU for the paper's trade-offs");
+    }
+}

@@ -1,0 +1,31 @@
+//! # ipra-machine — target description and lowered code
+//!
+//! A MIPS R2000-like register file (the machine of the paper's §8
+//! measurements), a configurable cycle cost model, and the lowered machine
+//! code form produced by the register allocator and executed by `ipra-sim`.
+//!
+//! ```
+//! use ipra_machine::{RegClass, RegFile};
+//!
+//! let rf = RegFile::mips_like();
+//! assert_eq!(rf.allocatable_of(RegClass::CalleeSaved).count(), 9);
+//! // Table 2 configuration E: only 7 callee-saved registers.
+//! let e = RegFile::with_class_limits(0, 7);
+//! assert_eq!(e.allocatable().len(), 7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod code;
+pub mod cost;
+pub mod regs;
+pub mod target;
+
+pub use code::{
+    FrameSlot, FrameSlotId, MAddress, MBlock, MCallee, MFunction, MInst, MModule, MOperand,
+    MTerminator, MemClass, SlotPurpose,
+};
+pub use cost::CostModel;
+pub use target::Target;
+pub use regs::{PReg, RegClass, RegFile, RegMask};

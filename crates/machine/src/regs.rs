@@ -1,0 +1,334 @@
+//! Physical registers, register classes and register masks.
+
+/// A physical register, indexing into a [`RegFile`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PReg(pub u8);
+
+impl PReg {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl std::fmt::Debug for PReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+/// Software usage convention of a register (paper §2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegClass {
+    /// Not preserved across calls; the caller saves it around calls when it
+    /// holds a live value.
+    CallerSaved,
+    /// Preserved across calls; a procedure that uses it must save/restore it
+    /// (at entry/exit or shrink-wrapped).
+    CalleeSaved,
+}
+
+/// A set of physical registers as a bit mask (at most 32 registers).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegMask(pub u32);
+
+impl RegMask {
+    /// The empty mask.
+    pub const EMPTY: RegMask = RegMask(0);
+
+    /// A mask containing exactly `r`.
+    pub fn single(r: PReg) -> Self {
+        RegMask(1 << r.0)
+    }
+
+    /// Whether `r` is in the mask.
+    pub fn contains(self, r: PReg) -> bool {
+        self.0 & (1 << r.0) != 0
+    }
+
+    /// Adds `r`.
+    pub fn insert(&mut self, r: PReg) {
+        self.0 |= 1 << r.0;
+    }
+
+    /// Removes `r`.
+    pub fn remove(&mut self, r: PReg) {
+        self.0 &= !(1 << r.0);
+    }
+
+    /// Union.
+    pub fn union(self, other: RegMask) -> RegMask {
+        RegMask(self.0 | other.0)
+    }
+
+    /// Intersection.
+    pub fn intersect(self, other: RegMask) -> RegMask {
+        RegMask(self.0 & other.0)
+    }
+
+    /// Whether the mask is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of registers in the mask.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(self) -> impl Iterator<Item = PReg> {
+        (0..32u8).filter(move |i| self.0 & (1 << i) != 0).map(PReg)
+    }
+}
+
+impl std::ops::BitOr for RegMask {
+    type Output = RegMask;
+    fn bitor(self, rhs: RegMask) -> RegMask {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for RegMask {
+    fn bitor_assign(&mut self, rhs: RegMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::fmt::Debug for RegMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<PReg> for RegMask {
+    fn from_iter<I: IntoIterator<Item = PReg>>(iter: I) -> Self {
+        let mut m = RegMask::EMPTY;
+        for r in iter {
+            m.insert(r);
+        }
+        m
+    }
+}
+
+/// Description of the machine's register file.
+///
+/// The default layout mirrors the MIPS R2000 as used in the paper (§8):
+/// 20 general registers available to the allocator — 11 caller-saved and 9
+/// callee-saved — plus 4 argument registers that behave as caller-saved when
+/// not carrying parameters, a return-value register, a link register and two
+/// assembler scratch registers reserved for memory-resident operands.
+#[derive(Clone, Debug)]
+pub struct RegFile {
+    names: Vec<String>,
+    class: Vec<Option<RegClass>>,
+    allocatable: Vec<PReg>,
+    param_regs: Vec<PReg>,
+    ret_reg: PReg,
+    scratch: [PReg; 2],
+    ra: PReg,
+}
+
+impl RegFile {
+    /// The full MIPS-like register file (24 allocatable registers: 4 param +
+    /// 11 caller-saved + 9 callee-saved).
+    pub fn mips_like() -> Self {
+        Self::with_class_limits(11, 9)
+    }
+
+    /// A register file whose allocatable set is restricted to `caller`
+    /// caller-saved and `callee` callee-saved registers (Table 2 runs with
+    /// (7, 0) and (0, 7)). The four argument registers remain allocatable
+    /// only in the unrestricted configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `caller > 11` or `callee > 9`.
+    pub fn with_class_limits(caller: usize, callee: usize) -> Self {
+        assert!(caller <= 11, "at most 11 caller-saved registers");
+        assert!(callee <= 9, "at most 9 callee-saved registers");
+        let unrestricted = caller == 11 && callee == 9;
+
+        let mut names = Vec::new();
+        let mut class = Vec::new();
+        let mut push = |n: String, c: Option<RegClass>| -> PReg {
+            let r = PReg(names.len() as u8);
+            names.push(n);
+            class.push(c);
+            r
+        };
+
+        let scratch0 = push("at0".into(), None);
+        let scratch1 = push("at1".into(), None);
+        let ret_reg = push("rv".into(), None);
+        let ra = push("ra".into(), None);
+        let param_regs: Vec<PReg> =
+            (0..4).map(|i| push(format!("a{i}"), Some(RegClass::CallerSaved))).collect();
+        let t_regs: Vec<PReg> =
+            (0..11).map(|i| push(format!("t{i}"), Some(RegClass::CallerSaved))).collect();
+        let s_regs: Vec<PReg> =
+            (0..9).map(|i| push(format!("s{i}"), Some(RegClass::CalleeSaved))).collect();
+
+        let mut allocatable = Vec::new();
+        if unrestricted {
+            allocatable.extend(param_regs.iter().copied());
+        }
+        allocatable.extend(t_regs.iter().take(caller));
+        allocatable.extend(s_regs.iter().take(callee));
+
+        RegFile { names, class, allocatable, param_regs, ret_reg, scratch: [scratch0, scratch1], ra }
+    }
+
+    /// Total number of registers (allocatable and reserved).
+    pub fn num_regs(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Printable name of `r`.
+    pub fn name(&self, r: PReg) -> &str {
+        &self.names[r.index()]
+    }
+
+    /// Class of `r`; `None` for reserved registers.
+    pub fn class(&self, r: PReg) -> Option<RegClass> {
+        self.class[r.index()]
+    }
+
+    /// Registers the allocator may assign, caller-saved first.
+    pub fn allocatable(&self) -> &[PReg] {
+        &self.allocatable
+    }
+
+    /// Allocatable registers of one class.
+    pub fn allocatable_of(&self, c: RegClass) -> impl Iterator<Item = PReg> + '_ {
+        self.allocatable.iter().copied().filter(move |&r| self.class(r) == Some(c))
+    }
+
+    /// The four argument registers of the default convention.
+    pub fn param_regs(&self) -> &[PReg] {
+        &self.param_regs
+    }
+
+    /// Return-value register.
+    pub fn ret_reg(&self) -> PReg {
+        self.ret_reg
+    }
+
+    /// Link register (return address).
+    pub fn ra(&self) -> PReg {
+        self.ra
+    }
+
+    /// The two scratch registers reserved for memory-resident operands.
+    pub fn scratch(&self) -> [PReg; 2] {
+        self.scratch
+    }
+
+    /// Mask of all caller-saved registers that a call under the *default*
+    /// convention may clobber: argument registers, all caller-saved
+    /// registers, and the return-value register.
+    pub fn default_clobbers(&self) -> RegMask {
+        let mut m = RegMask::single(self.ret_reg);
+        for (i, c) in self.class.iter().enumerate() {
+            if *c == Some(RegClass::CallerSaved) {
+                m.insert(PReg(i as u8));
+            }
+        }
+        m
+    }
+
+    /// Mask of every callee-saved register (used or not).
+    pub fn callee_saved_mask(&self) -> RegMask {
+        let mut m = RegMask::EMPTY;
+        for (i, c) in self.class.iter().enumerate() {
+            if *c == Some(RegClass::CalleeSaved) {
+                m.insert(PReg(i as u8));
+            }
+        }
+        m
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::mips_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mips_like_shape_matches_paper() {
+        let rf = RegFile::mips_like();
+        let caller = rf.allocatable_of(RegClass::CallerSaved).count();
+        let callee = rf.allocatable_of(RegClass::CalleeSaved).count();
+        assert_eq!(caller, 15, "11 caller-saved + 4 argument registers");
+        assert_eq!(callee, 9);
+        assert_eq!(rf.allocatable().len(), 24);
+        assert_eq!(rf.param_regs().len(), 4);
+        assert!(rf.num_regs() <= 32, "fits a RegMask");
+        // Reserved registers are not allocatable or classed.
+        assert_eq!(rf.class(rf.ret_reg()), None);
+        assert_eq!(rf.class(rf.ra()), None);
+        for s in rf.scratch() {
+            assert_eq!(rf.class(s), None);
+            assert!(!rf.allocatable().contains(&s));
+        }
+    }
+
+    #[test]
+    fn class_limits_for_table2() {
+        let d = RegFile::with_class_limits(7, 0);
+        assert_eq!(d.allocatable().len(), 7);
+        assert!(d.allocatable_of(RegClass::CalleeSaved).next().is_none());
+        let e = RegFile::with_class_limits(0, 7);
+        assert_eq!(e.allocatable().len(), 7);
+        assert!(e.allocatable_of(RegClass::CallerSaved).next().is_none());
+        // Param registers exist either way (ABI), just not allocatable.
+        assert_eq!(d.param_regs().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 11")]
+    fn excessive_limit_panics() {
+        let _ = RegFile::with_class_limits(12, 0);
+    }
+
+    #[test]
+    fn default_clobbers_cover_caller_saved_and_rv() {
+        let rf = RegFile::mips_like();
+        let m = rf.default_clobbers();
+        assert!(m.contains(rf.ret_reg()));
+        for r in rf.param_regs() {
+            assert!(m.contains(*r));
+        }
+        for r in rf.allocatable_of(RegClass::CalleeSaved) {
+            assert!(!m.contains(r), "callee-saved regs preserved by default convention");
+        }
+        assert_eq!(rf.callee_saved_mask().count(), 9);
+    }
+
+    #[test]
+    fn regmask_ops() {
+        let mut m = RegMask::EMPTY;
+        m.insert(PReg(3));
+        m.insert(PReg(17));
+        assert!(m.contains(PReg(3)));
+        assert_eq!(m.count(), 2);
+        let n: RegMask = [PReg(3), PReg(4)].into_iter().collect();
+        assert_eq!(m.intersect(n), RegMask::single(PReg(3)));
+        assert_eq!((m | n).count(), 3);
+        m.remove(PReg(3));
+        assert!(!m.contains(PReg(3)));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![PReg(17)]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Bundled target description.
+
+use crate::cost::CostModel;
+use crate::regs::RegFile;
+
+/// Everything the register allocator and lowering need to know about the
+/// machine: the register file and the cycle cost model.
+#[derive(Clone, Debug, Default)]
+pub struct Target {
+    /// Register file layout.
+    pub regs: RegFile,
+    /// Cycle costs.
+    pub cost: CostModel,
+}
+
+impl Target {
+    /// The full MIPS-like target of the paper's measurements.
+    pub fn mips_like() -> Self {
+        Target { regs: RegFile::mips_like(), cost: CostModel::r2000() }
+    }
+
+    /// Target with a restricted allocatable set (Table 2).
+    pub fn with_class_limits(caller: usize, callee: usize) -> Self {
+        Target { regs: RegFile::with_class_limits(caller, callee), cost: CostModel::r2000() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = Target::mips_like();
+        assert_eq!(t.regs.allocatable().len(), 24);
+        let d = Target::with_class_limits(7, 0);
+        assert_eq!(d.regs.allocatable().len(), 7);
+        assert_eq!(d.cost.load, t.cost.load);
+    }
+}

@@ -1,0 +1,459 @@
+//! The machine-code simulator.
+//!
+//! Executes an [`MModule`] against one *global* register file — essential
+//! for this reproduction, because the entire subject of the paper is what
+//! happens to shared registers at procedure boundaries. A register that a
+//! callee clobbers without saving is really clobbered for the caller here.
+
+use std::fmt;
+
+use ipra_ir::{BlockId, FuncId};
+use ipra_machine::{
+    CostModel, MAddress, MCallee, MFunction, MInst, MModule, MOperand, MTerminator, PReg, RegFile,
+    RegMask,
+};
+
+use crate::stats::Stats;
+
+/// Why simulation stopped abnormally.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimTrap {
+    /// Division (or remainder) by zero.
+    DivideByZero,
+    /// Out-of-bounds memory access.
+    OutOfBounds {
+        /// Description of the object.
+        what: String,
+        /// Offending index.
+        index: i64,
+    },
+    /// Indirect call to a value that is not a function address.
+    BadIndirectTarget(i64),
+    /// Frame stack exceeded the limit.
+    StackOverflow,
+    /// Cycle budget exhausted.
+    OutOfFuel,
+    /// Module has no `main`.
+    NoMain,
+    /// A procedure modified a register its summary promises to preserve.
+    ConventionViolation {
+        /// Offending function.
+        func: String,
+        /// Register whose value changed.
+        reg: PReg,
+        /// Value at entry.
+        before: i64,
+        /// Value at return.
+        after: i64,
+    },
+}
+
+impl fmt::Display for SimTrap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimTrap::DivideByZero => write!(f, "division by zero"),
+            SimTrap::OutOfBounds { what, index } => {
+                write!(f, "index {index} out of bounds for {what}")
+            }
+            SimTrap::BadIndirectTarget(v) => {
+                write!(f, "indirect call through non-function value {v}")
+            }
+            SimTrap::StackOverflow => write!(f, "frame stack overflow"),
+            SimTrap::OutOfFuel => write!(f, "cycle budget exhausted"),
+            SimTrap::NoMain => write!(f, "module has no main"),
+            SimTrap::ConventionViolation { func, reg, before, after } => write!(
+                f,
+                "`{func}` must preserve {reg} but changed it from {before} to {after}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimTrap {}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimOptions {
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Cycle budget.
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+    /// When set, the simulator checks on every return that the returning
+    /// function preserved every register *not* in its clobber mask (the
+    /// register-usage summary soundness check). Indexed by function.
+    pub preserve_masks: Option<Vec<RegMask>>,
+    /// Registers exempt from the preservation check (return value, scratch,
+    /// link). Filled in by [`SimOptions::for_target`].
+    pub exempt: RegMask,
+    /// Collect per-block execution counts (the profile the paper's §8
+    /// names as future feedback into the allocator).
+    pub collect_block_profile: bool,
+}
+
+impl SimOptions {
+    /// Default options for a target register file (no convention checking).
+    pub fn for_target(regs: &RegFile) -> Self {
+        let mut exempt = RegMask::single(regs.ret_reg());
+        exempt.insert(regs.ra());
+        for s in regs.scratch() {
+            exempt.insert(s);
+        }
+        SimOptions {
+            cost: CostModel::default(),
+            fuel: 5_000_000_000,
+            max_depth: 100_000,
+            preserve_masks: None,
+            exempt,
+            collect_block_profile: false,
+        }
+    }
+
+    /// Enables the convention checker with per-function clobber masks: every
+    /// register outside `masks[f]` (and outside the exempt set) must be
+    /// preserved by `f`.
+    pub fn check_preservation(mut self, masks: Vec<RegMask>) -> Self {
+        self.preserve_masks = Some(masks);
+        self
+    }
+
+    /// Enables block-profile collection.
+    pub fn with_block_profile(mut self) -> Self {
+        self.collect_block_profile = true;
+        self
+    }
+}
+
+/// Result of a successful simulation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimResult {
+    /// Values printed, in order.
+    pub output: Vec<i64>,
+    /// Value left in the return register by `main`.
+    pub return_value: i64,
+    /// Dynamic counts.
+    pub stats: Stats,
+    /// Execution count per `[function][block]`, when requested.
+    pub block_profile: Option<Vec<Vec<u64>>>,
+}
+
+struct Activation {
+    func: FuncId,
+    block: BlockId,
+    ip: usize,
+    slots: Vec<Vec<i64>>,
+    incoming: Vec<i64>,
+    outgoing: Vec<i64>,
+    /// Register values the returning function must reproduce (convention
+    /// checking only).
+    preserved: Option<Vec<(PReg, i64)>>,
+}
+
+/// Runs `main` of a lowered module.
+///
+/// # Errors
+///
+/// Returns the [`SimTrap`] that stopped execution.
+pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimResult, SimTrap> {
+    let main = module.main.ok_or(SimTrap::NoMain)?;
+
+    let mut reg_file = vec![0i64; regs.num_regs()];
+    let mut globals: Vec<Vec<i64>> = module
+        .globals
+        .values()
+        .map(|g| {
+            let mut v = vec![0i64; g.size as usize];
+            for (i, init) in g.init.iter().enumerate().take(g.size as usize) {
+                v[i] = *init;
+            }
+            v
+        })
+        .collect();
+    let mut output = Vec::new();
+    let mut stats = Stats::default();
+
+    let new_activation = |module: &MModule, func: FuncId, incoming: Vec<i64>| -> Activation {
+        let f = &module.funcs[func];
+        Activation {
+            func,
+            block: f.entry,
+            ip: 0,
+            slots: f.frame.values().map(|s| vec![0i64; s.size as usize]).collect(),
+            incoming,
+            outgoing: vec![0i64; f.max_outgoing as usize],
+            preserved: None,
+        }
+    };
+
+    let snapshot = |opts: &SimOptions, func: FuncId, regs_now: &[i64]| -> Option<Vec<(PReg, i64)>> {
+        opts.preserve_masks.as_ref().map(|masks| {
+            let clobbers = masks[func.index()];
+            (0..regs_now.len() as u8)
+                .map(PReg)
+                .filter(|r| !clobbers.contains(*r) && !opts.exempt.contains(*r))
+                .map(|r| (r, regs_now[r.index()]))
+                .collect()
+        })
+    };
+
+    let mut profile: Option<Vec<Vec<u64>>> = if opts.collect_block_profile {
+        Some(module.funcs.values().map(|f| vec![0u64; f.blocks.len()]).collect())
+    } else {
+        None
+    };
+
+    let mut stack: Vec<Activation> = Vec::new();
+    let mut cur = new_activation(module, main, Vec::new());
+    cur.preserved = snapshot(opts, main, &reg_file);
+    stats.max_depth = 1;
+    if let Some(p) = profile.as_mut() {
+        p[cur.func.index()][cur.block.index()] += 1;
+    }
+
+    macro_rules! charge {
+        ($n:expr) => {{
+            stats.cycles += $n;
+            if stats.cycles > opts.fuel {
+                return Err(SimTrap::OutOfFuel);
+            }
+        }};
+    }
+
+    loop {
+        let func: &MFunction = &module.funcs[cur.func];
+        let block = &func.blocks[cur.block];
+
+        if cur.ip < block.insts.len() {
+            let inst = &block.insts[cur.ip];
+            cur.ip += 1;
+            stats.insts += 1;
+
+            let read = |regs_now: &[i64], o: MOperand| -> i64 {
+                match o {
+                    MOperand::Reg(r) => regs_now[r.index()],
+                    MOperand::Imm(i) => i,
+                }
+            };
+
+            match inst {
+                MInst::Copy { dst, src } => {
+                    charge!(opts.cost.alu);
+                    reg_file[dst.index()] = read(&reg_file, *src);
+                }
+                MInst::Bin { op, dst, lhs, rhs } => {
+                    charge!(opts.cost.bin_op(*op));
+                    let a = read(&reg_file, *lhs);
+                    let b = read(&reg_file, *rhs);
+                    reg_file[dst.index()] = op.eval(a, b).ok_or(SimTrap::DivideByZero)?;
+                }
+                MInst::Un { op, dst, src } => {
+                    charge!(opts.cost.alu);
+                    reg_file[dst.index()] = op.eval(read(&reg_file, *src));
+                }
+                MInst::Load { dst, addr, class } => {
+                    charge!(opts.cost.load);
+                    stats.count_load(*class);
+                    let v = read_mem(module, &globals, &cur, &reg_file, *addr)?;
+                    reg_file[dst.index()] = v;
+                }
+                MInst::Store { src, addr, class } => {
+                    charge!(opts.cost.store);
+                    stats.count_store(*class);
+                    let v = read(&reg_file, *src);
+                    write_mem(module, &mut globals, &mut cur, &reg_file, *addr, v)?;
+                }
+                MInst::Call { callee, num_stack_args } => {
+                    charge!(opts.cost.call);
+                    stats.calls += 1;
+                    let target = match callee {
+                        MCallee::Direct(id) => *id,
+                        MCallee::Indirect(t) => {
+                            let raw = read(&reg_file, *t);
+                            if raw < 0 || raw as usize >= module.funcs.len() {
+                                return Err(SimTrap::BadIndirectTarget(raw));
+                            }
+                            FuncId(raw as u32)
+                        }
+                    };
+                    // The first cells of the caller's outgoing area become
+                    // the callee's incoming stack arguments (the two areas
+                    // coincide across the frame boundary on a real stack).
+                    let n = *num_stack_args as usize;
+                    if n > cur.outgoing.len() {
+                        return Err(SimTrap::OutOfBounds {
+                            what: "outgoing-argument area".into(),
+                            index: n as i64 - 1,
+                        });
+                    }
+                    let incoming = cur.outgoing[..n].to_vec();
+                    if stack.len() + 1 >= opts.max_depth {
+                        return Err(SimTrap::StackOverflow);
+                    }
+                    let mut callee_act = new_activation(module, target, incoming);
+                    callee_act.preserved = snapshot(opts, target, &reg_file);
+                    stack.push(std::mem::replace(&mut cur, callee_act));
+                    stats.max_depth = stats.max_depth.max(stack.len() + 1);
+                    if let Some(p) = profile.as_mut() {
+                        p[cur.func.index()][cur.block.index()] += 1;
+                    }
+                }
+                MInst::FuncAddr { dst, func } => {
+                    charge!(opts.cost.alu);
+                    reg_file[dst.index()] = func.index() as i64;
+                }
+                MInst::Print { arg } => {
+                    charge!(opts.cost.print);
+                    output.push(read(&reg_file, *arg));
+                }
+            }
+        } else {
+            stats.insts += 1;
+            match block.term {
+                MTerminator::Ret => {
+                    charge!(opts.cost.ret);
+                    if let Some(preserved) = &cur.preserved {
+                        for &(r, before) in preserved {
+                            let after = reg_file[r.index()];
+                            if after != before {
+                                return Err(SimTrap::ConventionViolation {
+                                    func: func.name.clone(),
+                                    reg: r,
+                                    before,
+                                    after,
+                                });
+                            }
+                        }
+                    }
+                    match stack.pop() {
+                        Some(parent) => cur = parent,
+                        None => {
+                            return Ok(SimResult {
+                                output,
+                                return_value: reg_file[regs.ret_reg().index()],
+                                stats,
+                                block_profile: profile,
+                            })
+                        }
+                    }
+                }
+                MTerminator::Br(t) => {
+                    charge!(opts.cost.branch);
+                    cur.block = t;
+                    cur.ip = 0;
+                    if let Some(p) = profile.as_mut() {
+                        p[cur.func.index()][cur.block.index()] += 1;
+                    }
+                }
+                MTerminator::CondBr { cond, then_to, else_to } => {
+                    charge!(opts.cost.branch);
+                    let c = match cond {
+                        MOperand::Reg(r) => reg_file[r.index()],
+                        MOperand::Imm(i) => i,
+                    };
+                    cur.block = if c != 0 { then_to } else { else_to };
+                    cur.ip = 0;
+                    if let Some(p) = profile.as_mut() {
+                        p[cur.func.index()][cur.block.index()] += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn read_mem(
+    module: &MModule,
+    globals: &[Vec<i64>],
+    cur: &Activation,
+    regs: &[i64],
+    addr: MAddress,
+) -> Result<i64, SimTrap> {
+    let idx = |o: MOperand| -> i64 {
+        match o {
+            MOperand::Reg(r) => regs[r.index()],
+            MOperand::Imm(i) => i,
+        }
+    };
+    match addr {
+        MAddress::Global { global, index } => {
+            let i = idx(index);
+            let g = &globals[global.index()];
+            if i < 0 || i as usize >= g.len() {
+                return Err(SimTrap::OutOfBounds {
+                    what: format!("global `{}`", module.globals[global].name),
+                    index: i,
+                });
+            }
+            Ok(g[i as usize])
+        }
+        MAddress::Frame { slot, index } => {
+            let i = idx(index);
+            let s = &cur.slots[slot.index()];
+            if i < 0 || i as usize >= s.len() {
+                return Err(SimTrap::OutOfBounds { what: format!("frame slot {slot}"), index: i });
+            }
+            Ok(s[i as usize])
+        }
+        MAddress::Incoming(i) => cur
+            .incoming
+            .get(i as usize)
+            .copied()
+            .ok_or(SimTrap::OutOfBounds { what: "incoming arguments".into(), index: i as i64 }),
+        MAddress::Outgoing(i) => cur
+            .outgoing
+            .get(i as usize)
+            .copied()
+            .ok_or(SimTrap::OutOfBounds { what: "outgoing arguments".into(), index: i as i64 }),
+    }
+}
+
+fn write_mem(
+    module: &MModule,
+    globals: &mut [Vec<i64>],
+    cur: &mut Activation,
+    regs: &[i64],
+    addr: MAddress,
+    value: i64,
+) -> Result<(), SimTrap> {
+    let idx = |o: MOperand| -> i64 {
+        match o {
+            MOperand::Reg(r) => regs[r.index()],
+            MOperand::Imm(i) => i,
+        }
+    };
+    match addr {
+        MAddress::Global { global, index } => {
+            let i = idx(index);
+            let g = &mut globals[global.index()];
+            if i < 0 || i as usize >= g.len() {
+                return Err(SimTrap::OutOfBounds {
+                    what: format!("global `{}`", module.globals[global].name),
+                    index: i,
+                });
+            }
+            g[i as usize] = value;
+            Ok(())
+        }
+        MAddress::Frame { slot, index } => {
+            let i = idx(index);
+            let s = &mut cur.slots[slot.index()];
+            if i < 0 || i as usize >= s.len() {
+                return Err(SimTrap::OutOfBounds { what: format!("frame slot {slot}"), index: i });
+            }
+            s[i as usize] = value;
+            Ok(())
+        }
+        MAddress::Incoming(i) => {
+            Err(SimTrap::OutOfBounds { what: "incoming arguments (write)".into(), index: i as i64 })
+        }
+        MAddress::Outgoing(i) => {
+            let slot = cur
+                .outgoing
+                .get_mut(i as usize)
+                .ok_or(SimTrap::OutOfBounds { what: "outgoing arguments".into(), index: i as i64 })?;
+            *slot = value;
+            Ok(())
+        }
+    }
+}

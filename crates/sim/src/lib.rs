@@ -1,0 +1,304 @@
+//! # ipra-sim — machine-code simulator and traffic accounting
+//!
+//! Plays the role of the paper's `pixie` instruction tracer (§8): executes
+//! lowered machine code against a single global register file, counts
+//! cycles, and classifies every memory access as data traffic or scalar
+//! traffic (variable homes, spills, register saves/restores). Optionally
+//! verifies on every return that the procedure preserved all registers its
+//! register-usage summary promises to preserve.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod stats;
+
+pub use exec::{run, SimOptions, SimResult, SimTrap};
+pub use stats::{percent_reduction, Stats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_ir::{BinOp, BlockId, EntityVec, FuncId};
+    use ipra_machine::{
+        FrameSlot, FrameSlotId, MAddress, MBlock, MCallee, MFunction, MInst, MModule, MOperand,
+        MTerminator, MemClass, RegFile, RegMask, SlotPurpose,
+    };
+
+    fn func(name: &str, blocks: Vec<MBlock>, is_leaf: bool) -> MFunction {
+        MFunction {
+            name: name.into(),
+            entry: BlockId(0),
+            blocks: blocks.into_iter().collect(),
+            frame: EntityVec::new(),
+            num_params: 0,
+            max_outgoing: 0,
+            is_leaf,
+        }
+    }
+
+    /// main: rv = 2; call child; print rv   (child: rv = rv * 3)
+    fn call_module(regs: &RegFile) -> MModule {
+        let rv = regs.ret_reg();
+        let child = func(
+            "child",
+            vec![MBlock {
+                insts: vec![MInst::Bin {
+                    op: BinOp::Mul,
+                    dst: rv,
+                    lhs: MOperand::Reg(rv),
+                    rhs: MOperand::Imm(3),
+                }],
+                term: MTerminator::Ret,
+            }],
+            true,
+        );
+        let main = func(
+            "main",
+            vec![MBlock {
+                insts: vec![
+                    MInst::Copy { dst: rv, src: MOperand::Imm(2) },
+                    MInst::Call { callee: MCallee::Direct(FuncId(0)), num_stack_args: 0 },
+                    MInst::Print { arg: MOperand::Reg(rv) },
+                ],
+                term: MTerminator::Ret,
+            }],
+            false,
+        );
+        MModule {
+            funcs: [child, main].into_iter().collect(),
+            globals: EntityVec::new(),
+            main: Some(FuncId(1)),
+        }
+    }
+
+    #[test]
+    fn registers_are_global_across_calls() {
+        let regs = RegFile::mips_like();
+        let m = call_module(&regs);
+        let r = run(&m, &regs, &SimOptions::for_target(&regs)).unwrap();
+        assert_eq!(r.output, vec![6], "callee computed into the shared register");
+        assert_eq!(r.stats.calls, 1);
+        assert!(r.stats.cycles > 0);
+    }
+
+    #[test]
+    fn stack_args_reach_callee_and_are_counted() {
+        let regs = RegFile::mips_like();
+        let rv = regs.ret_reg();
+        let child = func(
+            "child",
+            vec![MBlock {
+                insts: vec![MInst::Load {
+                    dst: rv,
+                    addr: MAddress::Incoming(1),
+                    class: MemClass::ScalarHome,
+                }],
+                term: MTerminator::Ret,
+            }],
+            true,
+        );
+        let mut main = func(
+            "main",
+            vec![MBlock {
+                insts: vec![
+                    MInst::Store {
+                        src: MOperand::Imm(10),
+                        addr: MAddress::Outgoing(0),
+                        class: MemClass::ScalarHome,
+                    },
+                    MInst::Store {
+                        src: MOperand::Imm(20),
+                        addr: MAddress::Outgoing(1),
+                        class: MemClass::ScalarHome,
+                    },
+                    MInst::Call { callee: MCallee::Direct(FuncId(0)), num_stack_args: 2 },
+                    MInst::Print { arg: MOperand::Reg(rv) },
+                ],
+                term: MTerminator::Ret,
+            }],
+            false,
+        );
+        main.max_outgoing = 2;
+        let m = MModule {
+            funcs: [child, main].into_iter().collect(),
+            globals: EntityVec::new(),
+            main: Some(FuncId(1)),
+        };
+        let r = run(&m, &regs, &SimOptions::for_target(&regs)).unwrap();
+        assert_eq!(r.output, vec![20]);
+        assert_eq!(r.stats.stores(MemClass::ScalarHome), 2, "two outgoing stack args");
+        assert_eq!(r.stats.loads(MemClass::ScalarHome), 1);
+        assert_eq!(r.stats.scalar_mem(), 3);
+    }
+
+    #[test]
+    fn convention_checker_catches_clobber() {
+        let regs = RegFile::mips_like();
+        let s0 = regs
+            .allocatable_of(ipra_machine::RegClass::CalleeSaved)
+            .next()
+            .expect("has callee-saved regs");
+        // child trashes s0 but its mask claims it preserves everything.
+        let child = func(
+            "bad_child",
+            vec![MBlock {
+                insts: vec![MInst::Copy { dst: s0, src: MOperand::Imm(99) }],
+                term: MTerminator::Ret,
+            }],
+            true,
+        );
+        let main = func(
+            "main",
+            vec![MBlock {
+                insts: vec![
+                    MInst::Copy { dst: s0, src: MOperand::Imm(1) },
+                    MInst::Call { callee: MCallee::Direct(FuncId(0)), num_stack_args: 0 },
+                ],
+                term: MTerminator::Ret,
+            }],
+            false,
+        );
+        let m = MModule {
+            funcs: [child, main].into_iter().collect(),
+            globals: EntityVec::new(),
+            main: Some(FuncId(1)),
+        };
+        let masks = vec![RegMask::EMPTY, RegMask::EMPTY];
+        let opts = SimOptions::for_target(&regs).check_preservation(masks);
+        match run(&m, &regs, &opts) {
+            Err(SimTrap::ConventionViolation { func, reg, before, after }) => {
+                assert_eq!(func, "bad_child");
+                assert_eq!(reg, s0);
+                assert_eq!((before, after), (1, 99));
+            }
+            other => panic!("expected convention violation, got {other:?}"),
+        }
+        // With s0 declared clobbered, the same program passes.
+        let masks = vec![RegMask::single(s0), RegMask::single(s0)];
+        let opts = SimOptions::for_target(&regs).check_preservation(masks);
+        assert!(run(&m, &regs, &opts).is_ok());
+    }
+
+    #[test]
+    fn frame_slots_are_per_activation() {
+        // rec(depth in a0): store depth to its own frame slot, recurse once,
+        // then print the slot — each activation must keep its own value.
+        let regs = RegFile::mips_like();
+        let a0 = regs.param_regs()[0];
+        let mut frame = EntityVec::new();
+        frame.push(FrameSlot { size: 1, purpose: SlotPurpose::Home, label: "x".into() });
+        let t0 = regs.allocatable()[4];
+        let rec = MFunction {
+            name: "rec".into(),
+            entry: BlockId(0),
+            blocks: [
+                MBlock {
+                    insts: vec![
+                        MInst::Store {
+                            src: MOperand::Reg(a0),
+                            addr: MAddress::slot(FrameSlotId(0)),
+                            class: MemClass::ScalarHome,
+                        },
+                        MInst::Bin {
+                            op: BinOp::Lt,
+                            dst: t0,
+                            lhs: MOperand::Reg(a0),
+                            rhs: MOperand::Imm(2),
+                        },
+                    ],
+                    term: MTerminator::CondBr {
+                        cond: MOperand::Reg(t0),
+                        then_to: BlockId(2),
+                        else_to: BlockId(1),
+                    },
+                },
+                MBlock {
+                    insts: vec![
+                        MInst::Bin {
+                            op: BinOp::Sub,
+                            dst: a0,
+                            lhs: MOperand::Reg(a0),
+                            rhs: MOperand::Imm(1),
+                        },
+                        MInst::Call { callee: MCallee::Direct(FuncId(0)), num_stack_args: 0 },
+                    ],
+                    term: MTerminator::Br(BlockId(2)),
+                },
+                MBlock {
+                    insts: vec![
+                        MInst::Load {
+                            dst: t0,
+                            addr: MAddress::slot(FrameSlotId(0)),
+                            class: MemClass::ScalarHome,
+                        },
+                        MInst::Print { arg: MOperand::Reg(t0) },
+                    ],
+                    term: MTerminator::Ret,
+                },
+            ]
+            .into_iter()
+            .collect(),
+            frame,
+            num_params: 1,
+            max_outgoing: 0,
+            is_leaf: false,
+        };
+        let main = func(
+            "main",
+            vec![MBlock {
+                insts: vec![
+                    MInst::Copy { dst: a0, src: MOperand::Imm(3) },
+                    MInst::Call { callee: MCallee::Direct(FuncId(0)), num_stack_args: 0 },
+                ],
+                term: MTerminator::Ret,
+            }],
+            false,
+        );
+        let m = MModule {
+            funcs: [rec, main].into_iter().collect(),
+            globals: EntityVec::new(),
+            main: Some(FuncId(1)),
+        };
+        let r = run(&m, &regs, &SimOptions::for_target(&regs)).unwrap();
+        assert_eq!(r.output, vec![1, 2, 3], "innermost prints first, frames independent");
+        assert_eq!(r.stats.max_depth, 4);
+    }
+
+    #[test]
+    fn fuel_exhaustion_traps() {
+        let regs = RegFile::mips_like();
+        let main =
+            func("main", vec![MBlock { insts: vec![], term: MTerminator::Br(BlockId(0)) }], true);
+        let m = MModule {
+            funcs: [main].into_iter().collect(),
+            globals: EntityVec::new(),
+            main: Some(FuncId(0)),
+        };
+        let mut opts = SimOptions::for_target(&regs);
+        opts.fuel = 100;
+        assert_eq!(run(&m, &regs, &opts).unwrap_err(), SimTrap::OutOfFuel);
+    }
+
+    #[test]
+    fn bad_indirect_target_traps() {
+        let regs = RegFile::mips_like();
+        let main = func(
+            "main",
+            vec![MBlock {
+                insts: vec![MInst::Call {
+                    callee: MCallee::Indirect(MOperand::Imm(99)),
+                    num_stack_args: 0,
+                }],
+                term: MTerminator::Ret,
+            }],
+            false,
+        );
+        let m = MModule {
+            funcs: [main].into_iter().collect(),
+            globals: EntityVec::new(),
+            main: Some(FuncId(0)),
+        };
+        let opts = SimOptions::for_target(&regs);
+        assert_eq!(run(&m, &regs, &opts).unwrap_err(), SimTrap::BadIndirectTarget(99));
+    }
+}

@@ -1,0 +1,125 @@
+//! Execution statistics — the quantities Table 1 and Table 2 report.
+
+use ipra_machine::MemClass;
+
+/// Dynamic counts accumulated by the simulator (the role `pixie` plays in
+/// the paper's measurements).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Stats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions executed (terminators included).
+    pub insts: u64,
+    /// Call instructions executed.
+    pub calls: u64,
+    /// Loads executed, by accounting class
+    /// `[Data, ScalarHome, Spill, SaveRestore]`.
+    pub loads_by_class: [u64; 4],
+    /// Stores executed, by accounting class.
+    pub stores_by_class: [u64; 4],
+    /// Deepest call stack observed.
+    pub max_depth: usize,
+}
+
+fn class_index(c: MemClass) -> usize {
+    match c {
+        MemClass::Data => 0,
+        MemClass::ScalarHome => 1,
+        MemClass::Spill => 2,
+        MemClass::SaveRestore => 3,
+    }
+}
+
+impl Stats {
+    /// Records a load of class `c`.
+    pub fn count_load(&mut self, c: MemClass) {
+        self.loads_by_class[class_index(c)] += 1;
+    }
+
+    /// Records a store of class `c`.
+    pub fn count_store(&mut self, c: MemClass) {
+        self.stores_by_class[class_index(c)] += 1;
+    }
+
+    /// Loads of a given class.
+    pub fn loads(&self, c: MemClass) -> u64 {
+        self.loads_by_class[class_index(c)]
+    }
+
+    /// Stores of a given class.
+    pub fn stores(&self, c: MemClass) -> u64 {
+        self.stores_by_class[class_index(c)]
+    }
+
+    /// All loads.
+    pub fn total_loads(&self) -> u64 {
+        self.loads_by_class.iter().sum()
+    }
+
+    /// All stores.
+    pub fn total_stores(&self) -> u64 {
+        self.stores_by_class.iter().sum()
+    }
+
+    /// Scalar loads + stores: variable homes, spills and register
+    /// saves/restores — "removable by the register allocator given an
+    /// unlimited number of registers" (paper §8).
+    pub fn scalar_mem(&self) -> u64 {
+        self.loads_by_class[1..].iter().sum::<u64>() + self.stores_by_class[1..].iter().sum::<u64>()
+    }
+
+    /// Save/restore loads + stores only.
+    pub fn save_restore_mem(&self) -> u64 {
+        self.loads(MemClass::SaveRestore) + self.stores(MemClass::SaveRestore)
+    }
+
+    /// Average cycles per call — the paper's `cycles/call` column.
+    pub fn cycles_per_call(&self) -> f64 {
+        if self.calls == 0 {
+            f64::NAN
+        } else {
+            self.cycles as f64 / self.calls as f64
+        }
+    }
+}
+
+/// Percentage reduction of `new` relative to `base`, as the paper reports:
+/// positive numbers are improvements.
+pub fn percent_reduction(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (base as f64 - new as f64) / base as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_accounting() {
+        let mut s = Stats::default();
+        s.count_load(MemClass::Data);
+        s.count_load(MemClass::SaveRestore);
+        s.count_store(MemClass::ScalarHome);
+        s.count_store(MemClass::Spill);
+        assert_eq!(s.total_loads(), 2);
+        assert_eq!(s.total_stores(), 2);
+        assert_eq!(s.scalar_mem(), 3, "data access excluded");
+        assert_eq!(s.save_restore_mem(), 1);
+    }
+
+    #[test]
+    fn cycles_per_call() {
+        let s = Stats { cycles: 100, calls: 4, ..Stats::default() };
+        assert_eq!(s.cycles_per_call(), 25.0);
+        assert!(Stats::default().cycles_per_call().is_nan());
+    }
+
+    #[test]
+    fn percent_reduction_sign_convention() {
+        assert_eq!(percent_reduction(200, 100), 50.0, "halving is +50%");
+        assert_eq!(percent_reduction(100, 125), -25.0, "regression is negative");
+        assert_eq!(percent_reduction(0, 10), 0.0);
+    }
+}

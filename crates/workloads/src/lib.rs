@@ -1,0 +1,206 @@
+//! # ipra-workloads — the benchmark suite
+//!
+//! Mini-language analogs of the 13 programs in the paper's Appendix, in the
+//! same order and of matching *kind* (game search, backtracking, string
+//! manipulation, diffing, a synthetic mix, the Stanford kernels, pretty
+//! printing, pattern scanning, line breaking and three compiler passes),
+//! plus synthetic program generators for fuzzing and ablations.
+//!
+//! ```
+//! let w = ipra_workloads::by_name("nim").unwrap();
+//! let module = ipra_workloads::compile_workload(w).unwrap();
+//! assert!(module.main.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod synth;
+
+use ipra_frontend::CompileError;
+use ipra_ir::Module;
+
+/// One benchmark program.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Short name (matches the paper's Table 1 rows).
+    pub name: &'static str,
+    /// What the paper's original was.
+    pub paper_description: &'static str,
+    /// What our analog does.
+    pub analog_description: &'static str,
+    /// Mini source text.
+    pub source: &'static str,
+}
+
+macro_rules! workload {
+    ($name:literal, $paper:literal, $analog:literal) => {
+        Workload {
+            name: $name,
+            paper_description: $paper,
+            analog_description: $analog,
+            source: include_str!(concat!("../programs/", $name, ".mini")),
+        }
+    };
+}
+
+/// All 13 workloads, in the paper's Table 1 order (increasing size).
+pub fn all() -> Vec<Workload> {
+    vec![
+        workload!(
+            "nim",
+            "a program to play the game of Nim",
+            "memoized minimax over three Nim heaps plus optimal-play games"
+        ),
+        workload!(
+            "map",
+            "a program to find a 4-coloring for a map",
+            "backtracking 4-coloring of a 14-region map, counting solutions"
+        ),
+        workload!(
+            "calcc",
+            "manipulates dynamic and variable-length strings",
+            "length-prefixed strings in a pooled heap: format/concat/reverse/compare/hash"
+        ),
+        workload!(
+            "diff",
+            "the UNIX file comparison utility",
+            "LCS dynamic program plus hunk walk over two mutated pseudo-files"
+        ),
+        workload!(
+            "dhrystone",
+            "a synthetic benchmark by Reinhold Weicker",
+            "the classic proc/func call mix over global records, arrays and strings"
+        ),
+        workload!(
+            "stanford",
+            "a benchmark suite collected by John Hennessy",
+            "Perm, Towers, Queens, Intmm, Bubble, Quick and Fib kernels"
+        ),
+        workload!(
+            "pf",
+            "a Pascal pretty-printer written by Larry Weber",
+            "recursive-descent pretty-printing of a generated block-structured token stream"
+        ),
+        workload!(
+            "awk",
+            "the Awk pattern processing and scanning utility",
+            "regex-lite matching (literal/./*) over generated text lines with field actions"
+        ),
+        workload!(
+            "tex",
+            "virtex from the TeX typesetting package",
+            "Knuth-Plass style optimal line breaking plus greedy comparison over paragraphs"
+        ),
+        workload!(
+            "ccom",
+            "first pass of the MIPS C compiler",
+            "expression parser, stack-machine code generator, constant folder and VM"
+        ),
+        workload!(
+            "as1",
+            "the MIPS assembler/reorganizer",
+            "two-pass assembler with hashed symbol table and branch delay-slot filling"
+        ),
+        workload!(
+            "upas",
+            "first pass of the MIPS Pascal compiler",
+            "Pascal-flavoured declaration/statement parser with scoped symbol table and type checks"
+        ),
+        workload!(
+            "uopt",
+            "the MIPS Ucode global optimizer",
+            "triple-IR optimizer: constant folding, copy propagation, CSE and mark-sweep DCE"
+        ),
+    ]
+}
+
+/// Finds a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// Compiles a workload's Mini source into an IR module.
+///
+/// # Errors
+///
+/// Propagates front-end errors (the bundled sources must always compile; a
+/// failure indicates a build problem).
+pub fn compile_workload(w: Workload) -> Result<Module, CompileError> {
+    ipra_frontend::compile(w.source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_ir::interp::{run_module_with, InterpOptions};
+
+    #[test]
+    fn thirteen_workloads_in_paper_order() {
+        let names: Vec<_> = all().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "nim", "map", "calcc", "diff", "dhrystone", "stanford", "pf", "awk", "tex",
+                "ccom", "as1", "upas", "uopt"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_workload_compiles_verifies_and_runs() {
+        for w in all() {
+            let m = compile_workload(w)
+                .unwrap_or_else(|e| panic!("[{}] compile error: {e}", w.name));
+            ipra_ir::verify::verify_module(&m)
+                .unwrap_or_else(|e| panic!("[{}] verify: {e:?}", w.name));
+            let opts = InterpOptions { fuel: 2_000_000_000, max_depth: 20_000 };
+            let r = run_module_with(&m, opts)
+                .unwrap_or_else(|t| panic!("[{}] trapped: {t}", w.name));
+            assert!(!r.output.is_empty(), "[{}] produced no output", w.name);
+            assert!(
+                r.calls_executed >= 50,
+                "[{}] not call-intensive enough: {} calls",
+                w.name,
+                r.calls_executed
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        for w in ["nim", "ccom", "uopt"] {
+            let m = compile_workload(by_name(w).unwrap()).unwrap();
+            let a = ipra_ir::interp::run_module(&m).unwrap();
+            let b = ipra_ir::interp::run_module(&m).unwrap();
+            assert_eq!(a.output, b.output, "[{w}] must be deterministic");
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("tex").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn random_sources_compile_and_run() {
+        for seed in 0..20 {
+            let src = synth::random_source(seed, &synth::SourceConfig::default());
+            let m = ipra_frontend::compile(&src)
+                .unwrap_or_else(|e| panic!("seed {seed}: compile error {e}\n{src}"));
+            ipra_ir::verify::verify_module(&m).unwrap();
+            let r = ipra_ir::interp::run_module(&m)
+                .unwrap_or_else(|t| panic!("seed {seed}: trap {t}\n{src}"));
+            assert!(!r.output.is_empty());
+        }
+    }
+
+    #[test]
+    fn call_tree_program_runs() {
+        let m = synth::call_tree_program(3, 2, 4, 5);
+        ipra_ir::verify::verify_module(&m).unwrap();
+        let r = ipra_ir::interp::run_module(&m).unwrap();
+        assert_eq!(r.output.len(), 1);
+        assert!(r.calls_executed >= 5 * (2u64.pow(4) - 1) / 2, "full tree visited");
+    }
+}

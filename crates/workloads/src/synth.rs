@@ -1,0 +1,291 @@
+//! Synthetic program generators.
+//!
+//! Two families: random well-formed Mini sources (terminating by
+//! construction) for differential fuzzing of the whole pipeline, and
+//! parameterized call-tree IR modules for allocator ablations and
+//! throughput benchmarks.
+
+use std::fmt::Write as _;
+
+use ipra_ir::builder::FunctionBuilder;
+use ipra_ir::{BinOp, FuncId, Module, Operand};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for [`random_source`].
+#[derive(Clone, Copy, Debug)]
+pub struct SourceConfig {
+    /// Number of functions besides `main`.
+    pub num_funcs: usize,
+    /// Number of global scalars.
+    pub num_globals: usize,
+    /// Number of global arrays.
+    pub num_arrays: usize,
+    /// Statements per function body.
+    pub stmts_per_func: usize,
+    /// Maximum statement nesting depth.
+    pub max_depth: usize,
+}
+
+impl Default for SourceConfig {
+    fn default() -> Self {
+        SourceConfig {
+            num_funcs: 6,
+            num_globals: 4,
+            num_arrays: 2,
+            stmts_per_func: 8,
+            max_depth: 3,
+        }
+    }
+}
+
+/// Generates a random, deterministic, *terminating* Mini program.
+///
+/// Termination by construction: every loop is a canonical bounded counter
+/// loop whose induction variable is written nowhere else, and the call
+/// graph is acyclic (functions only call earlier functions).
+pub fn random_source(seed: u64, cfg: &SourceConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    let _ = writeln!(out, "// random program, seed {seed}");
+
+    for g in 0..cfg.num_globals {
+        let _ = writeln!(out, "global g{g}: int = {};", rng.gen_range(-50..50));
+    }
+    for a in 0..cfg.num_arrays {
+        let _ = writeln!(out, "global arr{a}: [int; 16];");
+    }
+
+    // Fix arities up front so call sites always match.
+    let arities: Vec<usize> = (0..cfg.num_funcs).map(|_| rng.gen_range(0..4usize)).collect();
+    let mut gen = SrcGen { rng, cfg: *cfg, loop_counter: 0, arities, loop_depth: 0 };
+
+    // Functions f0..fN; fK may call f0..f(K-1) (acyclic, so terminating).
+    for f in 0..cfg.num_funcs {
+        let nparams = gen.arities[f];
+        let params: Vec<String> = (0..nparams).map(|i| format!("p{i}")).collect();
+        let header: Vec<String> = params.iter().map(|p| format!("{p}: int")).collect();
+        let _ = writeln!(out, "fn f{f}({}) -> int {{", header.join(", "));
+        let mut scope: Vec<String> = params;
+        gen.stmts(&mut out, f, &mut scope, cfg.stmts_per_func, cfg.max_depth, 1);
+        let _ = writeln!(out, "  return {};", gen.expr(f, &scope, 2));
+        let _ = writeln!(out, "}}");
+    }
+
+    let _ = writeln!(out, "fn main() {{");
+    let mut scope: Vec<String> = Vec::new();
+    let n = cfg.num_funcs;
+    gen.stmts(&mut out, n, &mut scope, cfg.stmts_per_func, cfg.max_depth, 1);
+    for f in 0..n {
+        let call = gen.call_expr(f, n, &scope, 1);
+        let _ = writeln!(out, "  print({call});");
+    }
+    for g in 0..cfg.num_globals {
+        let _ = writeln!(out, "  print(g{g});");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+struct SrcGen {
+    rng: StdRng,
+    cfg: SourceConfig,
+    loop_counter: usize,
+    arities: Vec<usize>,
+    /// Loop nesting depth at the generation point: calls are only generated
+    /// outside loops, so total call counts stay polynomial and the
+    /// reference interpreter never exhausts its budget.
+    loop_depth: usize,
+}
+
+impl SrcGen {
+    /// An expression usable inside function `f` (callable: f0..f{f-1}).
+    fn expr(&mut self, f: usize, scope: &[String], depth: usize) -> String {
+        if depth == 0 {
+            return self.atom(scope);
+        }
+        match self.rng.gen_range(0..10) {
+            0..=3 => {
+                let op = ["+", "-", "*", "&", "|", "^"][self.rng.gen_range(0..6)];
+                let l = self.expr(f, scope, depth - 1);
+                let r = self.expr(f, scope, depth - 1);
+                format!("({l} {op} {r})")
+            }
+            4 => {
+                // Division/remainder by a non-zero constant only.
+                let op = if self.rng.gen_bool(0.5) { "/" } else { "%" };
+                let l = self.expr(f, scope, depth - 1);
+                let c = self.rng.gen_range(1..9);
+                format!("({l} {op} {c})")
+            }
+            5 => {
+                let op = ["==", "!=", "<", "<=", ">", ">="][self.rng.gen_range(0..6)];
+                let l = self.expr(f, scope, depth - 1);
+                let r = self.expr(f, scope, depth - 1);
+                format!("({l} {op} {r})")
+            }
+            6 if f > 0 && self.loop_depth == 0 => {
+                let callee = self.rng.gen_range(0..f);
+                self.call_expr(callee, f, scope, depth)
+            }
+            7 if self.cfg.num_arrays > 0 => {
+                let a = self.rng.gen_range(0..self.cfg.num_arrays);
+                let i = self.expr(f, scope, depth - 1);
+                format!("arr{a}[(({i}) % 16 + 16) % 16]")
+            }
+            8 => {
+                let inner = self.expr(f, scope, depth - 1);
+                format!("(-({inner}))")
+            }
+            _ => self.atom(scope),
+        }
+    }
+
+    fn atom(&mut self, scope: &[String]) -> String {
+        let choices = scope.len() + self.cfg.num_globals + 1;
+        let k = self.rng.gen_range(0..choices.max(1));
+        if k < scope.len() {
+            scope[k].clone()
+        } else if k < scope.len() + self.cfg.num_globals {
+            format!("g{}", k - scope.len())
+        } else {
+            format!("{}", self.rng.gen_range(-99..100))
+        }
+    }
+
+    /// A call to `f{callee}` with arguments generated in function `f`'s
+    /// scope (argument sub-expressions may themselves call earlier
+    /// functions).
+    fn call_expr(&mut self, callee: usize, f: usize, scope: &[String], depth: usize) -> String {
+        let args: Vec<String> = (0..self.arities[callee])
+            .map(|_| self.expr(f, scope, depth.saturating_sub(1)))
+            .collect();
+        format!("f{callee}({})", args.join(", "))
+    }
+
+    fn stmts(
+        &mut self,
+        out: &mut String,
+        f: usize,
+        scope: &mut Vec<String>,
+        n: usize,
+        depth: usize,
+        indent: usize,
+    ) {
+        let pad = "  ".repeat(indent);
+        for _ in 0..n {
+            match self.rng.gen_range(0..10) {
+                0..=2 => {
+                    let name = format!("v{}", scope.len());
+                    let init = self.expr(f, scope, 2);
+                    let _ = writeln!(out, "{pad}var {name}: int = {init};");
+                    scope.push(name);
+                }
+                3..=4 if !scope.is_empty() => {
+                    let v = scope[self.rng.gen_range(0..scope.len())].clone();
+                    let e = self.expr(f, scope, 2);
+                    let _ = writeln!(out, "{pad}{v} = {e};");
+                }
+                5 if self.cfg.num_globals > 0 => {
+                    let g = self.rng.gen_range(0..self.cfg.num_globals);
+                    let e = self.expr(f, scope, 2);
+                    let _ = writeln!(out, "{pad}g{g} = {e};");
+                }
+                6 if self.cfg.num_arrays > 0 => {
+                    let a = self.rng.gen_range(0..self.cfg.num_arrays);
+                    let i = self.expr(f, scope, 1);
+                    let e = self.expr(f, scope, 2);
+                    let _ = writeln!(
+                        out,
+                        "{pad}arr{a}[(({i}) % 16 + 16) % 16] = {e};"
+                    );
+                }
+                7 if depth > 0 => {
+                    let c = self.expr(f, scope, 1);
+                    let _ = writeln!(out, "{pad}if {c} {{");
+                    let before = scope.len();
+                    self.stmts(out, f, scope, n / 2 + 1, depth - 1, indent + 1);
+                    scope.truncate(before);
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    self.stmts(out, f, scope, n / 2, depth - 1, indent + 1);
+                    scope.truncate(before);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+                8 if depth > 0 => {
+                    // Canonical bounded loop; induction var is reserved (it
+                    // is never added to `scope`, so no generated statement
+                    // can overwrite it and termination is guaranteed).
+                    let lv = format!("L{}", self.loop_counter);
+                    self.loop_counter += 1;
+                    let bound = self.rng.gen_range(1..8);
+                    let _ = writeln!(out, "{pad}var {lv}: int = 0;");
+                    let _ = writeln!(out, "{pad}while {lv} < {bound} {{");
+                    let before = scope.len();
+                    self.loop_depth += 1;
+                    self.stmts(out, f, scope, n / 2 + 1, depth - 1, indent + 1);
+                    self.loop_depth -= 1;
+                    scope.truncate(before);
+                    let _ = writeln!(out, "{pad}  {lv} = {lv} + 1;");
+                    let _ = writeln!(out, "{pad}}}");
+                }
+                _ => {
+                    let e = self.expr(f, scope, 2);
+                    let _ = writeln!(out, "{pad}print({e});");
+                }
+            }
+        }
+    }
+}
+
+/// A call-tree module: `depth` levels with `fanout` callees per level; each
+/// function computes with `work` local variables, keeping several live
+/// across its calls. Deterministic in shape; useful for allocator
+/// throughput and ablation measurements.
+pub fn call_tree(depth: usize, fanout: usize, work: usize) -> Module {
+    let mut m = Module::new();
+    build_tree(&mut m, depth, fanout, work);
+    m
+}
+
+fn build_tree(m: &mut Module, depth: usize, fanout: usize, work: usize) -> FuncId {
+    let children: Vec<FuncId> =
+        if depth == 0 {
+            Vec::new()
+        } else {
+            (0..fanout).map(|_| build_tree(m, depth - 1, fanout, work)).collect()
+        };
+    let name = format!("n{}", m.funcs.len());
+    let mut b = FunctionBuilder::new(name);
+    let x = b.param("x");
+    let locals: Vec<_> = (0..work)
+        .map(|i| b.bin(BinOp::Add, x, Operand::Imm(i as i64 + 1)))
+        .collect();
+    let mut acc = b.copy(x);
+    for c in &children {
+        let r = b.call(*c, vec![acc.into()]);
+        acc = b.bin(BinOp::Add, r, 1);
+    }
+    // Touch the locals after the calls so they are live across them.
+    for l in &locals {
+        acc = b.bin(BinOp::Add, acc, *l);
+    }
+    b.ret(Some(acc.into()));
+    m.add_func(b.build())
+}
+
+/// Wraps a call-tree root in a `main` that invokes it `iters` times.
+pub fn call_tree_program(depth: usize, fanout: usize, work: usize, iters: usize) -> Module {
+    let mut m = call_tree(depth, fanout, work);
+    let root = FuncId((m.funcs.len() - 1) as u32);
+    let mut b = FunctionBuilder::new("main");
+    let mut acc = b.copy(0);
+    for i in 0..iters {
+        let r = b.call(root, vec![Operand::Imm(i as i64)]);
+        acc = b.bin(BinOp::Add, acc, r);
+    }
+    b.print(acc);
+    b.ret(None);
+    let main = m.add_func(b.build());
+    m.main = Some(main);
+    m
+}

@@ -1,0 +1,32 @@
+//! Tour of the 13 workload analogs: compile and run each under the paper's
+//! baseline and -O3, printing the Table 1 quantities.
+//!
+//! Run with: `cargo run --release --example benchmark_tour`
+//! (release strongly recommended: the simulator executes millions of
+//! instructions per workload).
+
+use ipra_driver::{compile_and_run, percent_reduction, Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10}",
+        "program", "base cycles", "o3 cycles", "Δcycles", "Δscalar"
+    );
+    for w in ipra_workloads::all() {
+        let module = ipra_workloads::compile_workload(w)?;
+        let base = compile_and_run(&module, &Config::o2_base())?;
+        let o3 = compile_and_run(&module, &Config::c())?;
+        assert_eq!(base.output, o3.output, "semantics must not change");
+        println!(
+            "{:<10} {:>12} {:>12} {:>9.1}% {:>9.1}%",
+            w.name,
+            base.stats.cycles,
+            o3.stats.cycles,
+            percent_reduction(base.stats.cycles, o3.stats.cycles),
+            percent_reduction(base.scalar_mem(), o3.scalar_mem()),
+        );
+    }
+    println!("\nEach analog matches its original in kind; see DESIGN.md's");
+    println!("substitution table and `ipra_workloads::all()` for descriptions.");
+    Ok(())
+}

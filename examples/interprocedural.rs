@@ -1,0 +1,66 @@
+//! Inter-procedural allocation demo (paper §2–§4): the bottom-up pass over
+//! the call graph, open/closed classification, register-usage summaries and
+//! custom parameter registers — shown on a module that mixes closed chains,
+//! recursion, an indirect call and a "separately compiled" function.
+//!
+//! Run with: `cargo run --example interprocedural`
+
+use ipra_driver::{compile_and_run, compile_only, Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        // Closed chain: summaries flow bottom-up.
+        fn leaf(x: int, y: int) -> int { return x * y + 1; }
+        fn mid(x: int) -> int {
+            var a: int = leaf(x, 3);
+            var b: int = leaf(a, 5);
+            return a + b;
+        }
+
+        // Recursive: open (its own caller is processed after it).
+        fn fact(n: int) -> int {
+            if n <= 1 { return 1; }
+            return n * fact(n - 1);
+        }
+
+        // Address taken: open (may be called indirectly).
+        fn hook(x: int) -> int { return x - 1; }
+
+        // Marked extern: open (separately compiled).
+        extern fn library(x: int) -> int { return x << 1; }
+
+        fn main() {
+            print(mid(4));
+            print(fact(6));
+            var f: fnptr = &hook;
+            print(f(10));
+            print(library(21));
+        }
+    "#;
+    let module = ipra_frontend::compile(source)?;
+    let config = Config::o3();
+    let compiled = compile_only(&module, &config);
+
+    println!("=== open/closed classification and register summaries (-O3) ===");
+    for (report, summary) in compiled.reports.iter().zip(&compiled.summaries) {
+        let status = if report.open_reasons.is_empty() && !report.forced_open {
+            "closed".to_string()
+        } else {
+            let reasons: Vec<String> =
+                report.open_reasons.iter().map(|r| r.to_string()).collect();
+            format!("OPEN ({})", reasons.join(", "))
+        };
+        println!(
+            "  {:<10} {:<28} clobbers={:?} params={:?}",
+            report.name, status, summary.clobbers, summary.param_locs
+        );
+    }
+
+    let m = compile_and_run(&module, &config)?;
+    println!("\noutput: {:?}", m.output);
+    println!("cycles: {}, scalar loads/stores: {}", m.stats.cycles, m.stats.scalar_mem());
+    println!("\nNote how `leaf` and `mid` publish real summaries (closed), while the");
+    println!("recursive, address-taken and extern functions fall back to the default");
+    println!("convention — exactly the paper's §3 classification.");
+    Ok(())
+}

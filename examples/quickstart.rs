@@ -1,0 +1,49 @@
+//! Quickstart: compile a Mini program, allocate registers at -O2 and -O3,
+//! run both on the simulator and compare the costs the paper measures.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ipra_driver::{compile_and_run, Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A call-intensive program: `main` repeatedly calls a closed chain.
+    let source = r#"
+        fn scale(x: int, k: int) -> int {
+            return x * k + 1;
+        }
+        fn polynomial(x: int) -> int {
+            var a: int = scale(x, 3);
+            var b: int = scale(a, 5);
+            var c: int = scale(b, 7);
+            return a + b + c;
+        }
+        fn main() {
+            var sum: int = 0;
+            var i: int = 0;
+            while i < 200 {
+                sum = sum + polynomial(i);
+                i = i + 1;
+            }
+            print(sum);
+        }
+    "#;
+
+    let module = ipra_frontend::compile(source)?;
+    println!("IR for the whole module:\n{module}");
+
+    for config in [Config::no_alloc(), Config::o2_base(), Config::c()] {
+        let m = compile_and_run(&module, &config)?;
+        println!(
+            "{:<8} output={:?}  cycles={:<7} scalar loads/stores={:<6} cycles/call={:.1}",
+            m.config,
+            m.output,
+            m.stats.cycles,
+            m.stats.scalar_mem(),
+            m.stats.cycles_per_call()
+        );
+    }
+    println!("\nThe -O3 run consults callee register-usage summaries, so values that");
+    println!("span the calls to `scale` sit in registers the callee never touches —");
+    println!("no saves, no restores (Chow, PLDI 1988).");
+    Ok(())
+}

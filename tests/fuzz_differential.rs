@@ -1,0 +1,75 @@
+//! Differential fuzzing: random well-formed Mini programs must behave
+//! identically under the reference interpreter and under every compilation
+//! configuration, with the register-preservation checker on.
+
+use ipra_driver::{compile_and_run, Config};
+use ipra_workloads::synth::{random_source, SourceConfig};
+
+fn check_seed(seed: u64, cfg: &SourceConfig, configs: &[Config]) {
+    let src = random_source(seed, cfg);
+    let module = ipra_frontend::compile(&src)
+        .unwrap_or_else(|e| panic!("seed {seed}: front end {e}\n{src}"));
+    let expected = ipra_ir::interp::run_module(&module)
+        .unwrap_or_else(|t| panic!("seed {seed}: interpreter {t}\n{src}"));
+    for c in configs {
+        let m = compile_and_run(&module, c)
+            .unwrap_or_else(|t| panic!("seed {seed} config {}: {t}\n{src}", c.name));
+        assert_eq!(m.output, expected.output, "seed {seed} config {}\n{src}", c.name);
+    }
+}
+
+#[test]
+fn random_programs_default_shape() {
+    let configs =
+        [Config::o2_base(), Config::a(), Config::b(), Config::c(), Config::d(), Config::e()];
+    for seed in 0..60 {
+        check_seed(seed, &SourceConfig::default(), &configs);
+    }
+}
+
+#[test]
+fn random_programs_wide_and_flat() {
+    // Many functions, little nesting: stresses summaries and param binding.
+    let cfg = SourceConfig {
+        num_funcs: 12,
+        num_globals: 6,
+        num_arrays: 1,
+        stmts_per_func: 5,
+        max_depth: 1,
+    };
+    let configs = [Config::o2_base(), Config::c()];
+    for seed in 100..140 {
+        check_seed(seed, &cfg, &configs);
+    }
+}
+
+#[test]
+fn random_programs_deep_and_branchy() {
+    // Deep nesting: stresses shrink-wrap placement and splitting.
+    let cfg = SourceConfig {
+        num_funcs: 4,
+        num_globals: 3,
+        num_arrays: 2,
+        stmts_per_func: 10,
+        max_depth: 5,
+    };
+    let configs = [Config::o2_base(), Config::a(), Config::c()];
+    for seed in 200..240 {
+        check_seed(seed, &cfg, &configs);
+    }
+}
+
+#[test]
+fn random_programs_under_register_starvation() {
+    // Tiny register files force heavy spilling and splitting everywhere.
+    let mut tiny = Config::c();
+    tiny.name = "tiny".into();
+    tiny.target = ipra_machine::Target::with_class_limits(2, 1);
+    let mut tiny_intra = Config::o2_base();
+    tiny_intra.name = "tiny-intra".into();
+    tiny_intra.target = ipra_machine::Target::with_class_limits(2, 1);
+    let configs = [tiny, tiny_intra];
+    for seed in 300..340 {
+        check_seed(seed, &SourceConfig::default(), &configs);
+    }
+}

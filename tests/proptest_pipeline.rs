@@ -1,0 +1,62 @@
+//! Property-based tests over the whole pipeline: proptest drives the
+//! generator seeds and shapes, shrinking to the smallest failing
+//! configuration when a property breaks.
+
+use ipra_driver::{compile_and_run, Config};
+use ipra_workloads::synth::{random_source, SourceConfig};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = SourceConfig> {
+    (1usize..8, 0usize..6, 0usize..3, 1usize..10, 0usize..4).prop_map(
+        |(num_funcs, num_globals, num_arrays, stmts_per_func, max_depth)| SourceConfig {
+            num_funcs,
+            num_globals,
+            num_arrays,
+            stmts_per_func,
+            max_depth,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The central soundness property: optimized machine code prints what
+    /// the IR interpreter prints, and never violates its published
+    /// register-preservation summary.
+    #[test]
+    fn compiled_output_matches_interpreter(seed in 0u64..10_000, shape in arb_shape()) {
+        let src = random_source(seed, &shape);
+        let module = ipra_frontend::compile(&src).expect("generator emits valid Mini");
+        let expected = ipra_ir::interp::run_module(&module).expect("generated programs terminate");
+        for config in [Config::o2_base(), Config::c()] {
+            let m = compile_and_run(&module, &config)
+                .map_err(|t| TestCaseError::fail(format!("{}: {t}", config.name)))?;
+            prop_assert_eq!(&m.output, &expected.output, "config {}", config.name);
+        }
+    }
+
+    /// Determinism: compiling twice yields identical measurements.
+    #[test]
+    fn compilation_is_deterministic(seed in 0u64..10_000) {
+        let src = random_source(seed, &SourceConfig::default());
+        let module = ipra_frontend::compile(&src).expect("valid");
+        let a = compile_and_run(&module, &Config::c()).expect("runs");
+        let b = compile_and_run(&module, &Config::c()).expect("runs");
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.stats.cycles, b.stats.cycles);
+        prop_assert_eq!(a.stats.loads_by_class, b.stats.loads_by_class);
+    }
+
+    /// Register allocation only ever removes scalar memory traffic
+    /// relative to the unallocated baseline.
+    #[test]
+    fn allocation_reduces_scalar_traffic(seed in 0u64..10_000) {
+        let src = random_source(seed, &SourceConfig::default());
+        let module = ipra_frontend::compile(&src).expect("valid");
+        let none = compile_and_run(&module, &Config::no_alloc()).expect("runs");
+        let o2 = compile_and_run(&module, &Config::o2_base()).expect("runs");
+        prop_assert!(o2.scalar_mem() <= none.scalar_mem(),
+            "allocation added scalar traffic: {} vs {}", o2.scalar_mem(), none.scalar_mem());
+    }
+}
