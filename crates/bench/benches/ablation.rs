@@ -42,10 +42,18 @@ fn print_ablation() {
         }
         // Paper §5: "this extension ... requires from one to two iterations".
         let compiled = compile_only(&module, &Config::c());
-        let max_iters =
-            compiled.reports.iter().map(|r| r.shrink_iterations).max().unwrap_or(0);
+        let max_iters = compiled
+            .reports
+            .iter()
+            .map(|r| r.shrink_iterations)
+            .max()
+            .unwrap_or(0);
         println!("  | {max_iters}");
-        assert!(max_iters <= 3, "[{}] extension exploded: {max_iters}", w.name);
+        assert!(
+            max_iters <= 3,
+            "[{}] extension exploded: {max_iters}",
+            w.name
+        );
     }
     println!("(columns: full -O3, without splitting, without §4 parameter binding,");
     println!(" without global promotion, without shrink-wrap/§6)\n");
@@ -53,7 +61,10 @@ fn print_ablation() {
     // Live-range splitting only matters under register pressure; repeat the
     // split ablation with a starved register file (4 caller + 3 callee).
     println!("=== Splitting under register starvation (4+3 registers), scalar l/s ===");
-    println!("{:<10} {:>12} {:>12} {:>9}", "program", "split", "no-split", "benefit");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9}",
+        "program", "split", "no-split", "benefit"
+    );
     let mut tight = Config::c();
     tight.target = ipra_machine::Target::with_class_limits(4, 3);
     let mut tight_nosplit = tight.clone();
@@ -68,8 +79,7 @@ fn print_ablation() {
             w.name,
             a.scalar_mem(),
             b.scalar_mem(),
-            (b.scalar_mem() as f64 - a.scalar_mem() as f64) / b.scalar_mem().max(1) as f64
-                * 100.0
+            (b.scalar_mem() as f64 - a.scalar_mem() as f64) / b.scalar_mem().max(1) as f64 * 100.0
         );
     }
     println!();

@@ -65,7 +65,9 @@ fn print_figure() {
     // the non-leaf procedures: main (1 activation) and p (100 activations),
     // two memory ops each. No *variable* register is ever saved.
     let ra_only = 2 * (1 + 100);
-    println!("  dynamic save/restore memory ops under -O3: {saves} (link register only: {ra_only})");
+    println!(
+        "  dynamic save/restore memory ops under -O3: {saves} (link register only: {ra_only})"
+    );
     assert_eq!(saves, ra_only, "all save traffic must be the ra protocol");
     println!("  [figure 1 claim verified]\n");
 }
@@ -73,7 +75,9 @@ fn print_figure() {
 fn run(c: &mut Criterion) {
     print_figure();
     let module = figure_module();
-    c.bench_function("fig1_compile_o3", |b| b.iter(|| compile_only(&module, &Config::o3())));
+    c.bench_function("fig1_compile_o3", |b| {
+        b.iter(|| compile_only(&module, &Config::o3()))
+    });
 }
 
 criterion_group!(benches, run);

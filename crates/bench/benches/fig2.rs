@@ -57,7 +57,10 @@ fn print_figure() {
     assert!(plan.iterations >= 2, "this shape requires extension");
     assert!(plan.iterations <= 3, "paper: one to two extension rounds");
     let total_saves: u32 = plan.save_at.iter().map(|m| m.count()).sum();
-    assert_eq!(total_saves, 1, "exactly one save after merging, no new CFG node");
+    assert_eq!(
+        total_saves, 1,
+        "exactly one save after merging, no new CFG node"
+    );
     println!("  [figure 2 claim verified: single save, no edge splitting]\n");
 }
 
@@ -68,7 +71,9 @@ fn run(c: &mut Criterion) {
     let mut app = vec![RegMask::EMPTY; 5];
     app[2] = r;
     app[4] = r;
-    c.bench_function("fig2_shrink_wrap", |b| b.iter(|| shrink_wrap(&cfg, &loops, &app)));
+    c.bench_function("fig2_shrink_wrap", |b| {
+        b.iter(|| shrink_wrap(&cfg, &loops, &app))
+    });
 }
 
 criterion_group!(benches, run);

@@ -55,7 +55,10 @@ fn saves(module: &ipra_ir::Module, cfg: &Config) -> u64 {
 
 fn print_figure() {
     println!("\n=== Figure 3 reproduction: shrink-wrap effect per execution path ===");
-    println!("{:<12} {:>12} {:>12} {:>8}", "path(f1,f2)", "no-SW saves", "SW saves", "effect");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "path(f1,f2)", "no-SW saves", "SW saves", "effect"
+    );
     let mut helped = 0;
     let mut neutral = 0;
     for (f1, f2) in [(1, 1), (1, 0), (0, 1), (0, 0)] {
@@ -71,10 +74,19 @@ fn print_figure() {
         } else {
             "loss"
         };
-        println!("{:<12} {:>12} {:>12} {:>8}", format!("({f1},{f2})"), no_sw, sw, effect);
+        println!(
+            "{:<12} {:>12} {:>12} {:>8}",
+            format!("({f1},{f2})"),
+            no_sw,
+            sw,
+            effect
+        );
     }
     assert!(helped >= 1, "the cold-path runs must win");
-    assert!(helped + neutral == 4, "no path may lose with block-entry insertion");
+    assert!(
+        helped + neutral == 4,
+        "no path may lose with block-entry insertion"
+    );
     println!("  [figure 3: {helped} winning path(s), {neutral} neutral]\n");
 }
 

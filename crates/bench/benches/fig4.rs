@@ -59,7 +59,10 @@ fn module_for(nq: i64, nr: i64) -> ipra_ir::Module {
 fn measure(nq: i64, nr: i64, cfg: &Config) -> (u64, u64) {
     let module = module_for(nq, nr);
     let m = compile_and_run(&module, cfg).unwrap();
-    (m.stats.cycles, m.stats.loads(MemClass::SaveRestore) + m.stats.stores(MemClass::SaveRestore))
+    (
+        m.stats.cycles,
+        m.stats.loads(MemClass::SaveRestore) + m.stats.stores(MemClass::SaveRestore),
+    )
 }
 
 fn print_figure() {

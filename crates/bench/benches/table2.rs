@@ -15,7 +15,12 @@ fn print_table() {
     );
     for w in ipra_workloads::all() {
         let module = ipra_workloads::compile_workload(w).expect("workload compiles");
-        let row = table_row(w.name, &module, &Config::o2_base(), &[Config::d(), Config::e()]);
+        let row = table_row(
+            w.name,
+            &module,
+            &Config::o2_base(),
+            &[Config::d(), Config::e()],
+        );
         let (d_c, e_c) = (row.columns[0].1, row.columns[1].1);
         let winner = if (d_c - e_c).abs() < 0.05 {
             "tie"
@@ -29,7 +34,9 @@ fn print_table() {
             row.workload, d_c, e_c, row.columns[0].2, row.columns[1].2
         );
     }
-    println!("(key: D = -O3+SW with 7 caller-saved regs, E = with 7 callee-saved; paper Table 2)\n");
+    println!(
+        "(key: D = -O3+SW with 7 caller-saved regs, E = with 7 callee-saved; paper Table 2)\n"
+    );
 }
 
 fn table_then_bench(c: &mut Criterion) {

@@ -5,15 +5,28 @@ use ipra_driver::{table_row, Config};
 
 fn main() {
     println!("Table 1 reproduction — % reduction vs -O2 (shrink-wrap off)");
-    println!("{:<10} {:>11} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
-        "program", "cycles/call", "I.A", "I.B", "I.C", "II.A", "II.B", "II.C");
+    println!(
+        "{:<10} {:>11} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "program", "cycles/call", "I.A", "I.B", "I.C", "II.A", "II.B", "II.C"
+    );
     for w in ipra_workloads::all() {
         let module = ipra_workloads::compile_workload(w).expect("workload compiles");
-        let row = table_row(w.name, &module, &Config::o2_base(),
-            &[Config::a(), Config::b(), Config::c()]);
-        println!("{:<10} {:>11.0} | {:>6.1}% {:>6.1}% {:>6.1}% | {:>6.1}% {:>6.1}% {:>6.1}%",
-            row.workload, row.cycles_per_call,
-            row.columns[0].1, row.columns[1].1, row.columns[2].1,
-            row.columns[0].2, row.columns[1].2, row.columns[2].2);
+        let row = table_row(
+            w.name,
+            &module,
+            &Config::o2_base(),
+            &[Config::a(), Config::b(), Config::c()],
+        );
+        println!(
+            "{:<10} {:>11.0} | {:>6.1}% {:>6.1}% {:>6.1}% | {:>6.1}% {:>6.1}% {:>6.1}%",
+            row.workload,
+            row.cycles_per_call,
+            row.columns[0].1,
+            row.columns[1].1,
+            row.columns[2].1,
+            row.columns[0].2,
+            row.columns[1].2,
+            row.columns[2].2
+        );
     }
 }

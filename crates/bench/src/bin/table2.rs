@@ -5,10 +5,18 @@ use ipra_driver::{table_row, Config};
 
 fn main() {
     println!("Table 2 reproduction — % reduction vs -O2 full register set");
-    println!("{:<10} | {:>7} {:>7} | {:>7} {:>7}", "program", "I.D", "I.E", "II.D", "II.E");
+    println!(
+        "{:<10} | {:>7} {:>7} | {:>7} {:>7}",
+        "program", "I.D", "I.E", "II.D", "II.E"
+    );
     for w in ipra_workloads::all() {
         let module = ipra_workloads::compile_workload(w).expect("workload compiles");
-        let row = table_row(w.name, &module, &Config::o2_base(), &[Config::d(), Config::e()]);
+        let row = table_row(
+            w.name,
+            &module,
+            &Config::o2_base(),
+            &[Config::d(), Config::e()],
+        );
         println!(
             "{:<10} | {:>6.1}% {:>6.1}% | {:>6.1}% {:>6.1}%",
             row.workload, row.columns[0].1, row.columns[1].1, row.columns[0].2, row.columns[1].2

@@ -40,7 +40,10 @@ impl CallGraph {
                 if let Inst::Call { callee, .. } = inst {
                     match callee {
                         Callee::Direct(t) => {
-                            call_sites[id.index()].push(CallSite { loc, target: Some(*t) });
+                            call_sites[id.index()].push(CallSite {
+                                loc,
+                                target: Some(*t),
+                            });
                             if !callees[id.index()].contains(t) {
                                 callees[id.index()].push(*t);
                             }

@@ -37,10 +37,16 @@ impl ModRef {
             let i = id.index();
             for (_, inst) in f.inst_locs() {
                 match inst {
-                    Inst::Load { addr: Address::Global { global, .. }, .. } => {
+                    Inst::Load {
+                        addr: Address::Global { global, .. },
+                        ..
+                    } => {
                         reads[i][global.index()] = true;
                     }
-                    Inst::Store { addr: Address::Global { global, .. }, .. } => {
+                    Inst::Store {
+                        addr: Address::Global { global, .. },
+                        ..
+                    } => {
                         writes[i][global.index()] = true;
                     }
                     _ => {}
@@ -81,7 +87,11 @@ impl ModRef {
             }
         }
 
-        ModRef { reads, writes, calls_unknown }
+        ModRef {
+            reads,
+            writes,
+            calls_unknown,
+        }
     }
 
     /// Whether a call to `callee` may read or write global index `g`.
@@ -134,7 +144,10 @@ mod tests {
         let cg = CallGraph::build(&m);
         let scc = SccInfo::compute(&cg);
         let mr = ModRef::compute(&m, &cg, &scc);
-        assert!(mr.writes[top.index()][g.index()], "write reaches top transitively");
+        assert!(
+            mr.writes[top.index()][g.index()],
+            "write reaches top transitively"
+        );
         assert!(mr.reads[top.index()][h.index()]);
         assert!(!mr.reads[writer.index()][h.index()]);
         assert!(mr.may_write(top, g.index()));
@@ -162,7 +175,10 @@ mod tests {
         let scc = SccInfo::compute(&cg);
         let mr = ModRef::compute(&m, &cg, &scc);
         assert!(mr.calls_unknown[main.index()]);
-        assert!(mr.touches(main, g.index()), "indirect call touches everything");
+        assert!(
+            mr.touches(main, g.index()),
+            "indirect call touches everything"
+        );
         assert!(!mr.touches(f, g.index()));
     }
 
@@ -188,7 +204,10 @@ mod tests {
         let cg = CallGraph::build(&m);
         let scc = SccInfo::compute(&cg);
         let mr = ModRef::compute(&m, &cg, &scc);
-        assert!(mr.writes[a.index()][g.index()], "cycle member inherits partner's effect");
+        assert!(
+            mr.writes[a.index()][g.index()],
+            "cycle member inherits partner's effect"
+        );
         assert!(mr.writes[b_id.index()][g.index()]);
     }
 }

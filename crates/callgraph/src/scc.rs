@@ -94,13 +94,33 @@ impl SccInfo {
             }
         }
         // Direct self-recursion forms a singleton SCC but is still a cycle.
-        for f in 0..n {
+        for (f, cyclic) in on_cycle.iter_mut().enumerate() {
             if cg.callees[f].iter().any(|c| c.index() == f) {
-                on_cycle[f] = true;
+                *cyclic = true;
             }
         }
 
-        SccInfo { components, component_of, on_cycle }
+        SccInfo {
+            components,
+            component_of,
+            on_cycle,
+        }
+    }
+
+    /// Reports call-graph structure counters to the observability sink.
+    /// Called once per compilation (helper passes may compute extra SCC
+    /// decompositions; those are not reported).
+    pub fn record_stats(&self) {
+        ipra_obs::counter("callgraph.functions", self.component_of.len() as u64);
+        ipra_obs::counter("callgraph.sccs", self.components.len() as u64);
+        ipra_obs::counter(
+            "callgraph.recursive_funcs",
+            self.on_cycle.iter().filter(|&&c| c).count() as u64,
+        );
+        ipra_obs::counter(
+            "callgraph.largest_scc",
+            self.components.iter().map(|c| c.len()).max().unwrap_or(0) as u64,
+        );
     }
 
     /// A flat bottom-up processing order over all functions: every function

@@ -53,7 +53,10 @@ impl Dominators {
                 }
             }
         }
-        Dominators { idom, entry: cfg.entry }
+        Dominators {
+            idom,
+            entry: cfg.entry,
+        }
     }
 
     /// Immediate dominator of `b` (`None` for the entry and for unreachable
@@ -133,7 +136,11 @@ mod tests {
         let f = b.build();
         let cfg = Cfg::new(&f);
         let dom = Dominators::compute(&cfg);
-        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)), "join's idom skips both arms");
+        assert_eq!(
+            dom.idom(BlockId(3)),
+            Some(BlockId(0)),
+            "join's idom skips both arms"
+        );
         assert!(!dom.dominates(BlockId(1), BlockId(3)));
     }
 }

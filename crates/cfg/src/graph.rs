@@ -70,7 +70,14 @@ impl Cfg {
             .map(|(id, _)| id)
             .collect();
 
-        Cfg { entry: func.entry, succs, preds, exits, rpo, rpo_pos }
+        Cfg {
+            entry: func.entry,
+            succs,
+            preds,
+            exits,
+            rpo,
+            rpo_pos,
+        }
     }
 
     /// Number of blocks in the underlying function (reachable or not).
@@ -161,7 +168,10 @@ mod tests {
         b.ret(None);
         let f = b.build();
         let cfg = Cfg::new(&f);
-        assert!(cfg.preds(BlockId(1)).contains(&BlockId(1)), "self edge recorded");
+        assert!(
+            cfg.preds(BlockId(1)).contains(&BlockId(1)),
+            "self edge recorded"
+        );
         assert_eq!(cfg.exits, vec![BlockId(2)]);
     }
 }

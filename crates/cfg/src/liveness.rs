@@ -47,11 +47,26 @@ impl Liveness {
         }
 
         let transfer: Vec<GenKill> = (0..nb)
-            .map(|i| GenKill { gen: uevar[i].clone(), kill: defs[i].clone() })
+            .map(|i| GenKill {
+                gen: uevar[i].clone(),
+                kill: defs[i].clone(),
+            })
             .collect();
-        let r = solve(cfg, Direction::Backward, Meet::Union, &BitSet::new(nv), &transfer);
+        let r = solve(
+            cfg,
+            Direction::Backward,
+            Meet::Union,
+            &BitSet::new(nv),
+            &transfer,
+        );
+        ipra_obs::counter("dataflow.liveness.iterations", r.iterations as u64);
 
-        Liveness { live_in: r.entry, live_out: r.exit, uevar, defs }
+        Liveness {
+            live_in: r.entry,
+            live_out: r.exit,
+            uevar,
+            defs,
+        }
     }
 
     /// Whether `v` is live at the entry of `b`.
@@ -146,8 +161,14 @@ mod tests {
         let f = b.build();
         let cfg = Cfg::new(&f);
         let lv = Liveness::compute(&f, &cfg);
-        assert!(lv.uevar[1].contains(v.index()), "v read before its redefinition");
+        assert!(
+            lv.uevar[1].contains(v.index()),
+            "v read before its redefinition"
+        );
         assert!(lv.is_live_in(BlockId(1), v));
-        assert!(lv.is_live_out(BlockId(1), v), "loop keeps v live at exit of h");
+        assert!(
+            lv.is_live_out(BlockId(1), v),
+            "loop keeps v live at exit of h"
+        );
     }
 }

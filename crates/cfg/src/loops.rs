@@ -185,7 +185,11 @@ mod tests {
         let cfg = Cfg::new(&f);
         let dom = Dominators::compute(&cfg);
         let li = LoopInfo::compute(&cfg, &dom);
-        assert_eq!(li.loops.len(), 1, "back edges with one header form one loop");
+        assert_eq!(
+            li.loops.len(),
+            1,
+            "back edges with one header form one loop"
+        );
         assert_eq!(li.loops[0].blocks.count(), 3);
     }
 }

@@ -1,6 +1,11 @@
 //! Property-based tests of the analysis substrate: bitset algebra,
 //! dominator laws, loop facts and data-flow fixpoint properties on random
 //! graphs.
+//! Gated behind the non-default `proptest` feature: the external
+//! `proptest` crate is not vendored, so offline builds compile this
+//! file to nothing. Enable with `--features proptest` after adding
+//! the dev-dependency back (requires network access).
+#![cfg(feature = "proptest")]
 
 use ipra_cfg::{solve, BitSet, Cfg, Direction, Dominators, GenKill, Liveness, LoopInfo, Meet};
 use ipra_ir::builder::FunctionBuilder;
@@ -38,8 +43,7 @@ fn build_function(n: usize, edges: &[(usize, Option<usize>)]) -> Function {
 fn arb_function() -> impl Strategy<Value = Function> {
     (2usize..9).prop_flat_map(|n| {
         let edge = (0usize..n, proptest::option::of(0usize..n));
-        proptest::collection::vec(edge, 0..n)
-            .prop_map(move |edges| build_function(n, &edges))
+        proptest::collection::vec(edge, 0..n).prop_map(move |edges| build_function(n, &edges))
     })
 }
 

@@ -99,6 +99,7 @@ pub fn allocate_function(
     profile: Option<&[u64]>,
 ) -> FuncArtifacts {
     let func = &module.funcs[fid];
+    let ranges_span = ipra_obs::span("ranges");
     let cfg = Cfg::new(func);
     let dom = Dominators::compute(&cfg);
     let loops = LoopInfo::compute(&cfg, &dom);
@@ -108,8 +109,11 @@ pub fn allocate_function(
         None => BlockWeights::from_loops(&cfg, &loops),
     };
     let ranges = RangeData::build(func, &cfg, &liveness, &weights);
+    drop(ranges_span);
 
     let inter = opts.mode == AllocMode::Inter;
+
+    let priority_span = ipra_obs::span("priority");
 
     // Resolve each call site: clobber mask + callee argument convention.
     let mut site_clobbers: Vec<RegMask> = Vec::with_capacity(ranges.call_sites.len());
@@ -163,7 +167,9 @@ pub fn allocate_function(
         }
     }
     for (si, site) in ranges.call_sites.iter().enumerate() {
-        let ipra_ir::Inst::Call { args, .. } = func.inst(site.loc) else { continue };
+        let ipra_ir::Inst::Call { args, .. } = func.inst(site.loc) else {
+            continue;
+        };
         for (j, arg) in args.iter().enumerate() {
             let (Operand::Reg(v), Some(ParamLoc::Reg(r))) = (arg, site_args[si].get(j)) else {
                 continue;
@@ -174,8 +180,21 @@ pub fn allocate_function(
         }
     }
 
+    drop(priority_span);
+
     // Color.
+    let color_span = ipra_obs::span("color");
     let assignment = if opts.mode == AllocMode::NoAlloc {
+        // Every candidate is trivially a memory decision under -O0.
+        for lr in ranges.ranges.iter().filter(|lr| lr.is_candidate()) {
+            ipra_obs::event("alloc.decision", || {
+                vec![
+                    ("vreg", ipra_obs::TraceValue::Int(lr.vreg.index() as i64)),
+                    ("kind", ipra_obs::TraceValue::Str("mem".into())),
+                    ("priority", ipra_obs::TraceValue::Float(0.0)),
+                ]
+            });
+        }
         Assignment {
             whole: vec![VregLoc::Mem; func.num_vregs()],
             split: vec![None; func.num_vregs()],
@@ -194,6 +213,7 @@ pub fn allocate_function(
         };
         color(&ctx, &cfg, &liveness, opts.split_ranges)
     };
+    drop(color_span);
 
     // My own parameter arrival convention.
     let mut param_locs = Vec::with_capacity(func.params.len());
@@ -265,6 +285,7 @@ pub fn allocate_function(
         app
     };
 
+    let shrink_span = ipra_obs::span("shrink_wrap");
     let (locally_saved, save_plan, shrink_iterations);
     if opts.mode == AllocMode::NoAlloc {
         locally_saved = RegMask::EMPTY;
@@ -276,8 +297,7 @@ pub fn allocate_function(
         // a callee-saved register is used by the parent or any of its
         // children, the parent must save it on entry and restore it on
         // exit").
-        let candidates =
-            RegMask(cs.0 & (used | clobber_union).0 & !param_target_regs.0);
+        let candidates = RegMask(cs.0 & (used | clobber_union).0 & !param_target_regs.0);
         if opts.shrink_wrap {
             let plan = shrink_wrap(&cfg, &loops, &app_for(candidates));
             shrink_iterations = plan.iterations;
@@ -303,9 +323,8 @@ pub fn allocate_function(
         let keep = RegMask(consider.0 & !plan.entry_spanning.0);
         // The analysis is bitwise-independent per register, so dropping the
         // propagated registers from every mask yields the plan for `keep`.
-        let strip = |v: &[RegMask]| -> Vec<RegMask> {
-            v.iter().map(|m| m.intersect(keep)).collect()
-        };
+        let strip =
+            |v: &[RegMask]| -> Vec<RegMask> { v.iter().map(|m| m.intersect(keep)).collect() };
         save_plan = SavePlan {
             save_at: strip(&plan.save_at),
             restore_at: strip(&plan.restore_at),
@@ -314,13 +333,19 @@ pub fn allocate_function(
         };
         locally_saved = keep;
     }
+    drop(shrink_span);
+    ipra_obs::counter("shrink_wrap.iterations", shrink_iterations as u64);
 
     // Summary.
     let summary = if inter && !is_open && opts.mode != AllocMode::NoAlloc {
         let mut clobbers = RegMask((used | clobber_union).0 & !locally_saved.0);
         clobbers.insert(target.regs.ret_reg());
         clobbers |= param_target_regs;
-        FuncSummary { clobbers, param_locs: param_locs.clone(), is_default: false }
+        FuncSummary {
+            clobbers,
+            param_locs: param_locs.clone(),
+            is_default: false,
+        }
     } else {
         FuncSummary::default_for(&target.regs, func.params.len())
     };
@@ -328,7 +353,7 @@ pub fn allocate_function(
     let tree_used = {
         let mut m = used | subtree_used | locally_saved;
         for (si, site) in ranges.call_sites.iter().enumerate() {
-            if site.callee.map_or(true, |c| !env.tree_used.contains_key(&c)) {
+            if site.callee.is_none_or(|c| !env.tree_used.contains_key(&c)) {
                 m |= site_clobbers[si];
             }
         }

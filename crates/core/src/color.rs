@@ -95,7 +95,8 @@ pub fn color(
 
     // Max-heap of (density, vreg); keys may go stale, so they are
     // re-validated on pop.
-    let mut heap: std::collections::BinaryHeap<(Score, usize)> = std::collections::BinaryHeap::new();
+    let mut heap: std::collections::BinaryHeap<(Score, usize)> =
+        std::collections::BinaryHeap::new();
     for lr in &ctx.ranges.ranges {
         if !lr.is_candidate() {
             continue;
@@ -129,10 +130,17 @@ pub fn color(
                     // sub-region still pays.
                     if split_enabled {
                         try_split(
-                            ctx, cfg, liveness, vi, &mut split, &mut occ_whole, &mut occ_split,
+                            ctx,
+                            cfg,
+                            liveness,
+                            vi,
+                            &mut split,
+                            &mut occ_whole,
+                            &mut occ_split,
                             &mut used,
                         );
                     }
+                    emit_decision(ctx, vi, &split, None, d2);
                     continue;
                 }
                 whole[vi] = VregLoc::Reg(r);
@@ -143,21 +151,71 @@ pub fn color(
                 for b in lr.blocks.iter() {
                     occ_whole[b].insert(r);
                 }
+                emit_decision(ctx, vi, &split, Some(r), d2);
             }
             None => {
                 // Every register is forbidden over the whole range.
                 done[vi] = true;
                 if split_enabled {
                     try_split(
-                        ctx, cfg, liveness, vi, &mut split, &mut occ_whole, &mut occ_split,
+                        ctx,
+                        cfg,
+                        liveness,
+                        vi,
+                        &mut split,
+                        &mut occ_whole,
+                        &mut occ_split,
                         &mut used,
                     );
                 }
+                emit_decision(ctx, vi, &split, None, d);
             }
         }
     }
 
+    // Candidates that never reached the heap (no register was ever
+    // available, or the initial density had no viable register) still get a
+    // decision record, so every candidate vreg appears exactly once.
+    for lr in &ctx.ranges.ranges {
+        if lr.is_candidate() && !done[lr.vreg.index()] {
+            emit_decision(ctx, lr.vreg.index(), &split, None, f64::NEG_INFINITY);
+        }
+    }
+
     Assignment { whole, split, used }
+}
+
+/// Records one `alloc.decision` event: the final location class of a
+/// candidate vreg and the priority density that decided it. `priority` is
+/// `-inf` (rendered as JSON `null`) when the range never had a viable
+/// register to price.
+fn emit_decision(
+    ctx: &PriorityCtx<'_>,
+    vi: usize,
+    split: &[Option<HashMap<usize, PReg>>],
+    reg: Option<PReg>,
+    priority: f64,
+) {
+    ipra_obs::event("alloc.decision", || {
+        use ipra_obs::TraceValue as V;
+        let kind = match (reg, &split[vi]) {
+            (Some(r), _) => match ctx.target.regs.class(r) {
+                Some(RegClass::CalleeSaved) => "callee_saved",
+                _ => "caller_saved",
+            },
+            (None, Some(_)) => "split",
+            (None, None) => "mem",
+        };
+        let mut fields = vec![
+            ("vreg", V::Int(vi as i64)),
+            ("kind", V::Str(kind.into())),
+            ("priority", V::Float(priority)),
+        ];
+        if let Some(r) = reg {
+            fields.push(("reg", V::Str(ctx.target.regs.name(r).to_string())));
+        }
+        fields
+    });
 }
 
 /// Attempts to give connected, profitable sub-regions of `vi`'s live range
@@ -249,7 +307,10 @@ fn try_split(
                 let bid = BlockId(b as u32);
                 let w = ctx.weights.weight(bid).max(1.0);
                 if liveness.live_in[b].contains(vi)
-                    && cfg.preds(bid).iter().any(|p| !in_region.contains(&p.index()))
+                    && cfg
+                        .preds(bid)
+                        .iter()
+                        .any(|p| !in_region.contains(&p.index()))
                 {
                     net -= w * c.load as f64;
                 }
@@ -266,7 +327,7 @@ fn try_split(
                 net -= ctx.entry_weight * save_restore;
             }
 
-            if net > 1e-9 && best.as_ref().map_or(true, |(_, _, bn)| net > *bn) {
+            if net > 1e-9 && best.as_ref().is_none_or(|(_, _, bn)| net > *bn) {
                 best = Some((r, region, net));
             }
         }

@@ -56,17 +56,27 @@ impl AllocOptions {
 
     /// Table 1 configuration A: `-O2` with shrink-wrap.
     pub fn o2_shrink_wrap() -> Self {
-        AllocOptions { shrink_wrap: true, ..Self::o2_base() }
+        AllocOptions {
+            shrink_wrap: true,
+            ..Self::o2_base()
+        }
     }
 
     /// Table 1 configuration B: `-O3` without shrink-wrap.
     pub fn o3_no_shrink_wrap() -> Self {
-        AllocOptions { mode: AllocMode::Inter, custom_param_regs: true, ..Self::o2_base() }
+        AllocOptions {
+            mode: AllocMode::Inter,
+            custom_param_regs: true,
+            ..Self::o2_base()
+        }
     }
 
     /// Table 1 configuration C: `-O3` with shrink-wrap.
     pub fn o3() -> Self {
-        AllocOptions { shrink_wrap: true, ..Self::o3_no_shrink_wrap() }
+        AllocOptions {
+            shrink_wrap: true,
+            ..Self::o3_no_shrink_wrap()
+        }
     }
 
     /// The no-allocation oracle configuration.

@@ -75,12 +75,22 @@ pub fn compile_module_with_profile(
     // Prologue code must run once per invocation, so entries may not be
     // branch targets (front ends guarantee this; generated IR may not).
     normalize_entries(&mut module);
-    let promotion =
-        if opts.promote_globals { promote_globals(&mut module) } else { PromotionStats::default() };
+    let promotion = if opts.promote_globals {
+        promote_globals(&mut module)
+    } else {
+        PromotionStats::default()
+    };
+    ipra_obs::counter("promote.promoted", promotion.promoted as u64);
+    ipra_obs::counter(
+        "promote.accesses_rewritten",
+        promotion.accesses_rewritten as u64,
+    );
 
     let cg = CallGraph::build(&module);
     let scc = SccInfo::compute(&cg);
     let openness = Openness::compute(&module, &cg, &scc);
+    scc.record_stats();
+    openness.record_stats();
 
     let inter = opts.mode == AllocMode::Inter;
     let n = module.funcs.len();
@@ -88,6 +98,7 @@ pub fn compile_module_with_profile(
     let mut artifacts: Vec<Option<FuncArtifacts>> = (0..n).map(|_| None).collect();
 
     for fid in scc.bottom_up_order() {
+        let _obs = ipra_obs::scope(&module.funcs[fid].name);
         let forced = opts.forced_open.contains(&module.funcs[fid].name);
         let is_open = !inter || forced || openness.is_open(fid);
         let art = allocate_function(
@@ -111,8 +122,14 @@ pub fn compile_module_with_profile(
     let mut clobber_masks = Vec::with_capacity(n);
     let mut reports = Vec::with_capacity(n);
     for (fid, func) in module.funcs.iter() {
-        let art = artifacts[fid.index()].as_ref().expect("every function allocated");
-        funcs.push(lower_function(&module, func, target, art));
+        let art = artifacts[fid.index()]
+            .as_ref()
+            .expect("every function allocated");
+        {
+            let _obs = ipra_obs::scope(&func.name);
+            let _t = ipra_obs::span("lower");
+            funcs.push(lower_function(&module, func, target, art));
+        }
 
         let a = &art.alloc;
         summaries.push(a.summary.clone());
@@ -149,7 +166,11 @@ pub fn compile_module_with_profile(
     }
 
     CompiledModule {
-        mmodule: MModule { funcs, globals: module.globals.clone(), main: module.main },
+        mmodule: MModule {
+            funcs,
+            globals: module.globals.clone(),
+            main: module.main,
+        },
         summaries,
         clobber_masks,
         reports,

@@ -31,13 +31,13 @@ pub mod shrinkwrap;
 pub mod summary;
 
 pub use alloc::{allocate_function, CallPlan, FuncAllocation, FuncArtifacts, SummaryEnv};
+pub use color::{Assignment, VregLoc};
+pub use config::{AllocMode, AllocOptions};
 pub use ipra::{compile_module, compile_module_with_profile, CompiledModule, FuncReport};
 pub use lower::lower_function;
 pub use normalize::normalize_entries;
-pub use promote::{promote_globals, PromotionStats};
-pub use color::{Assignment, VregLoc};
-pub use config::{AllocMode, AllocOptions};
 pub use priority::PriorityCtx;
+pub use promote::{promote_globals, PromotionStats};
 pub use ranges::{BlockWeights, CallSiteInfo, LiveRange, RangeData};
 pub use shrinkwrap::{shrink_wrap, verify_plan, SavePlan};
 pub use summary::{FuncSummary, ParamLoc};

@@ -53,23 +53,30 @@ pub fn lower_function(
 }
 
 impl<'a> Lowerer<'a> {
-    fn new(module: &'a Module, func: &'a Function, target: &'a Target, art: &'a FuncArtifacts) -> Self {
+    fn new(
+        module: &'a Module,
+        func: &'a Function,
+        target: &'a Target,
+        art: &'a FuncArtifacts,
+    ) -> Self {
         let mut frame = EntityVec::new();
         let nv = func.num_vregs();
 
         // Home slots for memory-resident (or split) vregs.
         let mut home = vec![None; nv];
-        for v in 0..nv {
+        for (v, slot) in home.iter_mut().enumerate() {
             let vr = Vreg(v as u32);
             if art.alloc.assignment.needs_home(vr) && art.ranges.ranges[v].num_refs > 0 {
-                home[v] = Some(frame.push(FrameSlot {
-                    size: 1,
-                    purpose: SlotPurpose::Home,
-                    label: func
-                        .vreg_name(vr)
-                        .map(|n| format!("home_{n}"))
-                        .unwrap_or_else(|| format!("home_{vr}")),
-                }));
+                *slot = Some(
+                    frame.push(FrameSlot {
+                        size: 1,
+                        purpose: SlotPurpose::Home,
+                        label: func
+                            .vreg_name(vr)
+                            .map(|n| format!("home_{n}"))
+                            .unwrap_or_else(|| format!("home_{vr}")),
+                    }),
+                );
             }
         }
 
@@ -122,8 +129,13 @@ impl<'a> Lowerer<'a> {
             }))
         };
 
-        let call_plan_at =
-            art.alloc.call_plans.iter().enumerate().map(|(i, p)| (p.loc, i)).collect();
+        let call_plan_at = art
+            .alloc
+            .call_plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.loc, i))
+            .collect();
 
         let nb = func.num_blocks();
         Lowerer {
@@ -170,7 +182,10 @@ impl<'a> Lowerer<'a> {
                 let bi = b.index();
                 if let VregLoc::Reg(r) = self.loc(vr, b) {
                     if live.live_in[bi].contains(v)
-                        && cfg.preds(b).iter().any(|&p| self.loc(vr, p) != VregLoc::Reg(r))
+                        && cfg
+                            .preds(b)
+                            .iter()
+                            .any(|&p| self.loc(vr, p) != VregLoc::Reg(r))
                     {
                         loads[bi] = true;
                         self.boundary_loads[bi].push((vr, r));
@@ -214,7 +229,13 @@ impl<'a> Lowerer<'a> {
 
     /// Address lowering; the index, when memory-resident, loads into
     /// `scratch`.
-    fn addr(&self, a: Address, b: BlockId, scratch: PReg, out: &mut Vec<MInst>) -> (MAddress, MemClass) {
+    fn addr(
+        &self,
+        a: Address,
+        b: BlockId,
+        scratch: PReg,
+        out: &mut Vec<MInst>,
+    ) -> (MAddress, MemClass) {
         match a {
             Address::Global { global, index } => {
                 let idx = self.operand(index, b, scratch, out);
@@ -227,7 +248,13 @@ impl<'a> Lowerer<'a> {
             }
             Address::Stack { slot, index } => {
                 let idx = self.operand(index, b, scratch, out);
-                (MAddress::Frame { slot: self.array_slots[&slot], index: idx }, MemClass::Data)
+                (
+                    MAddress::Frame {
+                        slot: self.array_slots[&slot],
+                        index: idx,
+                    },
+                    MemClass::Data,
+                )
             }
         }
     }
@@ -392,7 +419,10 @@ impl<'a> Lowerer<'a> {
         out.extend(resolve_parallel_moves(&moves, s0));
 
         // 5. The call itself.
-        out.push(MInst::Call { callee: m_callee, num_stack_args: plan.num_stack_args });
+        out.push(MInst::Call {
+            callee: m_callee,
+            num_stack_args: plan.num_stack_args,
+        });
 
         // 6. Return value.
         if let Some(d) = dst {
@@ -403,7 +433,10 @@ impl<'a> Lowerer<'a> {
                         !plan.save_around.contains(r),
                         "call result register cannot be a saved-around register"
                     );
-                    out.push(MInst::Copy { dst: r, src: MOperand::Reg(rv) });
+                    out.push(MInst::Copy {
+                        dst: r,
+                        src: MOperand::Reg(rv),
+                    });
                 }
                 VregLoc::Mem => out.push(MInst::Store {
                     src: MOperand::Reg(rv),
@@ -442,30 +475,50 @@ impl<'a> Lowerer<'a> {
                 let l = self.operand(*lhs, b, s0, out);
                 let r = self.operand(*rhs, b, s1, out);
                 let (t, post) = self.def_target(*dst, b, s0);
-                out.push(MInst::Bin { op: *op, dst: t, lhs: l, rhs: r });
+                out.push(MInst::Bin {
+                    op: *op,
+                    dst: t,
+                    lhs: l,
+                    rhs: r,
+                });
                 out.extend(post);
             }
             Inst::Un { op, dst, src } => {
                 let s = self.operand(*src, b, s1, out);
                 let (t, post) = self.def_target(*dst, b, s0);
-                out.push(MInst::Un { op: *op, dst: t, src: s });
+                out.push(MInst::Un {
+                    op: *op,
+                    dst: t,
+                    src: s,
+                });
                 out.extend(post);
             }
             Inst::Load { dst, addr } => {
                 let (a, class) = self.addr(*addr, b, s1, out);
                 let (t, post) = self.def_target(*dst, b, s0);
-                out.push(MInst::Load { dst: t, addr: a, class });
+                out.push(MInst::Load {
+                    dst: t,
+                    addr: a,
+                    class,
+                });
                 out.extend(post);
             }
             Inst::Store { src, addr } => {
                 let val = self.operand(*src, b, s0, out);
                 let (a, class) = self.addr(*addr, b, s1, out);
-                out.push(MInst::Store { src: val, addr: a, class });
+                out.push(MInst::Store {
+                    src: val,
+                    addr: a,
+                    class,
+                });
             }
             Inst::Call { callee, args, dst } => self.lower_call(loc, callee, args, *dst, out),
             Inst::FuncAddr { dst, func } => {
                 let (t, post) = self.def_target(*dst, b, s0);
-                out.push(MInst::FuncAddr { dst: t, func: *func });
+                out.push(MInst::FuncAddr {
+                    dst: t,
+                    func: *func,
+                });
                 out.extend(post);
             }
             Inst::Print { arg } => {
@@ -506,7 +559,14 @@ impl<'a> Lowerer<'a> {
             }
 
             for (i, inst) in block.insts.iter().enumerate() {
-                self.lower_inst(InstLoc { block: bid, inst: i }, inst, &mut out);
+                self.lower_inst(
+                    InstLoc {
+                        block: bid,
+                        inst: i,
+                    },
+                    inst,
+                    &mut out,
+                );
             }
 
             // Split boundary stores.
@@ -531,7 +591,11 @@ impl<'a> Lowerer<'a> {
                     MTerminator::Ret
                 }
                 Terminator::Br(t) => MTerminator::Br(*t),
-                Terminator::CondBr { cond, then_to, else_to } => {
+                Terminator::CondBr {
+                    cond,
+                    then_to,
+                    else_to,
+                } => {
                     let mut op = self.operand(*cond, bid, s0, &mut out);
                     // A restore below may clobber the condition register.
                     if let MOperand::Reg(r) = op {
@@ -540,7 +604,11 @@ impl<'a> Lowerer<'a> {
                             op = MOperand::Reg(s0);
                         }
                     }
-                    MTerminator::CondBr { cond: op, then_to: *then_to, else_to: *else_to }
+                    MTerminator::CondBr {
+                        cond: op,
+                        then_to: *then_to,
+                        else_to: *else_to,
+                    }
                 }
             };
 
@@ -565,8 +633,14 @@ impl<'a> Lowerer<'a> {
             blocks.push(MBlock { insts: out, term });
         }
 
-        let max_outgoing =
-            self.art.alloc.call_plans.iter().map(|p| p.num_stack_args).max().unwrap_or(0);
+        let max_outgoing = self
+            .art
+            .alloc
+            .call_plans
+            .iter()
+            .map(|p| p.num_stack_args)
+            .max()
+            .unwrap_or(0);
 
         MFunction {
             name: self.func.name.clone(),

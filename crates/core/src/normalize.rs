@@ -51,25 +51,17 @@ mod tests {
         let fid = m.add_func(b.build());
         m.main = Some(fid);
 
-        let before = ipra_ir::interp::run_function(
-            &m,
-            fid,
-            &[],
-            ipra_ir::interp::InterpOptions::default(),
-        )
-        .unwrap();
+        let before =
+            ipra_ir::interp::run_function(&m, fid, &[], ipra_ir::interp::InterpOptions::default())
+                .unwrap();
         assert_eq!(normalize_entries(&mut m), 1);
         ipra_ir::verify::verify_module(&m).unwrap();
         let f = &m.funcs[fid];
         assert_ne!(f.entry, e);
         assert!(!entry_is_branch_target(f));
-        let after = ipra_ir::interp::run_function(
-            &m,
-            fid,
-            &[],
-            ipra_ir::interp::InterpOptions::default(),
-        )
-        .unwrap();
+        let after =
+            ipra_ir::interp::run_function(&m, fid, &[], ipra_ir::interp::InterpOptions::default())
+                .unwrap();
         assert_eq!(before.output, after.output);
     }
 

@@ -36,7 +36,10 @@ pub fn resolve_parallel_moves(moves: &[(PReg, MoveSrc)], scratch: PReg) -> Vec<M
     {
         let mut seen = std::collections::HashSet::new();
         for (dst, src) in moves {
-            assert!(seen.insert(*dst), "duplicate destination {dst} in parallel move");
+            assert!(
+                seen.insert(*dst),
+                "duplicate destination {dst} in parallel move"
+            );
             assert_ne!(*dst, scratch, "scratch register used as destination");
             if let MoveSrc::Reg(s) = src {
                 assert_ne!(*s, scratch, "scratch register used as source");
@@ -63,12 +66,18 @@ pub fn resolve_parallel_moves(moves: &[(PReg, MoveSrc)], scratch: PReg) -> Vec<M
         match safe {
             Some(i) => {
                 let (d, s) = pending.swap_remove(i);
-                out.push(MInst::Copy { dst: d, src: MOperand::Reg(s) });
+                out.push(MInst::Copy {
+                    dst: d,
+                    src: MOperand::Reg(s),
+                });
             }
             None => {
                 // Pure cycle(s): break one by parking a source in scratch.
                 let (d0, s0) = pending[0];
-                out.push(MInst::Copy { dst: scratch, src: MOperand::Reg(s0) });
+                out.push(MInst::Copy {
+                    dst: scratch,
+                    src: MOperand::Reg(s0),
+                });
                 // Every pending read of s0 now reads scratch.
                 for (_, s) in pending.iter_mut() {
                     if *s == s0 {
@@ -83,10 +92,15 @@ pub fn resolve_parallel_moves(moves: &[(PReg, MoveSrc)], scratch: PReg) -> Vec<M
     // Constant and memory fills last.
     for (d, s) in moves {
         match s {
-            MoveSrc::Imm(i) => out.push(MInst::Copy { dst: *d, src: MOperand::Imm(*i) }),
-            MoveSrc::Mem(addr, class) => {
-                out.push(MInst::Load { dst: *d, addr: *addr, class: *class })
-            }
+            MoveSrc::Imm(i) => out.push(MInst::Copy {
+                dst: *d,
+                src: MOperand::Imm(*i),
+            }),
+            MoveSrc::Mem(addr, class) => out.push(MInst::Load {
+                dst: *d,
+                addr: *addr,
+                class: *class,
+            }),
             MoveSrc::Reg(_) => {}
         }
     }
@@ -119,7 +133,14 @@ mod tests {
     #[test]
     fn independent_moves() {
         let scratch = PReg(9);
-        let regs = apply(&[(PReg(0), MoveSrc::Reg(PReg(5))), (PReg(1), MoveSrc::Imm(42))], scratch, 10);
+        let regs = apply(
+            &[
+                (PReg(0), MoveSrc::Reg(PReg(5))),
+                (PReg(1), MoveSrc::Imm(42)),
+            ],
+            scratch,
+            10,
+        );
         assert_eq!(regs[0], 5);
         assert_eq!(regs[1], 42);
     }
@@ -129,7 +150,10 @@ mod tests {
         // 1 <- 0, 2 <- 1 : must copy 2<-1 before 1<-0.
         let scratch = PReg(9);
         let regs = apply(
-            &[(PReg(1), MoveSrc::Reg(PReg(0))), (PReg(2), MoveSrc::Reg(PReg(1)))],
+            &[
+                (PReg(1), MoveSrc::Reg(PReg(0))),
+                (PReg(2), MoveSrc::Reg(PReg(1))),
+            ],
             scratch,
             10,
         );
@@ -141,7 +165,10 @@ mod tests {
     fn two_cycle_uses_scratch() {
         // swap r0 and r1.
         let scratch = PReg(9);
-        let moves = [(PReg(0), MoveSrc::Reg(PReg(1))), (PReg(1), MoveSrc::Reg(PReg(0)))];
+        let moves = [
+            (PReg(0), MoveSrc::Reg(PReg(1))),
+            (PReg(1), MoveSrc::Reg(PReg(0))),
+        ];
         let insts = resolve_parallel_moves(&moves, scratch);
         assert_eq!(insts.len(), 3, "cycle of two needs three moves");
         let regs = apply(&moves, scratch, 10);

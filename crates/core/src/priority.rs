@@ -108,8 +108,7 @@ impl PriorityCtx<'_> {
             let better = match best {
                 None => true,
                 Some((_, bd, bp)) => {
-                    density > bd + 1e-9
-                        || (density > bd - 1e-9 && pref_rank(pref) > pref_rank(bp))
+                    density > bd + 1e-9 || (density > bd - 1e-9 && pref_rank(pref) > pref_rank(bp))
                 }
             };
             if better {
@@ -175,8 +174,16 @@ mod tests {
             weights: &weights,
         };
         let lr = &rd.ranges[x.index()];
-        let caller = target.regs.allocatable_of(RegClass::CallerSaved).next().unwrap();
-        let callee_saved = target.regs.allocatable_of(RegClass::CalleeSaved).next().unwrap();
+        let caller = target
+            .regs
+            .allocatable_of(RegClass::CallerSaved)
+            .next()
+            .unwrap();
+        let callee_saved = target
+            .regs
+            .allocatable_of(RegClass::CalleeSaved)
+            .next()
+            .unwrap();
         // Both classes cost one save/restore here (around the call vs at
         // entry/exit), so they tie for a single call...
         assert_eq!(
@@ -236,9 +243,16 @@ mod tests {
             weights: &weights,
         };
         let lr = &rd.ranges[x.index()];
-        assert!(ctx.reg_cost(lr, hot, RegMask::EMPTY) > 0.0, "clobbered register costs");
+        assert!(
+            ctx.reg_cost(lr, hot, RegMask::EMPTY) > 0.0,
+            "clobbered register costs"
+        );
         let other = target.regs.allocatable()[6];
-        assert_eq!(ctx.reg_cost(lr, other, RegMask::EMPTY), 0.0, "unclobbered register is free");
+        assert_eq!(
+            ctx.reg_cost(lr, other, RegMask::EMPTY),
+            0.0,
+            "unclobbered register is free"
+        );
         let (best, _) = ctx.best(lr, RegMask::EMPTY, RegMask::EMPTY).unwrap();
         assert_ne!(best, hot);
     }
@@ -262,7 +276,9 @@ mod tests {
             hints: &hints,
             weights: &weights,
         };
-        let (best, _) = ctx.best(&rd.ranges[x.index()], RegMask::EMPTY, RegMask::EMPTY).unwrap();
+        let (best, _) = ctx
+            .best(&rd.ranges[x.index()], RegMask::EMPTY, RegMask::EMPTY)
+            .unwrap();
         assert_eq!(best, fav);
     }
 
@@ -283,12 +299,21 @@ mod tests {
             weights: &weights,
         };
         let preferred = target.regs.allocatable()[7];
-        let (b1, _) =
-            ctx_no_pref.best(&rd.ranges[x.index()], RegMask::EMPTY, RegMask::EMPTY).unwrap();
-        let ctx_pref =
-            PriorityCtx { subtree_used: RegMask::single(preferred), ..ctx_no_pref };
-        let (b2, _) = ctx_pref.best(&rd.ranges[x.index()], RegMask::EMPTY, RegMask::EMPTY).unwrap();
-        assert_eq!(b1, target.regs.allocatable()[0], "no preference: first register");
+        let (b1, _) = ctx_no_pref
+            .best(&rd.ranges[x.index()], RegMask::EMPTY, RegMask::EMPTY)
+            .unwrap();
+        let ctx_pref = PriorityCtx {
+            subtree_used: RegMask::single(preferred),
+            ..ctx_no_pref
+        };
+        let (b2, _) = ctx_pref
+            .best(&rd.ranges[x.index()], RegMask::EMPTY, RegMask::EMPTY)
+            .unwrap();
+        assert_eq!(
+            b1,
+            target.regs.allocatable()[0],
+            "no preference: first register"
+        );
         assert_eq!(b2, preferred, "tie broken toward the call tree's register");
     }
 }

@@ -67,10 +67,12 @@ pub fn promote_globals(module: &mut Module) -> PromotionStats {
             .filter(|&(g, &(n, _))| {
                 !rejected.contains(g)
                     && n >= 2
-                    && cg.call_sites[fid.index()].iter().all(|site| match site.target {
-                        Some(c) => !mr.touches(c, g.index()),
-                        None => false,
-                    })
+                    && cg.call_sites[fid.index()]
+                        .iter()
+                        .all(|site| match site.target {
+                            Some(c) => !mr.touches(c, g.index()),
+                            None => false,
+                        })
             })
             .map(|(g, &(_, stored))| (*g, stored, format!("g_{}", module.globals[*g].name)))
             .collect();
@@ -87,15 +89,20 @@ pub fn promote_globals(module: &mut Module) -> PromotionStats {
             for block in func.blocks.values_mut() {
                 for inst in &mut block.insts {
                     match inst {
-                        Inst::Load { dst, addr: Address::Global { global, index } }
-                            if *global == g && *index == Operand::Imm(0) =>
-                        {
+                        Inst::Load {
+                            dst,
+                            addr: Address::Global { global, index },
+                        } if *global == g && *index == Operand::Imm(0) => {
                             stats.accesses_rewritten += 1;
-                            *inst = Inst::Copy { dst: *dst, src: Operand::Reg(vg) };
+                            *inst = Inst::Copy {
+                                dst: *dst,
+                                src: Operand::Reg(vg),
+                            };
                         }
-                        Inst::Store { src, addr: Address::Global { global, index } }
-                            if *global == g && *index == Operand::Imm(0) =>
-                        {
+                        Inst::Store {
+                            src,
+                            addr: Address::Global { global, index },
+                        } if *global == g && *index == Operand::Imm(0) => {
                             stats.accesses_rewritten += 1;
                             *inst = Inst::Copy { dst: vg, src: *src };
                         }
@@ -106,16 +113,21 @@ pub fn promote_globals(module: &mut Module) -> PromotionStats {
 
             // Load at entry...
             let entry = func.entry;
-            func.blocks[entry]
-                .insts
-                .insert(0, Inst::Load { dst: vg, addr: Address::global_scalar(g) });
+            func.blocks[entry].insts.insert(
+                0,
+                Inst::Load {
+                    dst: vg,
+                    addr: Address::global_scalar(g),
+                },
+            );
             // ...store back at every exit when modified.
             if stored {
                 for block in func.blocks.values_mut() {
                     if matches!(block.term, Terminator::Ret(_)) {
-                        block
-                            .insts
-                            .push(Inst::Store { src: Operand::Reg(vg), addr: Address::global_scalar(g) });
+                        block.insts.push(Inst::Store {
+                            src: Operand::Reg(vg),
+                            addr: Address::global_scalar(g),
+                        });
                     }
                 }
             }
@@ -202,12 +214,17 @@ mod tests {
         let before = interp::run_module(&m).unwrap();
         promote_globals(&mut m);
         let after = interp::run_module(&m).unwrap();
-        assert_eq!(before.output, after.output, "main must re-read after the call");
+        assert_eq!(
+            before.output, after.output,
+            "main must re-read after the call"
+        );
         assert_eq!(after.output, vec![0, 1]);
         // bump itself has no calls, so bump may promote `shared` locally.
         let bump_f = &m.funcs[bump];
         assert!(
-            bump_f.inst_locs().any(|(_, i)| matches!(i, Inst::Load { .. })),
+            bump_f
+                .inst_locs()
+                .any(|(_, i)| matches!(i, Inst::Load { .. })),
             "bump keeps an entry load of the global"
         );
     }
@@ -218,7 +235,10 @@ mod tests {
         let g = m.add_global(GlobalData::scalar("s"));
         let mut b = FunctionBuilder::new("main");
         let i = b.copy(0);
-        let v = b.load(Address::Global { global: g, index: i.into() });
+        let v = b.load(Address::Global {
+            global: g,
+            index: i.into(),
+        });
         let w = b.load(Address::global_scalar(g));
         let sum = b.bin(BinOp::Add, v, w);
         b.print(sum);

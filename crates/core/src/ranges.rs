@@ -19,7 +19,11 @@ pub struct BlockWeights(Vec<f64>);
 impl BlockWeights {
     /// Static estimate: `10^loop_depth` per block (the classic Uopt rule).
     pub fn from_loops(cfg: &Cfg, loops: &LoopInfo) -> Self {
-        BlockWeights((0..cfg.num_blocks()).map(|b| loops.weight(BlockId(b as u32))).collect())
+        BlockWeights(
+            (0..cfg.num_blocks())
+                .map(|b| loops.weight(BlockId(b as u32)))
+                .collect(),
+        )
     }
 
     /// Measured profile: per-block execution counts normalized so the entry
@@ -31,7 +35,10 @@ impl BlockWeights {
             return Self::from_loops(cfg, loops);
         }
         BlockWeights(
-            counts.iter().map(|&c| c as f64 / invocations as f64).collect(),
+            counts
+                .iter()
+                .map(|&c| c as f64 / invocations as f64)
+                .collect(),
         )
     }
 
@@ -152,7 +159,12 @@ impl RangeData {
                 continue;
             }
             let bi = id.index();
-            for set in [&live.live_in[bi], &live.live_out[bi], &live.uevar[bi], &live.defs[bi]] {
+            for set in [
+                &live.live_in[bi],
+                &live.live_out[bi],
+                &live.uevar[bi],
+                &live.defs[bi],
+            ] {
                 for v in set.iter() {
                     ranges[v].blocks.insert(bi);
                 }
@@ -202,7 +214,11 @@ impl RangeData {
                     live_now.remove(di);
                     ranges[di].weighted_defs += w;
                     ranges[di].num_refs += 1;
-                    ranges[di].block_refs.entry(bi as u32).or_insert((0.0, 0.0)).1 += w;
+                    ranges[di]
+                        .block_refs
+                        .entry(bi as u32)
+                        .or_insert((0.0, 0.0))
+                        .1 += w;
                 }
                 inst.for_each_use(|v| {
                     let r = &mut ranges[v.index()];
@@ -240,7 +256,11 @@ impl RangeData {
 
         // De-duplicate spans_calls (a range can be rediscovered live across
         // the same call only once per scan, so they are already unique).
-        RangeData { ranges, adj, call_sites }
+        RangeData {
+            ranges,
+            adj,
+            call_sites,
+        }
     }
 
     /// Whether `a` and `b` interfere.
@@ -329,8 +349,15 @@ mod tests {
         let (_, rd) = analyze(&f);
         assert_eq!(rd.call_sites.len(), 1);
         assert_eq!(rd.call_sites[0].callee, Some(callee));
-        assert_eq!(rd.ranges[x.index()].spans_calls, vec![0], "x survives the call");
-        assert!(rd.ranges[r.index()].spans_calls.is_empty(), "call result is not live across");
+        assert_eq!(
+            rd.ranges[x.index()].spans_calls,
+            vec![0],
+            "x survives the call"
+        );
+        assert!(
+            rd.ranges[r.index()].spans_calls.is_empty(),
+            "call result is not live across"
+        );
     }
 
     #[test]
@@ -399,6 +426,9 @@ mod tests {
         b.ret(None);
         let f = b.build();
         let (_, rd) = analyze(&f);
-        assert!(rd.interferes(dead, x), "dead def overlaps x's live range at its def point");
+        assert!(
+            rd.interferes(dead, x),
+            "dead def overlaps x's live range at its def point"
+        );
     }
 }

@@ -46,7 +46,12 @@ impl SavePlan {
         for &e in &cfg.exits {
             restore_at[e.index()] = regs;
         }
-        SavePlan { save_at, restore_at, entry_spanning: regs, iterations: 0 }
+        SavePlan {
+            save_at,
+            restore_at,
+            entry_spanning: regs,
+            iterations: 0,
+        }
     }
 }
 
@@ -81,7 +86,10 @@ pub fn shrink_wrap(cfg: &Cfg, loops: &LoopInfo, app: &[RegMask]) -> SavePlan {
         let problems = find_problems(cfg, &app_orig, &sol);
         if problems.is_empty() {
             debug_assert_eq!(verify_plan(cfg, &app_orig, &sol.plan), Ok(()));
-            return SavePlan { iterations, ..sol.plan };
+            return SavePlan {
+                iterations,
+                ..sol.plan
+            };
         }
         let mut changed = false;
         for (block, mask) in problems {
@@ -102,7 +110,10 @@ pub fn shrink_wrap(cfg: &Cfg, loops: &LoopInfo, app: &[RegMask]) -> SavePlan {
                 bad |= mask;
             }
             if bad.is_empty() {
-                return SavePlan { iterations, ..sol.plan };
+                return SavePlan {
+                    iterations,
+                    ..sol.plan
+                };
             }
             let reachable_app: Vec<RegMask> = (0..nb)
                 .map(|i| {
@@ -115,7 +126,10 @@ pub fn shrink_wrap(cfg: &Cfg, loops: &LoopInfo, app: &[RegMask]) -> SavePlan {
                 .collect();
             let sol = solve_placement(cfg, &reachable_app);
             debug_assert_eq!(verify_plan(cfg, &app_orig, &sol.plan), Ok(()));
-            return SavePlan { iterations, ..sol.plan };
+            return SavePlan {
+                iterations,
+                ..sol.plan
+            };
         }
         apply_loop_constraint(loops, &mut app);
     }
@@ -180,16 +194,20 @@ fn solve_placement(cfg: &Cfg, app: &[RegMask]) -> Solution {
         avout[i] = full;
     }
 
+    let mut sweeps = 0u64;
     let mut changed = true;
     while changed {
         changed = false;
+        sweeps += 1;
         // ANT: post-order sweep.
         for &b in cfg.rpo.iter().rev() {
             let i = b.index();
             let out = if cfg.succs(b).is_empty() {
                 RegMask::EMPTY
             } else {
-                cfg.succs(b).iter().fold(full, |m, s| m.intersect(antin[s.index()]))
+                cfg.succs(b)
+                    .iter()
+                    .fold(full, |m, s| m.intersect(antin[s.index()]))
             };
             let inn = app[i] | out;
             if out != antout[i] || inn != antin[i] {
@@ -201,12 +219,12 @@ fn solve_placement(cfg: &Cfg, app: &[RegMask]) -> Solution {
         // AV: RPO sweep.
         for &b in &cfg.rpo {
             let i = b.index();
-            let inn = if b == cfg.entry {
-                RegMask::EMPTY
-            } else if cfg.preds(b).is_empty() {
+            let inn = if b == cfg.entry || cfg.preds(b).is_empty() {
                 RegMask::EMPTY
             } else {
-                cfg.preds(b).iter().fold(full, |m, p| m.intersect(avout[p.index()]))
+                cfg.preds(b)
+                    .iter()
+                    .fold(full, |m, p| m.intersect(avout[p.index()]))
             };
             let out = app[i] | inn;
             if inn != avin[i] || out != avout[i] {
@@ -216,6 +234,8 @@ fn solve_placement(cfg: &Cfg, app: &[RegMask]) -> Solution {
             }
         }
     }
+
+    ipra_obs::counter("shrink_wrap.antav.sweeps", sweeps);
 
     // SAVE_i = ANTIN_i · ¬AVIN_i · ∏_{j∈pred} ¬ANTIN_j            (3.5)
     // RESTORE_i = AVOUT_i · ¬ANTOUT_i · ∏_{j∈succ} ¬AVOUT_j       (3.6)
@@ -239,11 +259,15 @@ fn solve_placement(cfg: &Cfg, app: &[RegMask]) -> Solution {
     let entry_spanning = save_at[cfg.entry.index()];
 
     // Saved-state data flow for the problem detector.
-    let (must_in, may_in, must_out, may_out) =
-        saved_state(cfg, &save_at, &restore_at, full);
+    let (must_in, may_in, must_out, may_out) = saved_state(cfg, &save_at, &restore_at, full);
 
     Solution {
-        plan: SavePlan { save_at, restore_at, entry_spanning, iterations: 0 },
+        plan: SavePlan {
+            save_at,
+            restore_at,
+            entry_spanning,
+            iterations: 0,
+        },
         must_in,
         may_in,
         must_out,
@@ -271,12 +295,13 @@ fn saved_state(
         changed = false;
         for &b in &cfg.rpo {
             let i = b.index();
-            let (mi, yi) = if b == cfg.entry {
-                (RegMask::EMPTY, RegMask::EMPTY)
-            } else if cfg.preds(b).is_empty() {
+            let (mi, yi) = if b == cfg.entry || cfg.preds(b).is_empty() {
                 (RegMask::EMPTY, RegMask::EMPTY)
             } else {
-                let m = cfg.preds(b).iter().fold(full, |m, p| m.intersect(must_out[p.index()]));
+                let m = cfg
+                    .preds(b)
+                    .iter()
+                    .fold(full, |m, p| m.intersect(must_out[p.index()]));
                 let y = cfg
                     .preds(b)
                     .iter()
@@ -323,8 +348,7 @@ fn find_problems(cfg: &Cfg, app_orig: &[RegMask], sol: &Solution) -> Vec<(BlockI
 
         // Unprotected use: an original appearance reachable unsaved.
         // Extend APP into the predecessors of the unsaved paths.
-        let unprotected =
-            RegMask(app_orig[i].0 & !(sol.must_in[i] | save).0);
+        let unprotected = RegMask(app_orig[i].0 & !(sol.must_in[i] | save).0);
         if !unprotected.is_empty() {
             for &p in cfg.preds(b) {
                 push(p, RegMask(unprotected.0 & !sol.must_out[p.index()].0));
@@ -391,13 +415,15 @@ pub fn verify_plan(cfg: &Cfg, app_orig: &[RegMask], plan: &SavePlan) -> Result<(
         if !unprotected.is_empty() {
             return Err(format!("unprotected appearance at {b}: {unprotected:?}"));
         }
-        let bad_restore =
-            RegMask(plan.restore_at[i].0 & !(must_in[i] | plan.save_at[i]).0);
+        let bad_restore = RegMask(plan.restore_at[i].0 & !(must_in[i] | plan.save_at[i]).0);
         if !bad_restore.is_empty() {
             return Err(format!("restore without save at {b}: {bad_restore:?}"));
         }
         if cfg.succs(b).is_empty() && !may_out[i].is_empty() {
-            return Err(format!("exit {b} reached with unrestored registers: {:?}", may_out[i]));
+            return Err(format!(
+                "exit {b} reached with unrestored registers: {:?}",
+                may_out[i]
+            ));
         }
     }
     Ok(())
@@ -510,7 +536,11 @@ mod tests {
         app[4] = R;
         let plan = shrink_wrap(&cfg, &loops, &app);
         assert_eq!(verify_plan(&cfg, &app, &plan), Ok(()));
-        assert!(plan.iterations >= 2, "extension required, took {}", plan.iterations);
+        assert!(
+            plan.iterations >= 2,
+            "extension required, took {}",
+            plan.iterations
+        );
         assert!(
             plan.iterations <= 3,
             "paper reports 1-2 extension rounds; took {}",

@@ -47,7 +47,11 @@ impl FuncSummary {
                 None => ParamLoc::Stack((i - regs.param_regs().len()) as u32),
             })
             .collect();
-        FuncSummary { clobbers: regs.default_clobbers(), param_locs, is_default: true }
+        FuncSummary {
+            clobbers: regs.default_clobbers(),
+            param_locs,
+            is_default: true,
+        }
     }
 
     /// Number of stack-passed parameters.

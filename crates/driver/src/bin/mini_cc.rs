@@ -7,13 +7,15 @@
 //!   --limit <nc>,<ne>      restrict allocatable registers per class
 //!   --emit ir|asm|summary  print IR, machine code, or per-function report
 //!   --run                  simulate and print output + statistics
+//!   --trace                print the compile/execution trace to stderr
+//!   --trace-json <path>    write the trace as JSON to <path>
 //!   --workload <name>      compile a bundled benchmark instead of a file
 //! ```
 
 use std::process::ExitCode;
 
 use ipra_core::config::{AllocMode, AllocOptions};
-use ipra_driver::{compile_only, run_compiled, Config};
+use ipra_driver::{run_compiled, CompileTrace, Config};
 use ipra_machine::Target;
 
 struct Args {
@@ -21,6 +23,8 @@ struct Args {
     target: Target,
     emit: Option<String>,
     run: bool,
+    trace: bool,
+    trace_json: Option<String>,
     input: Input,
 }
 
@@ -31,23 +35,30 @@ enum Input {
 
 fn usage() -> &'static str {
     "usage: mini-cc [-O0|-O2|-O3] [--no-shrink-wrap] [--limit NC,NE] \
-     [--emit ir|asm|summary] [--run] (<file.mini> | --workload <name>)"
+     [--emit ir|asm|summary] [--run] [--trace] [--trace-json PATH] \
+     (<file.mini> | --workload <name>)"
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut opts = AllocOptions::o3();
     let mut target = Target::mips_like();
     let mut emit = None;
     let mut run = false;
+    let mut trace = false;
+    let mut trace_json = None;
     let mut input = None;
+    // `-O2`/`-O3` replace the whole option set, so `--no-shrink-wrap` is
+    // remembered separately and applied after the flag loop — otherwise
+    // `--no-shrink-wrap -O3` would silently re-enable shrink-wrapping.
+    let mut no_shrink_wrap = false;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = args;
     while let Some(a) = args.next() {
         match a.as_str() {
             "-O0" => opts = AllocOptions::no_alloc(),
             "-O2" => opts = AllocOptions::o2_shrink_wrap(),
             "-O3" => opts = AllocOptions::o3(),
-            "--no-shrink-wrap" => opts.shrink_wrap = false,
+            "--no-shrink-wrap" => no_shrink_wrap = true,
             "--limit" => {
                 let v = args.next().ok_or("--limit needs NC,NE")?;
                 let (nc, ne) = v.split_once(',').ok_or("--limit needs NC,NE")?;
@@ -57,28 +68,43 @@ fn parse_args() -> Result<Args, String> {
             }
             "--emit" => emit = Some(args.next().ok_or("--emit needs a kind")?),
             "--run" => run = true,
+            "--trace" => trace = true,
+            "--trace-json" => trace_json = Some(args.next().ok_or("--trace-json needs a path")?),
             "--workload" => {
-                input = Some(Input::Workload(args.next().ok_or("--workload needs a name")?))
+                input = Some(Input::Workload(
+                    args.next().ok_or("--workload needs a name")?,
+                ))
             }
             "-h" | "--help" => return Err(usage().to_string()),
             other if !other.starts_with('-') => input = Some(Input::File(other.to_string())),
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
+    if no_shrink_wrap {
+        opts.shrink_wrap = false;
+    }
     let input = input.ok_or_else(|| usage().to_string())?;
-    Ok(Args { opts, target, emit, run, input })
+    Ok(Args {
+        opts,
+        target,
+        emit,
+        run,
+        trace,
+        trace_json,
+        input,
+    })
 }
 
 fn real_main() -> Result<(), String> {
-    let args = parse_args()?;
+    let args = parse_args_from(std::env::args().skip(1))?;
     let source = match &args.input {
-        Input::File(path) => {
-            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
-        }
+        Input::File(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
         Input::Workload(name) => ipra_workloads::by_name(name)
             .ok_or_else(|| {
-                let names: Vec<_> =
-                    ipra_workloads::all().iter().map(|w| w.name.to_string()).collect();
+                let names: Vec<_> = ipra_workloads::all()
+                    .iter()
+                    .map(|w| w.name.to_string())
+                    .collect();
                 format!("unknown workload `{name}`; available: {}", names.join(", "))
             })?
             .source
@@ -96,25 +122,40 @@ fn real_main() -> Result<(), String> {
         opts: args.opts,
     };
 
+    // Compile once (with tracing when requested) and reuse the result for
+    // every emit kind and the run.
+    let tracing = args.trace || args.trace_json.is_some();
+    if tracing {
+        ipra_obs::enable();
+    }
+    let compiled = ipra_core::ipra::compile_module(&module, &config.target, &config.opts);
+    let raw_trace = if tracing {
+        Some(ipra_obs::disable())
+    } else {
+        None
+    };
+
     match args.emit.as_deref() {
         Some("ir") => println!("{module}"),
         Some("asm") => {
-            let compiled = compile_only(&module, &config);
             for (_, f) in compiled.mmodule.funcs.iter() {
                 println!("{}", f.display_in(&config.target.regs, &compiled.mmodule));
             }
         }
         Some("summary") => {
-            let compiled = compile_only(&module, &config);
             for (report, summary) in compiled.reports.iter().zip(&compiled.summaries) {
                 println!(
-                    "{:<16} open={:<5} used={:?} saved={:?} clobbers={:?} sw-iters={}",
+                    "{:<16} open={:<5} used={:?} saved={:?} clobbers={:?} sw-iters={} \
+                     vregs={} mem={} split={}",
                     report.name,
                     !report.open_reasons.is_empty() || report.forced_open,
                     report.used,
                     report.locally_saved,
                     summary.clobbers,
-                    report.shrink_iterations
+                    report.shrink_iterations,
+                    report.candidate_vregs,
+                    report.memory_vregs,
+                    report.split_vregs,
                 );
             }
             println!(
@@ -126,8 +167,8 @@ fn real_main() -> Result<(), String> {
         None => {}
     }
 
+    let mut stats = None;
     if args.run || args.emit.is_none() {
-        let compiled = compile_only(&module, &config);
         let m = run_compiled(&compiled, &config).map_err(|t| format!("runtime trap: {t}"))?;
         for v in &m.output {
             println!("{v}");
@@ -143,6 +184,18 @@ fn real_main() -> Result<(), String> {
             m.stats.scalar_mem(),
             m.stats.cycles_per_call()
         );
+        stats = Some(m.stats);
+    }
+
+    if let Some(raw) = raw_trace {
+        let trace = CompileTrace::build(&config.name, &raw, &compiled, stats.as_ref());
+        if args.trace {
+            eprint!("{}", trace.render_text());
+        }
+        if let Some(path) = &args.trace_json {
+            std::fs::write(path, trace.to_json().render_pretty())
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
     }
     Ok(())
 }
@@ -154,5 +207,41 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        parse_args_from(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn no_shrink_wrap_survives_later_opt_level() {
+        // The footgun: `-O3` replaces the whole option set, which used to
+        // silently re-enable shrink-wrapping requested off earlier.
+        let a = parse(&["--no-shrink-wrap", "-O3", "x.mini"]);
+        assert!(!a.opts.shrink_wrap);
+        let b = parse(&["--no-shrink-wrap", "-O2", "x.mini"]);
+        assert!(!b.opts.shrink_wrap);
+        let c = parse(&["-O3", "--no-shrink-wrap", "x.mini"]);
+        assert!(!c.opts.shrink_wrap);
+    }
+
+    #[test]
+    fn shrink_wrap_on_by_default_at_o3() {
+        let a = parse(&["-O3", "x.mini"]);
+        assert!(a.opts.shrink_wrap);
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let a = parse(&["--trace", "--trace-json", "t.json", "--run", "x.mini"]);
+        assert!(a.trace && a.run);
+        assert_eq!(a.trace_json.as_deref(), Some("t.json"));
+        let b = parse(&["x.mini"]);
+        assert!(!b.trace && b.trace_json.is_none());
     }
 }

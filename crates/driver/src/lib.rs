@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use ipra_core::config::AllocOptions;
 use ipra_core::ipra::{compile_module, compile_module_with_profile, CompiledModule};
 use ipra_ir::Module;
@@ -26,6 +28,7 @@ use ipra_sim::{SimOptions, SimTrap, Stats};
 
 pub use ipra_core::config::AllocMode;
 pub use ipra_sim::percent_reduction;
+pub use trace::CompileTrace;
 
 /// A named compilation configuration (target + allocator options).
 #[derive(Clone, Debug)]
@@ -41,7 +44,11 @@ pub struct Config {
 impl Config {
     /// The paper's baseline: `-O2`, shrink-wrap disabled.
     pub fn o2_base() -> Self {
-        Config { name: "base".into(), target: Target::mips_like(), opts: AllocOptions::o2_base() }
+        Config {
+            name: "base".into(),
+            target: Target::mips_like(),
+            opts: AllocOptions::o2_base(),
+        }
     }
 
     /// Table 1 column A: `-O2` with shrink-wrap.
@@ -64,7 +71,11 @@ impl Config {
 
     /// Table 1 column C: `-O3` with shrink-wrap.
     pub fn c() -> Self {
-        Config { name: "C".into(), target: Target::mips_like(), opts: AllocOptions::o3() }
+        Config {
+            name: "C".into(),
+            target: Target::mips_like(),
+            opts: AllocOptions::o3(),
+        }
     }
 
     /// Alias for [`Config::c`].
@@ -109,6 +120,9 @@ pub struct Measurement {
     pub stats: Stats,
     /// Program output (for cross-config equality checks).
     pub output: Vec<i64>,
+    /// Compile/execution trace, when collected (see
+    /// [`compile_and_run_traced`]); `None` otherwise, at zero cost.
+    pub trace: Option<CompileTrace>,
 }
 
 impl Measurement {
@@ -166,6 +180,7 @@ pub fn profile_guided(module: &Module, config: &Config) -> Result<Measurement, S
         config: format!("{}+profile", config.name),
         stats: r.stats,
         output: r.output,
+        trace: None,
     })
 }
 
@@ -178,7 +193,34 @@ pub fn run_compiled(compiled: &CompiledModule, config: &Config) -> Result<Measur
     let sim_opts = SimOptions::for_target(&config.target.regs)
         .check_preservation(compiled.clobber_masks.clone());
     let r = ipra_sim::run(&compiled.mmodule, &config.target.regs, &sim_opts)?;
-    Ok(Measurement { config: config.name.clone(), stats: r.stats, output: r.output })
+    Ok(Measurement {
+        config: config.name.clone(),
+        stats: r.stats,
+        output: r.output,
+        trace: None,
+    })
+}
+
+/// Like [`compile_and_run`], but with tracing enabled for the compilation:
+/// the returned [`Measurement`] carries a [`CompileTrace`] with per-function
+/// phase timings, iteration counters, allocation decisions and simulator
+/// attribution. The stats and output are identical to the untraced path.
+///
+/// # Errors
+///
+/// Returns the simulator trap, like [`compile_and_run`].
+pub fn compile_and_run_traced(module: &Module, config: &Config) -> Result<Measurement, SimTrap> {
+    ipra_obs::enable();
+    let compiled = compile_module(module, &config.target, &config.opts);
+    let raw = ipra_obs::disable();
+    let mut m = run_compiled(&compiled, config)?;
+    m.trace = Some(CompileTrace::build(
+        &config.name,
+        &raw,
+        &compiled,
+        Some(&m.stats),
+    ));
+    Ok(m)
 }
 
 /// One row of the paper's Table 1 / Table 2 for a single workload: the
@@ -275,7 +317,10 @@ mod tests {
         assert_eq!(row.columns.len(), 2);
         assert!(row.cycles_per_call > 0.0);
         let (_, _dc, dm) = &row.columns[1];
-        assert!(*dm >= 0.0, "O3 must not add scalar traffic on this program, got {dm}");
+        assert!(
+            *dm >= 0.0,
+            "O3 must not add scalar traffic on this program, got {dm}"
+        );
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Aggregation of raw observability records into a per-compilation report.
+//!
+//! [`CompileTrace`] groups the spans, counters and decision events emitted
+//! by the pipeline (see `ipra-obs`) by function, pairs them with the
+//! simulator's per-function attribution, and renders either a
+//! human-readable report or a JSON document (hand-rolled — the workspace
+//! carries no serde).
+
+use ipra_core::ipra::CompiledModule;
+use ipra_obs::json::Json;
+use ipra_obs::Trace;
+use ipra_sim::Stats;
+
+/// Wall-clock time of one pipeline phase of one function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseTime {
+    /// Phase name: `ranges`, `priority`, `color`, `shrink_wrap` or `lower`.
+    pub name: String,
+    /// Start in nanoseconds relative to trace start.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One per-vreg allocation decision (from the coloring pass).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AllocDecision {
+    /// Virtual-register index.
+    pub vreg: u32,
+    /// `caller_saved`, `callee_saved`, `split` or `mem`.
+    pub kind: String,
+    /// The register taken, for whole-range register assignments.
+    pub reg: Option<String>,
+    /// The priority density that decided it (`-inf` when the range never
+    /// had a viable register to price; rendered as JSON `null`).
+    pub priority: f64,
+}
+
+/// Simulator attribution for one function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncSimTrace {
+    /// Cycles charged while the function was executing.
+    pub cycles: u64,
+    /// Instructions it executed.
+    pub insts: u64,
+    /// Call instructions it executed.
+    pub calls: u64,
+    /// Loads it executed (all classes).
+    pub loads: u64,
+    /// Stores it executed (all classes).
+    pub stores: u64,
+    /// Its save/restore loads + stores — the paper's register-usage
+    /// penalty, attributed to the function that pays it.
+    pub save_restore_mem: u64,
+}
+
+/// Everything recorded about one function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncTrace {
+    /// Function name.
+    pub name: String,
+    /// Pipeline phase timings, in completion order.
+    pub phases: Vec<PhaseTime>,
+    /// Counters summed per name, sorted by name (e.g.
+    /// `dataflow.liveness.iterations`, `shrink_wrap.iterations`).
+    pub counters: Vec<(String, u64)>,
+    /// Per-vreg allocation decisions, in decision order.
+    pub decisions: Vec<AllocDecision>,
+    /// Simulator attribution (present when the program ran).
+    pub sim: Option<FuncSimTrace>,
+}
+
+/// One dynamic call edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallEdge {
+    /// Calling function.
+    pub caller: String,
+    /// Called function.
+    pub callee: String,
+    /// Times the edge was taken.
+    pub count: u64,
+}
+
+/// Whole-program simulator summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimTrace {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total instructions.
+    pub insts: u64,
+    /// Total calls.
+    pub calls: u64,
+    /// Deepest call stack observed.
+    pub max_depth: usize,
+    /// `depth_hist[d]` = activations entered at stack depth `d`.
+    pub depth_hist: Vec<u64>,
+    /// Dynamic call-edge counts, sorted by caller then callee id.
+    pub call_edges: Vec<CallEdge>,
+}
+
+/// A compilation (and optionally execution) trace, aggregated per function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileTrace {
+    /// Configuration label the module was compiled under.
+    pub config: String,
+    /// Module-level counters (call-graph shape, promotion), summed per
+    /// name and sorted by name.
+    pub module_counters: Vec<(String, u64)>,
+    /// Per-function traces, in function-id order.
+    pub funcs: Vec<FuncTrace>,
+    /// Simulator summary, when the program was run.
+    pub sim: Option<SimTrace>,
+}
+
+fn sum_counters(items: impl Iterator<Item = (String, u64)>) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = Vec::new();
+    for (name, v) in items {
+        match out.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, total)) => *total += v,
+            None => out.push((name, v)),
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+impl CompileTrace {
+    /// Builds the aggregated trace from the raw records of one compilation,
+    /// the compiled module (for the function list) and, optionally, the
+    /// simulator statistics of a run.
+    pub fn build(
+        config: &str,
+        raw: &Trace,
+        compiled: &CompiledModule,
+        stats: Option<&Stats>,
+    ) -> CompileTrace {
+        let module_counters = sum_counters(
+            raw.counters
+                .iter()
+                .filter(|c| c.scope.is_empty())
+                .map(|c| (c.name.to_string(), c.value)),
+        );
+
+        let funcs = compiled
+            .reports
+            .iter()
+            .enumerate()
+            .map(|(fi, report)| {
+                let name = report.name.clone();
+                let phases = raw
+                    .spans
+                    .iter()
+                    .filter(|s| s.scope == name)
+                    .map(|s| PhaseTime {
+                        name: s.name.to_string(),
+                        start_ns: s.start_ns,
+                        dur_ns: s.dur_ns,
+                    })
+                    .collect();
+                let counters = sum_counters(
+                    raw.counters
+                        .iter()
+                        .filter(|c| c.scope == name)
+                        .map(|c| (c.name.to_string(), c.value)),
+                );
+                let decisions = raw
+                    .events
+                    .iter()
+                    .filter(|e| e.scope == name && e.name == "alloc.decision")
+                    .map(|e| {
+                        let field = |k: &str| e.fields.iter().find(|(n, _)| *n == k);
+                        AllocDecision {
+                            vreg: field("vreg").and_then(|(_, v)| v.as_i64()).unwrap_or(-1) as u32,
+                            kind: field("kind")
+                                .and_then(|(_, v)| v.as_str())
+                                .unwrap_or("?")
+                                .to_string(),
+                            reg: field("reg")
+                                .and_then(|(_, v)| v.as_str())
+                                .map(str::to_string),
+                            priority: field("priority")
+                                .map(|(_, v)| match v {
+                                    ipra_obs::TraceValue::Float(f) => *f,
+                                    ipra_obs::TraceValue::Int(i) => *i as f64,
+                                    _ => f64::NEG_INFINITY,
+                                })
+                                .unwrap_or(f64::NEG_INFINITY),
+                        }
+                    })
+                    .collect();
+                let sim = stats
+                    .and_then(|s| s.per_func.get(fi))
+                    .map(|f| FuncSimTrace {
+                        cycles: f.cycles,
+                        insts: f.insts,
+                        calls: f.calls,
+                        loads: f.loads_by_class.iter().sum(),
+                        stores: f.stores_by_class.iter().sum(),
+                        save_restore_mem: f.save_restore_mem(),
+                    });
+                FuncTrace {
+                    name,
+                    phases,
+                    counters,
+                    decisions,
+                    sim,
+                }
+            })
+            .collect();
+
+        let sim = stats.map(|s| {
+            let fname = |i: u32| {
+                compiled
+                    .reports
+                    .get(i as usize)
+                    .map_or_else(|| format!("#{i}"), |r| r.name.clone())
+            };
+            SimTrace {
+                cycles: s.cycles,
+                insts: s.insts,
+                calls: s.calls,
+                max_depth: s.max_depth(),
+                depth_hist: s.depth_hist.clone(),
+                call_edges: s
+                    .call_edges
+                    .iter()
+                    .map(|&(a, b, n)| CallEdge {
+                        caller: fname(a),
+                        callee: fname(b),
+                        count: n,
+                    })
+                    .collect(),
+            }
+        });
+
+        CompileTrace {
+            config: config.to_string(),
+            module_counters,
+            funcs,
+            sim,
+        }
+    }
+
+    /// Renders the human-readable report (`mini-cc --trace`).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== compile trace [{}] ==", self.config);
+        for (name, v) in &self.module_counters {
+            let _ = writeln!(out, "  {name}: {v}");
+        }
+        for f in &self.funcs {
+            let _ = writeln!(out, "fn {}:", f.name);
+            for p in &f.phases {
+                let _ = writeln!(out, "  phase {:<12} {:>9} ns", p.name, p.dur_ns);
+            }
+            for (name, v) in &f.counters {
+                let _ = writeln!(out, "  {name}: {v}");
+            }
+            let regs = f.decisions.iter().filter(|d| d.reg.is_some()).count();
+            let split = f.decisions.iter().filter(|d| d.kind == "split").count();
+            let mem = f.decisions.iter().filter(|d| d.kind == "mem").count();
+            let _ = writeln!(
+                out,
+                "  decisions: {} vregs -> {regs} reg, {split} split, {mem} mem",
+                f.decisions.len()
+            );
+            if let Some(s) = &f.sim {
+                let _ = writeln!(
+                    out,
+                    "  sim: {} cycles, {} insts, {} calls, {} save/restore mem ops",
+                    s.cycles, s.insts, s.calls, s.save_restore_mem
+                );
+            }
+        }
+        if let Some(s) = &self.sim {
+            let _ = writeln!(
+                out,
+                "sim total: {} cycles, {} insts, {} calls, max depth {}",
+                s.cycles, s.insts, s.calls, s.max_depth
+            );
+            let _ = writeln!(out, "  depth histogram: {:?}", s.depth_hist);
+            for e in &s.call_edges {
+                let _ = writeln!(out, "  call {} -> {}: {}", e.caller, e.callee, e.count);
+            }
+        }
+        out
+    }
+
+    /// Serializes to the JSON schema documented in `DESIGN.md`
+    /// ("Observability").
+    pub fn to_json(&self) -> Json {
+        let counters_obj = |cs: &[(String, u64)]| {
+            Json::Obj(
+                cs.iter()
+                    .map(|(n, v)| (n.clone(), Json::Int(*v as i64)))
+                    .collect(),
+            )
+        };
+        let funcs = self
+            .funcs
+            .iter()
+            .map(|f| {
+                let phases = f
+                    .phases
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("name", Json::Str(p.name.clone())),
+                            ("start_ns", Json::Int(p.start_ns as i64)),
+                            ("dur_ns", Json::Int(p.dur_ns as i64)),
+                        ])
+                    })
+                    .collect();
+                let decisions = f
+                    .decisions
+                    .iter()
+                    .map(|d| {
+                        Json::obj(vec![
+                            ("vreg", Json::Int(d.vreg as i64)),
+                            ("kind", Json::Str(d.kind.clone())),
+                            ("reg", d.reg.clone().map_or(Json::Null, Json::Str)),
+                            ("priority", Json::Float(d.priority)),
+                        ])
+                    })
+                    .collect();
+                let mut fields = vec![
+                    ("name", Json::Str(f.name.clone())),
+                    ("phases", Json::Arr(phases)),
+                    ("counters", counters_obj(&f.counters)),
+                    ("decisions", Json::Arr(decisions)),
+                ];
+                if let Some(s) = &f.sim {
+                    fields.push((
+                        "sim",
+                        Json::obj(vec![
+                            ("cycles", Json::Int(s.cycles as i64)),
+                            ("insts", Json::Int(s.insts as i64)),
+                            ("calls", Json::Int(s.calls as i64)),
+                            ("loads", Json::Int(s.loads as i64)),
+                            ("stores", Json::Int(s.stores as i64)),
+                            ("save_restore_mem", Json::Int(s.save_restore_mem as i64)),
+                        ]),
+                    ));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+
+        let mut root = vec![
+            ("config", Json::Str(self.config.clone())),
+            (
+                "module",
+                Json::obj(vec![("counters", counters_obj(&self.module_counters))]),
+            ),
+            ("functions", Json::Arr(funcs)),
+        ];
+        if let Some(s) = &self.sim {
+            root.push((
+                "sim",
+                Json::obj(vec![
+                    ("cycles", Json::Int(s.cycles as i64)),
+                    ("insts", Json::Int(s.insts as i64)),
+                    ("calls", Json::Int(s.calls as i64)),
+                    ("max_depth", Json::Int(s.max_depth as i64)),
+                    (
+                        "depth_hist",
+                        Json::Arr(s.depth_hist.iter().map(|&c| Json::Int(c as i64)).collect()),
+                    ),
+                    (
+                        "call_edges",
+                        Json::Arr(
+                            s.call_edges
+                                .iter()
+                                .map(|e| {
+                                    Json::obj(vec![
+                                        ("caller", Json::Str(e.caller.clone())),
+                                        ("callee", Json::Str(e.callee.clone())),
+                                        ("count", Json::Int(e.count as i64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(root.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_summed_and_sorted() {
+        let items = vec![
+            ("b".to_string(), 2u64),
+            ("a".to_string(), 1),
+            ("b".to_string(), 3),
+        ];
+        assert_eq!(
+            sum_counters(items.into_iter()),
+            vec![("a".to_string(), 1), ("b".to_string(), 5)]
+        );
+    }
+}

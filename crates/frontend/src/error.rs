@@ -14,7 +14,10 @@ pub struct CompileError {
 impl CompileError {
     /// Creates an error.
     pub fn new(pos: Pos, message: impl Into<String>) -> Self {
-        CompileError { pos, message: message.into() }
+        CompileError {
+            pos,
+            message: message.into(),
+        }
     }
 }
 

@@ -46,13 +46,14 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                 let value: i64 = text.parse().map_err(|_| {
                     CompileError::new(pos, format!("integer literal `{text}` out of range"))
                 })?;
-                out.push(Spanned { tok: Tok::Int(value), pos });
+                out.push(Spanned {
+                    tok: Tok::Int(value),
+                    pos,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let word = &source[start..i];
@@ -76,7 +77,11 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
             }
             _ => {
                 // Punctuation and operators, longest match first.
-                let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+                let two = if i + 1 < bytes.len() {
+                    &source[i..i + 2]
+                } else {
+                    ""
+                };
                 let (tok, len) = match two {
                     "->" => (Tok::Arrow, 2),
                     "==" => (Tok::EqEq, 2),
@@ -124,7 +129,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, pos: Pos { line, col } });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
     Ok(out)
 }
 

@@ -54,7 +54,9 @@ mod tests {
     fn run(src: &str) -> Vec<i64> {
         let m = compile(src).unwrap_or_else(|e| panic!("compile error: {e}"));
         ipra_ir::verify::verify_module(&m).unwrap();
-        run_module(&m).unwrap_or_else(|t| panic!("trap: {t}")).output
+        run_module(&m)
+            .unwrap_or_else(|t| panic!("trap: {t}"))
+            .output
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 
 use ipra_ir::builder::FunctionBuilder;
-use ipra_ir::{Address, BinOp, FuncId, GlobalData, GlobalId, Inst, Module, Operand, SlotId, UnOp, Vreg};
+use ipra_ir::{
+    Address, BinOp, FuncId, GlobalData, GlobalId, Inst, Module, Operand, SlotId, UnOp, Vreg,
+};
 
 use crate::ast::*;
 use crate::error::CompileError;
@@ -22,7 +24,10 @@ pub fn lower(prog: &Program) -> Result<Module, CompileError> {
     let mut globals: HashMap<String, (GlobalId, Ty)> = HashMap::new();
     for g in &prog.globals {
         if globals.contains_key(&g.name) {
-            return Err(CompileError::new(g.pos, format!("duplicate global `{}`", g.name)));
+            return Err(CompileError::new(
+                g.pos,
+                format!("duplicate global `{}`", g.name),
+            ));
         }
         let size = match g.ty {
             Ty::Int => 1,
@@ -41,7 +46,10 @@ pub fn lower(prog: &Program) -> Result<Module, CompileError> {
     let mut funcs: HashMap<String, (FuncId, usize, bool)> = HashMap::new();
     for f in &prog.funcs {
         if funcs.contains_key(&f.name) {
-            return Err(CompileError::new(f.pos, format!("duplicate function `{}`", f.name)));
+            return Err(CompileError::new(
+                f.pos,
+                format!("duplicate function `{}`", f.name),
+            ));
         }
         if globals.contains_key(&f.name) {
             return Err(CompileError::new(
@@ -69,7 +77,10 @@ pub fn lower(prog: &Program) -> Result<Module, CompileError> {
         }
         for (pname, pty) in &f.params {
             if ctx.scopes[0].contains_key(pname) {
-                return Err(CompileError::new(f.pos, format!("duplicate parameter `{pname}`")));
+                return Err(CompileError::new(
+                    f.pos,
+                    format!("duplicate parameter `{pname}`"),
+                ));
             }
             let v = ctx.b.param(pname.clone());
             ctx.scopes[0].insert(pname.clone(), Binding::Scalar(v, *pty));
@@ -97,7 +108,10 @@ pub fn lower(prog: &Program) -> Result<Module, CompileError> {
             module.main = Some(main);
         }
         None => {
-            return Err(CompileError::new(Pos { line: 1, col: 1 }, "program has no `main`"));
+            return Err(CompileError::new(
+                Pos { line: 1, col: 1 },
+                "program has no `main`",
+            ));
         }
     }
     Ok(module)
@@ -142,9 +156,17 @@ impl FnCtx<'_> {
 
     fn stmt(&mut self, s: &Stmt) -> Result<bool, CompileError> {
         match s {
-            Stmt::Var { name, ty, init, pos } => {
+            Stmt::Var {
+                name,
+                ty,
+                init,
+                pos,
+            } => {
                 if self.scopes.last().unwrap().contains_key(name) {
-                    return Err(CompileError::new(*pos, format!("duplicate variable `{name}`")));
+                    return Err(CompileError::new(
+                        *pos,
+                        format!("duplicate variable `{name}`"),
+                    ));
                 }
                 let binding = match ty {
                     Ty::Int | Ty::FnPtr => {
@@ -161,7 +183,10 @@ impl FnCtx<'_> {
                         Binding::Array(slot, *n)
                     }
                 };
-                self.scopes.last_mut().unwrap().insert(name.clone(), binding);
+                self.scopes
+                    .last_mut()
+                    .unwrap()
+                    .insert(name.clone(), binding);
                 Ok(true)
             }
             Stmt::Assign { target, value, pos } => {
@@ -172,9 +197,10 @@ impl FnCtx<'_> {
                             self.b.copy_to(v, val);
                             Ok(true)
                         }
-                        Some(Binding::Array(..)) => {
-                            Err(CompileError::new(*pos, format!("cannot assign to array `{name}`")))
-                        }
+                        Some(Binding::Array(..)) => Err(CompileError::new(
+                            *pos,
+                            format!("cannot assign to array `{name}`"),
+                        )),
                         None => match self.globals.get(name) {
                             Some(&(g, Ty::Int)) => {
                                 self.b.store(val, Address::global_scalar(g));
@@ -184,9 +210,10 @@ impl FnCtx<'_> {
                                 *pos,
                                 format!("cannot assign to array global `{name}`"),
                             )),
-                            None => {
-                                Err(CompileError::new(*pos, format!("unknown variable `{name}`")))
-                            }
+                            None => Err(CompileError::new(
+                                *pos,
+                                format!("unknown variable `{name}`"),
+                            )),
                         },
                     },
                     LValue::Index(name, idx) => {
@@ -197,7 +224,11 @@ impl FnCtx<'_> {
                     }
                 }
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let cv = self.expr(cond)?;
                 let then_b = self.b.new_block();
                 let else_b = self.b.new_block();
@@ -345,7 +376,10 @@ impl FnCtx<'_> {
                     check(size)?;
                     Ok(Address::Global { global: g, index })
                 }
-                Some(_) => Err(CompileError::new(pos, format!("global `{name}` is not an array"))),
+                Some(_) => Err(CompileError::new(
+                    pos,
+                    format!("global `{name}` is not an array"),
+                )),
                 None => Err(CompileError::new(pos, format!("unknown array `{name}`"))),
             },
         }
@@ -371,7 +405,11 @@ impl FnCtx<'_> {
                     format!("`{name}` has type int and cannot be called"),
                 ));
             }
-            let dst = if want_value { Some(self.b.vreg()) } else { None };
+            let dst = if want_value {
+                Some(self.b.vreg())
+            } else {
+                None
+            };
             self.b.emit(Inst::Call {
                 callee: ipra_ir::Callee::Indirect(Operand::Reg(v)),
                 args: vals,
@@ -409,9 +447,10 @@ impl FnCtx<'_> {
             Expr::Int(v, _) => Ok(Operand::Imm(*v)),
             Expr::Name(name, pos) => match self.lookup(name) {
                 Some(Binding::Scalar(v, _)) => Ok(Operand::Reg(v)),
-                Some(Binding::Array(..)) => {
-                    Err(CompileError::new(*pos, format!("array `{name}` used as a value")))
-                }
+                Some(Binding::Array(..)) => Err(CompileError::new(
+                    *pos,
+                    format!("array `{name}` used as a value"),
+                )),
                 None => match self.globals.get(name) {
                     Some(&(g, Ty::Int)) => Ok(Operand::Reg(self.b.load(Address::global_scalar(g)))),
                     Some(_) => Err(CompileError::new(
@@ -428,7 +467,10 @@ impl FnCtx<'_> {
             }
             Expr::FuncAddr(name, pos) => match self.funcs.get(name) {
                 Some(&(fid, _, _)) => Ok(Operand::Reg(self.b.func_addr(fid))),
-                None => Err(CompileError::new(*pos, format!("unknown function `{name}`"))),
+                None => Err(CompileError::new(
+                    *pos,
+                    format!("unknown function `{name}`"),
+                )),
             },
             Expr::Call { name, args, pos } => {
                 let v = self.call(name, args, *pos, true)?;

@@ -56,7 +56,10 @@ impl Parser {
                 self.next();
                 Ok(n)
             }
-            other => Err(CompileError::new(self.pos(), format!("expected identifier, found {other}"))),
+            other => Err(CompileError::new(
+                self.pos(),
+                format!("expected identifier, found {other}"),
+            )),
         }
     }
 
@@ -73,7 +76,10 @@ impl Parser {
                 self.next();
                 Ok(if neg { -v } else { v })
             }
-            other => Err(CompileError::new(self.pos(), format!("expected integer, found {other}"))),
+            other => Err(CompileError::new(
+                self.pos(),
+                format!("expected integer, found {other}"),
+            )),
         }
     }
 
@@ -111,12 +117,18 @@ impl Parser {
                 self.eat(Tok::Semi)?;
                 let n = self.int_lit()?;
                 if n <= 0 || n > 1 << 24 {
-                    return Err(CompileError::new(self.pos(), format!("bad array length {n}")));
+                    return Err(CompileError::new(
+                        self.pos(),
+                        format!("bad array length {n}"),
+                    ));
                 }
                 self.eat(Tok::RBracket)?;
                 Ok(Ty::Array(n as u32))
             }
-            other => Err(CompileError::new(self.pos(), format!("expected a type, found {other}"))),
+            other => Err(CompileError::new(
+                self.pos(),
+                format!("expected a type, found {other}"),
+            )),
         }
     }
 
@@ -149,7 +161,12 @@ impl Parser {
             }
         }
         self.eat(Tok::Semi)?;
-        Ok(GlobalDecl { name, ty, init, pos })
+        Ok(GlobalDecl {
+            name,
+            ty,
+            init,
+            pos,
+        })
     }
 
     fn func(&mut self) -> Result<FuncDecl, CompileError> {
@@ -189,7 +206,14 @@ impl Parser {
             false
         };
         let body = self.block()?;
-        Ok(FuncDecl { name, params, returns_value, is_extern, body, pos })
+        Ok(FuncDecl {
+            name,
+            params,
+            returns_value,
+            is_extern,
+            body,
+            pos,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
@@ -197,7 +221,10 @@ impl Parser {
         let mut stmts = Vec::new();
         while *self.peek() != Tok::RBrace {
             if *self.peek() == Tok::Eof {
-                return Err(CompileError::new(self.pos(), "unexpected end of input in block"));
+                return Err(CompileError::new(
+                    self.pos(),
+                    "unexpected end of input in block",
+                ));
             }
             stmts.push(self.stmt()?);
         }
@@ -215,7 +242,10 @@ impl Parser {
                 let ty = self.ty()?;
                 let init = if *self.peek() == Tok::Assign {
                     if matches!(ty, Ty::Array(_)) {
-                        return Err(CompileError::new(pos, "array variables cannot be initialized"));
+                        return Err(CompileError::new(
+                            pos,
+                            "array variables cannot be initialized",
+                        ));
                     }
                     self.next();
                     Some(self.expr()?)
@@ -223,7 +253,12 @@ impl Parser {
                     None
                 };
                 self.eat(Tok::Semi)?;
-                Ok(Stmt::Var { name, ty, init, pos })
+                Ok(Stmt::Var {
+                    name,
+                    ty,
+                    init,
+                    pos,
+                })
             }
             Tok::If => {
                 self.next();
@@ -239,7 +274,11 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_body, else_body })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
             }
             Tok::While => {
                 self.next();
@@ -249,7 +288,11 @@ impl Parser {
             }
             Tok::Return => {
                 self.next();
-                let value = if *self.peek() != Tok::Semi { Some(self.expr()?) } else { None };
+                let value = if *self.peek() != Tok::Semi {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.eat(Tok::Semi)?;
                 Ok(Stmt::Return(value, pos))
             }
@@ -279,7 +322,11 @@ impl Parser {
                         self.next();
                         let value = self.expr()?;
                         self.eat(Tok::Semi)?;
-                        Ok(Stmt::Assign { target: LValue::Name(name), value, pos })
+                        Ok(Stmt::Assign {
+                            target: LValue::Name(name),
+                            value,
+                            pos,
+                        })
                     }
                     Tok::LBracket => {
                         self.next();
@@ -314,7 +361,10 @@ impl Parser {
                     )),
                 }
             }
-            other => Err(CompileError::new(pos, format!("unexpected token {other} in statement"))),
+            other => Err(CompileError::new(
+                pos,
+                format!("unexpected token {other} in statement"),
+            )),
         }
     }
 
@@ -423,7 +473,10 @@ impl Parser {
                     _ => Ok(Expr::Name(name, pos)),
                 }
             }
-            other => Err(CompileError::new(pos, format!("unexpected token {other} in expression"))),
+            other => Err(CompileError::new(
+                pos,
+                format!("unexpected token {other} in expression"),
+            )),
         }
     }
 }
@@ -478,7 +531,11 @@ mod tests {
         let prog = parse(src).unwrap();
         assert!(matches!(
             prog.funcs[1].body[0],
-            Stmt::Var { ty: Ty::FnPtr, init: Some(Expr::FuncAddr(..)), .. }
+            Stmt::Var {
+                ty: Ty::FnPtr,
+                init: Some(Expr::FuncAddr(..)),
+                ..
+            }
         ));
     }
 
@@ -486,7 +543,9 @@ mod tests {
     fn parses_else_if_chain() {
         let src = "fn f(x: int) -> int { if x > 2 { return 2; } else if x > 1 { return 1; } else { return 0; } }";
         let prog = parse(src).unwrap();
-        let Stmt::If { else_body, .. } = &prog.funcs[0].body[0] else { panic!() };
+        let Stmt::If { else_body, .. } = &prog.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(else_body[0], Stmt::If { .. }));
     }
 

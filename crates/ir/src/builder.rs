@@ -36,7 +36,11 @@ impl FunctionBuilder {
         let mut func = Function::new(name);
         let entry = func.blocks.push(Block::new(Terminator::Ret(None)));
         func.entry = entry;
-        FunctionBuilder { func, cur: entry, terminated: vec![false] }
+        FunctionBuilder {
+            func,
+            cur: entry,
+            terminated: vec![false],
+        }
     }
 
     /// Adds a named parameter, returning its register.
@@ -62,7 +66,10 @@ impl FunctionBuilder {
 
     /// Allocates a local stack slot of `size` cells.
     pub fn slot(&mut self, name: impl Into<String>, size: u32) -> SlotId {
-        self.func.slots.push(SlotData { size, name: name.into() })
+        self.func.slots.push(SlotData {
+            size,
+            name: name.into(),
+        })
     }
 
     /// Allocates a fresh unnamed register.
@@ -87,7 +94,10 @@ impl FunctionBuilder {
     ///
     /// Panics if `block` is already terminated.
     pub fn switch_to(&mut self, block: BlockId) {
-        assert!(!self.terminated[block.0 as usize], "cannot append to a terminated block {block}");
+        assert!(
+            !self.terminated[block.0 as usize],
+            "cannot append to a terminated block {block}"
+        );
         self.cur = block;
     }
 
@@ -98,7 +108,11 @@ impl FunctionBuilder {
 
     /// Appends a raw instruction to the current block.
     pub fn emit(&mut self, inst: Inst) {
-        assert!(!self.terminated[self.cur.0 as usize], "block {} already terminated", self.cur);
+        assert!(
+            !self.terminated[self.cur.0 as usize],
+            "block {} already terminated",
+            self.cur
+        );
         self.func.blocks[self.cur].insts.push(inst);
     }
 
@@ -111,7 +125,10 @@ impl FunctionBuilder {
 
     /// `dst = src`, into an existing register.
     pub fn copy_to(&mut self, dst: Vreg, src: impl Into<Operand>) {
-        self.emit(Inst::Copy { dst, src: src.into() });
+        self.emit(Inst::Copy {
+            dst,
+            src: src.into(),
+        });
     }
 
     /// `fresh = lhs op rhs`.
@@ -129,13 +146,22 @@ impl FunctionBuilder {
         lhs: impl Into<Operand>,
         rhs: impl Into<Operand>,
     ) {
-        self.emit(Inst::Bin { op, dst, lhs: lhs.into(), rhs: rhs.into() });
+        self.emit(Inst::Bin {
+            op,
+            dst,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
     }
 
     /// `fresh = op src`.
     pub fn un(&mut self, op: UnOp, src: impl Into<Operand>) -> Vreg {
         let dst = self.vreg();
-        self.emit(Inst::Un { op, dst, src: src.into() });
+        self.emit(Inst::Un {
+            op,
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
@@ -153,25 +179,40 @@ impl FunctionBuilder {
 
     /// `mem[addr] = src`.
     pub fn store(&mut self, src: impl Into<Operand>, addr: Address) {
-        self.emit(Inst::Store { src: src.into(), addr });
+        self.emit(Inst::Store {
+            src: src.into(),
+            addr,
+        });
     }
 
     /// Direct call whose result is used: `fresh = call f(args)`.
     pub fn call(&mut self, f: FuncId, args: Vec<Operand>) -> Vreg {
         let dst = self.vreg();
-        self.emit(Inst::Call { callee: Callee::Direct(f), args, dst: Some(dst) });
+        self.emit(Inst::Call {
+            callee: Callee::Direct(f),
+            args,
+            dst: Some(dst),
+        });
         dst
     }
 
     /// Direct call whose result is ignored.
     pub fn call_void(&mut self, f: FuncId, args: Vec<Operand>) {
-        self.emit(Inst::Call { callee: Callee::Direct(f), args, dst: None });
+        self.emit(Inst::Call {
+            callee: Callee::Direct(f),
+            args,
+            dst: None,
+        });
     }
 
     /// Indirect call through a computed function address.
     pub fn call_indirect(&mut self, target: impl Into<Operand>, args: Vec<Operand>) -> Vreg {
         let dst = self.vreg();
-        self.emit(Inst::Call { callee: Callee::Indirect(target.into()), args, dst: Some(dst) });
+        self.emit(Inst::Call {
+            callee: Callee::Indirect(target.into()),
+            args,
+            dst: Some(dst),
+        });
         dst
     }
 
@@ -188,7 +229,11 @@ impl FunctionBuilder {
     }
 
     fn terminate(&mut self, term: Terminator) {
-        assert!(!self.terminated[self.cur.0 as usize], "block {} already terminated", self.cur);
+        assert!(
+            !self.terminated[self.cur.0 as usize],
+            "block {} already terminated",
+            self.cur
+        );
         self.func.blocks[self.cur].term = term;
         self.terminated[self.cur.0 as usize] = true;
     }
@@ -209,7 +254,11 @@ impl FunctionBuilder {
 
     /// Closes the current block with a conditional branch.
     pub fn cond_br(&mut self, cond: impl Into<Operand>, then_to: BlockId, else_to: BlockId) {
-        self.terminate(Terminator::CondBr { cond: cond.into(), then_to, else_to });
+        self.terminate(Terminator::CondBr {
+            cond: cond.into(),
+            then_to,
+            else_to,
+        });
     }
 
     /// Finishes construction.
@@ -219,7 +268,11 @@ impl FunctionBuilder {
     /// Panics if any block was never terminated.
     pub fn build(self) -> Function {
         for (i, t) in self.terminated.iter().enumerate() {
-            assert!(*t, "block bb{i} in function `{}` was never terminated", self.func.name);
+            assert!(
+                *t,
+                "block bb{i} in function `{}` was never terminated",
+                self.func.name
+            );
         }
         self.func
     }

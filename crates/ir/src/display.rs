@@ -16,12 +16,18 @@ pub struct FunctionDisplay<'a> {
 impl Function {
     /// Displays the function without module context (callees print as ids).
     pub fn display(&self) -> FunctionDisplay<'_> {
-        FunctionDisplay { module: None, func: self }
+        FunctionDisplay {
+            module: None,
+            func: self,
+        }
     }
 
     /// Displays the function with callee names resolved through `module`.
     pub fn display_in<'a>(&'a self, module: &'a Module) -> FunctionDisplay<'a> {
-        FunctionDisplay { module: Some(module), func: self }
+        FunctionDisplay {
+            module: Some(module),
+            func: self,
+        }
     }
 }
 
@@ -104,9 +110,11 @@ impl fmt::Display for FunctionDisplay<'_> {
                 Terminator::Ret(None) => writeln!(f, "  ret")?,
                 Terminator::Ret(Some(v)) => writeln!(f, "  ret {v}")?,
                 Terminator::Br(b) => writeln!(f, "  br {b}")?,
-                Terminator::CondBr { cond, then_to, else_to } => {
-                    writeln!(f, "  if {cond} then {then_to} else {else_to}")?
-                }
+                Terminator::CondBr {
+                    cond,
+                    then_to,
+                    else_to,
+                } => writeln!(f, "  if {cond} then {then_to} else {else_to}")?,
             }
         }
         write!(f, "}}")

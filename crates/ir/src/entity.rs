@@ -85,12 +85,18 @@ pub struct EntityVec<K: EntityId, V> {
 impl<K: EntityId, V> EntityVec<K, V> {
     /// Creates an empty vector.
     pub fn new() -> Self {
-        EntityVec { items: Vec::new(), _marker: PhantomData }
+        EntityVec {
+            items: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates an empty vector with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EntityVec { items: Vec::with_capacity(cap), _marker: PhantomData }
+        EntityVec {
+            items: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
     }
 
     /// Number of entities.
@@ -132,12 +138,18 @@ impl<K: EntityId, V> EntityVec<K, V> {
 
     /// Iterates over `(id, &value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
-        self.items.iter().enumerate().map(|(i, v)| (K::from_index(i), v))
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (K::from_index(i), v))
     }
 
     /// Iterates over `(id, &mut value)` pairs.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> {
-        self.items.iter_mut().enumerate().map(|(i, v)| (K::from_index(i), v))
+        self.items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, v)| (K::from_index(i), v))
     }
 
     /// Iterates over all ids.
@@ -185,7 +197,10 @@ impl<K: EntityId, V: fmt::Debug> fmt::Debug for EntityVec<K, V> {
 
 impl<K: EntityId, V> FromIterator<V> for EntityVec<K, V> {
     fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
-        EntityVec { items: iter.into_iter().collect(), _marker: PhantomData }
+        EntityVec {
+            items: iter.into_iter().collect(),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -205,7 +220,10 @@ pub struct EntityMap<K: EntityId, V> {
 impl<K: EntityId, V: Clone> EntityMap<K, V> {
     /// Creates a map with `n` entries, each set to `init`.
     pub fn with_default(n: usize, init: V) -> Self {
-        EntityMap { items: vec![init; n], _marker: PhantomData }
+        EntityMap {
+            items: vec![init; n],
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -222,7 +240,10 @@ impl<K: EntityId, V> EntityMap<K, V> {
 
     /// Iterates over `(id, &value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
-        self.items.iter().enumerate().map(|(i, v)| (K::from_index(i), v))
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (K::from_index(i), v))
     }
 }
 

@@ -16,7 +16,10 @@ pub struct Block {
 impl Block {
     /// Creates a block with the given terminator and no instructions.
     pub fn new(term: Terminator) -> Self {
-        Block { insts: Vec::new(), term }
+        Block {
+            insts: Vec::new(),
+            term,
+        }
     }
 }
 
@@ -104,14 +107,19 @@ impl Function {
 
     /// Whether the function contains no call instruction (a call-graph leaf).
     pub fn is_leaf(&self) -> bool {
-        self.blocks.values().all(|b| b.insts.iter().all(|i| !i.is_call()))
+        self.blocks
+            .values()
+            .all(|b| b.insts.iter().all(|i| !i.is_call()))
     }
 
     /// Iterates over all instruction locations together with the
     /// instructions, in block order.
     pub fn inst_locs(&self) -> impl Iterator<Item = (InstLoc, &Inst)> {
         self.blocks.iter().flat_map(|(block, b)| {
-            b.insts.iter().enumerate().map(move |(inst, i)| (InstLoc { block, inst }, i))
+            b.insts
+                .iter()
+                .enumerate()
+                .map(move |(inst, i)| (InstLoc { block, inst }, i))
         })
     }
 
@@ -168,8 +176,13 @@ mod tests {
         let mut f = Function::new("f");
         let v = f.new_vreg();
         let mut b0 = Block::new(Terminator::Br(BlockId(1)));
-        b0.insts.push(Inst::Copy { dst: v, src: Operand::Imm(1) });
-        b0.insts.push(Inst::Print { arg: Operand::Reg(v) });
+        b0.insts.push(Inst::Copy {
+            dst: v,
+            src: Operand::Imm(1),
+        });
+        b0.insts.push(Inst::Print {
+            arg: Operand::Reg(v),
+        });
         f.blocks.push(b0);
         f.blocks.push(Block::new(Terminator::Ret(None)));
         let locs: Vec<_> = f.inst_locs().map(|(l, _)| (l.block.0, l.inst)).collect();

@@ -206,7 +206,10 @@ pub enum Address {
 impl Address {
     /// Scalar-global shorthand: `global[0]`.
     pub fn global_scalar(global: GlobalId) -> Self {
-        Address::Global { global, index: Operand::Imm(0) }
+        Address::Global {
+            global,
+            index: Operand::Imm(0),
+        }
     }
 
     /// The register read to compute the index, if any.
@@ -384,7 +387,10 @@ impl Terminator {
     pub fn for_each_use(&self, mut f: impl FnMut(Vreg)) {
         match self {
             Terminator::Ret(Some(Operand::Reg(v))) => f(*v),
-            Terminator::CondBr { cond: Operand::Reg(v), .. } => f(*v),
+            Terminator::CondBr {
+                cond: Operand::Reg(v),
+                ..
+            } => f(*v),
             _ => {}
         }
     }
@@ -394,7 +400,9 @@ impl Terminator {
         match self {
             Terminator::Ret(_) => {}
             Terminator::Br(b) => f(*b),
-            Terminator::CondBr { then_to, else_to, .. } => {
+            Terminator::CondBr {
+                then_to, else_to, ..
+            } => {
                 f(*then_to);
                 f(*else_to);
             }
@@ -481,7 +489,10 @@ mod tests {
     fn store_has_no_def() {
         let i = Inst::Store {
             src: Operand::Reg(Vreg(2)),
-            addr: Address::Global { global: GlobalId(0), index: Operand::Reg(Vreg(3)) },
+            addr: Address::Global {
+                global: GlobalId(0),
+                index: Operand::Reg(Vreg(3)),
+            },
         };
         assert_eq!(i.def(), None);
         let mut uses = Vec::new();

@@ -57,7 +57,10 @@ impl fmt::Display for Trap {
             Trap::StackOverflow => write!(f, "call stack overflow"),
             Trap::OutOfFuel => write!(f, "instruction budget exhausted"),
             Trap::MissingReturnValue(name) => {
-                write!(f, "function `{name}` returned no value to a caller expecting one")
+                write!(
+                    f,
+                    "function `{name}` returned no value to a caller expecting one"
+                )
             }
             Trap::NoMain => write!(f, "module has no main function"),
             Trap::BadArity { func, got, want } => {
@@ -93,7 +96,10 @@ pub struct InterpOptions {
 
 impl Default for InterpOptions {
     fn default() -> Self {
-        InterpOptions { fuel: 500_000_000, max_depth: 10_000 }
+        InterpOptions {
+            fuel: 500_000_000,
+            max_depth: 10_000,
+        }
     }
 }
 
@@ -134,14 +140,21 @@ impl Interp<'_> {
         }
         let f = &self.module.funcs[func];
         if f.params.len() != args.len() {
-            return Err(Trap::BadArity { func: f.name.clone(), got: args.len(), want: f.params.len() });
+            return Err(Trap::BadArity {
+                func: f.name.clone(),
+                got: args.len(),
+                want: f.params.len(),
+            });
         }
         let mut regs = vec![0i64; f.num_vregs()];
         for (p, a) in f.params.iter().zip(args) {
             regs[p.index()] = *a;
         }
-        let mut slots: Vec<Vec<i64>> =
-            f.slots.values().map(|s| vec![0i64; s.size as usize]).collect();
+        let mut slots: Vec<Vec<i64>> = f
+            .slots
+            .values()
+            .map(|s| vec![0i64; s.size as usize])
+            .collect();
 
         let read = |regs: &[i64], o: Operand| -> i64 {
             match o {
@@ -207,7 +220,11 @@ impl Interp<'_> {
                             }
                         }
                     }
-                    Inst::Call { callee, args: call_args, dst } => {
+                    Inst::Call {
+                        callee,
+                        args: call_args,
+                        dst,
+                    } => {
                         self.calls += 1;
                         let vals: Vec<i64> = call_args.iter().map(|a| read(&regs, *a)).collect();
                         let target = match callee {
@@ -240,8 +257,16 @@ impl Interp<'_> {
                 Terminator::Ret(None) => return Ok(None),
                 Terminator::Ret(Some(v)) => return Ok(Some(read(&regs, *v))),
                 Terminator::Br(t) => block = *t,
-                Terminator::CondBr { cond, then_to, else_to } => {
-                    block = if read(&regs, *cond) != 0 { *then_to } else { *else_to };
+                Terminator::CondBr {
+                    cond,
+                    then_to,
+                    else_to,
+                } => {
+                    block = if read(&regs, *cond) != 0 {
+                        *then_to
+                    } else {
+                        *else_to
+                    };
                 }
             }
         }
@@ -280,13 +305,17 @@ pub fn run_function(
 ) -> Result<ExecResult, Trap> {
     let mut interp = Interp {
         module,
-        globals: module.globals.values().map(|g| {
-            let mut v = vec![0i64; g.size as usize];
-            for (i, init) in g.init.iter().enumerate().take(g.size as usize) {
-                v[i] = *init;
-            }
-            v
-        }).collect(),
+        globals: module
+            .globals
+            .values()
+            .map(|g| {
+                let mut v = vec![0i64; g.size as usize];
+                for (i, init) in g.init.iter().enumerate().take(g.size as usize) {
+                    v[i] = *init;
+                }
+                v
+            })
+            .collect(),
         output: Vec::new(),
         fuel: opts.fuel,
         max_depth: opts.max_depth,
@@ -351,18 +380,38 @@ mod tests {
         crate::verify::verify_module(&m).unwrap();
         let r = run_module(&m).unwrap();
         assert_eq!(r.output, vec![55]);
-        assert!(r.calls_executed > 100, "recursive calls counted: {}", r.calls_executed);
+        assert!(
+            r.calls_executed > 100,
+            "recursive calls counted: {}",
+            r.calls_executed
+        );
     }
 
     #[test]
     fn globals_are_initialized_and_writable() {
         let mut m = Module::new();
-        let g = m.add_global(GlobalData { name: "a".into(), size: 3, init: vec![7, 8] });
+        let g = m.add_global(GlobalData {
+            name: "a".into(),
+            size: 3,
+            init: vec![7, 8],
+        });
         let mut b = FunctionBuilder::new("main");
-        let v = b.load(Address::Global { global: g, index: Operand::Imm(1) });
+        let v = b.load(Address::Global {
+            global: g,
+            index: Operand::Imm(1),
+        });
         b.print(v);
-        b.store(v, Address::Global { global: g, index: Operand::Imm(2) });
-        let w = b.load(Address::Global { global: g, index: Operand::Imm(2) });
+        b.store(
+            v,
+            Address::Global {
+                global: g,
+                index: Operand::Imm(2),
+            },
+        );
+        let w = b.load(Address::Global {
+            global: g,
+            index: Operand::Imm(2),
+        });
         b.print(w);
         b.ret(None);
         let id = m.add_func(b.build());
@@ -411,12 +460,20 @@ mod tests {
         let g = m.add_global(GlobalData::array("a", 2));
         let mut b = FunctionBuilder::new("main");
         let i = b.copy(5);
-        b.store(1, Address::Global { global: g, index: i.into() });
+        b.store(
+            1,
+            Address::Global {
+                global: g,
+                index: i.into(),
+            },
+        );
         b.ret(None);
         let id = m.add_func(b.build());
         m.main = Some(id);
         match run_module(&m).unwrap_err() {
-            Trap::OutOfBounds { index: 5, size: 2, .. } => {}
+            Trap::OutOfBounds {
+                index: 5, size: 2, ..
+            } => {}
             t => panic!("unexpected trap {t}"),
         }
     }
@@ -430,8 +487,14 @@ mod tests {
         b.br(l);
         let id = m.add_func(b.build());
         m.main = Some(id);
-        let err =
-            run_module_with(&m, InterpOptions { fuel: 1000, max_depth: 10 }).unwrap_err();
+        let err = run_module_with(
+            &m,
+            InterpOptions {
+                fuel: 1000,
+                max_depth: 10,
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, Trap::OutOfFuel);
     }
 
@@ -450,8 +513,14 @@ mod tests {
         b.ret(None);
         let id = m.add_func(b.build());
         m.main = Some(id);
-        let err =
-            run_module_with(&m, InterpOptions { fuel: u64::MAX, max_depth: 64 }).unwrap_err();
+        let err = run_module_with(
+            &m,
+            InterpOptions {
+                fuel: u64::MAX,
+                max_depth: 64,
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, Trap::StackOverflow);
     }
 
@@ -470,6 +539,9 @@ mod tests {
         b.ret(None);
         let id = m.add_func(b.build());
         m.main = Some(id);
-        assert!(matches!(run_module(&m).unwrap_err(), Trap::MissingReturnValue(_)));
+        assert!(matches!(
+            run_module(&m).unwrap_err(),
+            Trap::MissingReturnValue(_)
+        ));
     }
 }

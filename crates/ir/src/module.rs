@@ -19,12 +19,20 @@ pub struct GlobalData {
 impl GlobalData {
     /// A zero-initialized scalar global.
     pub fn scalar(name: impl Into<String>) -> Self {
-        GlobalData { name: name.into(), size: 1, init: Vec::new() }
+        GlobalData {
+            name: name.into(),
+            size: 1,
+            init: Vec::new(),
+        }
     }
 
     /// A zero-initialized array global.
     pub fn array(name: impl Into<String>, size: u32) -> Self {
-        GlobalData { name: name.into(), size, init: Vec::new() }
+        GlobalData {
+            name: name.into(),
+            size,
+            init: Vec::new(),
+        }
     }
 
     /// Whether this global is a scalar cell (register-promotable).
@@ -77,12 +85,18 @@ impl Module {
 
     /// Finds a function by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.funcs.iter().find(|(_, f)| f.name == name).map(|(id, _)| id)
+        self.funcs
+            .iter()
+            .find(|(_, f)| f.name == name)
+            .map(|(id, _)| id)
     }
 
     /// Finds a global by name.
     pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
-        self.globals.iter().find(|(_, g)| g.name == name).map(|(id, _)| id)
+        self.globals
+            .iter()
+            .find(|(_, g)| g.name == name)
+            .map(|(id, _)| id)
     }
 
     /// The set of functions whose address is taken anywhere in the module
@@ -102,8 +116,15 @@ impl Module {
     /// Whether any instruction in the module performs an indirect call.
     pub fn has_indirect_calls(&self) -> bool {
         self.funcs.values().any(|f| {
-            f.inst_locs()
-                .any(|(_, i)| matches!(i, Inst::Call { callee: Callee::Indirect(_), .. }))
+            f.inst_locs().any(|(_, i)| {
+                matches!(
+                    i,
+                    Inst::Call {
+                        callee: Callee::Indirect(_),
+                        ..
+                    }
+                )
+            })
         })
     }
 
@@ -138,7 +159,10 @@ mod tests {
         let mut caller = Function::new("caller");
         let v = caller.new_vreg();
         let mut b = Block::new(Terminator::Ret(None));
-        b.insts.push(Inst::FuncAddr { dst: v, func: callee });
+        b.insts.push(Inst::FuncAddr {
+            dst: v,
+            func: callee,
+        });
         b.insts.push(Inst::Call {
             callee: Callee::Indirect(Operand::Reg(v)),
             args: vec![],

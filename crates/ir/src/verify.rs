@@ -36,13 +36,19 @@ struct Checker<'a> {
 
 impl Checker<'_> {
     fn err(&mut self, message: String) {
-        self.errors.push(VerifyError { func: Some(self.func_id), message });
+        self.errors.push(VerifyError {
+            func: Some(self.func_id),
+            message,
+        });
     }
 
     fn check_vreg(&mut self, v: Vreg, what: &str, loc: Option<InstLoc>) {
         if v.index() >= self.func.num_vregs() {
             let at = loc.map(|l| format!(" at {l}")).unwrap_or_default();
-            self.err(format!("{what} {v}{at} out of range (function has {} vregs)", self.func.num_vregs()));
+            self.err(format!(
+                "{what} {v}{at} out of range (function has {} vregs)",
+                self.func.num_vregs()
+            ));
         }
     }
 
@@ -141,10 +147,8 @@ impl Checker<'_> {
                         self.check_address(*addr, loc)
                     }
                     Inst::Call { callee, args, .. } => self.check_call(callee, args, loc),
-                    Inst::FuncAddr { func, .. } => {
-                        if !self.module.funcs.contains(*func) {
-                            self.err(format!("addr of missing function {func} at {loc}"));
-                        }
+                    Inst::FuncAddr { func, .. } if !self.module.funcs.contains(*func) => {
+                        self.err(format!("addr of missing function {func} at {loc}"));
                     }
                     _ => {}
                 }
@@ -152,7 +156,9 @@ impl Checker<'_> {
             match &b.term {
                 Terminator::Ret(_) => {}
                 Terminator::Br(t) => self.check_block(*t, "br"),
-                Terminator::CondBr { then_to, else_to, .. } => {
+                Terminator::CondBr {
+                    then_to, else_to, ..
+                } => {
                     self.check_block(*then_to, "cond_br");
                     self.check_block(*else_to, "cond_br");
                 }
@@ -168,7 +174,12 @@ impl Checker<'_> {
 /// Returns every structural defect found (dangling ids, arity mismatches,
 /// out-of-bounds constant indices).
 pub fn verify_function(module: &Module, func_id: FuncId) -> Result<(), Vec<VerifyError>> {
-    let mut c = Checker { module, func_id, func: &module.funcs[func_id], errors: Vec::new() };
+    let mut c = Checker {
+        module,
+        func_id,
+        func: &module.funcs[func_id],
+        errors: Vec::new(),
+    };
     c.run();
     if c.errors.is_empty() {
         Ok(())
@@ -187,10 +198,15 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
     let mut errors = Vec::new();
     if let Some(m) = module.main {
         if !module.funcs.contains(m) {
-            errors.push(VerifyError { func: None, message: format!("main {m} does not exist") });
+            errors.push(VerifyError {
+                func: None,
+                message: format!("main {m} does not exist"),
+            });
         } else if !module.funcs[m].params.is_empty() {
-            errors
-                .push(VerifyError { func: None, message: "main must take no parameters".into() });
+            errors.push(VerifyError {
+                func: None,
+                message: "main must take no parameters".into(),
+            });
         }
     }
     let mut names = std::collections::HashMap::new();
@@ -242,7 +258,10 @@ mod tests {
         let f = m.main.unwrap();
         m.funcs[f].blocks[BlockId(0)].term = Terminator::Br(BlockId(42));
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("missing block")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("missing block")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -258,18 +277,25 @@ mod tests {
         let id = m.add_func(b.build());
         m.main = Some(id);
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("passes 0 args")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("passes 0 args")),
+            "{errs:?}"
+        );
     }
 
     #[test]
     fn rejects_out_of_range_vreg() {
         let mut m = ok_module();
         let f = m.main.unwrap();
-        m.funcs[f].blocks[BlockId(0)]
-            .insts
-            .push(Inst::Copy { dst: Vreg(99), src: Operand::Imm(0) });
+        m.funcs[f].blocks[BlockId(0)].insts.push(Inst::Copy {
+            dst: Vreg(99),
+            src: Operand::Imm(0),
+        });
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("out of range")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("out of range")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -279,10 +305,16 @@ mod tests {
         let f = m.main.unwrap();
         m.funcs[f].blocks[BlockId(0)].insts.push(Inst::Store {
             src: Operand::Imm(1),
-            addr: Address::Global { global: g, index: Operand::Imm(4) },
+            addr: Address::Global {
+                global: g,
+                index: Operand::Imm(4),
+            },
         });
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("out of bounds")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("out of bounds")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -297,8 +329,15 @@ mod tests {
         m.add_func(b.build());
         m.main = Some(fid);
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("duplicate function name")), "{errs:?}");
-        assert!(errs.iter().any(|e| e.message.contains("no parameters")), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|e| e.message.contains("duplicate function name")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.message.contains("no parameters")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -310,6 +349,9 @@ mod tests {
         f.blocks.push(Block::new(Terminator::Ret(None)));
         m.add_func(f);
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("entry block")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("entry block")),
+            "{errs:?}"
+        );
     }
 }

@@ -15,12 +15,20 @@ pub struct AsmDisplay<'a> {
 impl MFunction {
     /// Renders the function as pseudo-assembly.
     pub fn display<'a>(&'a self, regs: &'a RegFile) -> AsmDisplay<'a> {
-        AsmDisplay { func: self, regs, module: None }
+        AsmDisplay {
+            func: self,
+            regs,
+            module: None,
+        }
     }
 
     /// Renders with callee names resolved through `module`.
     pub fn display_in<'a>(&'a self, regs: &'a RegFile, module: &'a MModule) -> AsmDisplay<'a> {
-        AsmDisplay { func: self, regs, module: Some(module) }
+        AsmDisplay {
+            func: self,
+            regs,
+            module: Some(module),
+        }
     }
 }
 
@@ -70,10 +78,17 @@ impl AsmDisplay<'_> {
                     self.addr(*addr),
                     class
                 )?,
-                MInst::Store { src, addr, class } => {
-                    writeln!(f, "st {}, {} ; {:?}", self.op(*src), self.addr(*addr), class)?
-                }
-                MInst::Call { callee, num_stack_args } => {
+                MInst::Store { src, addr, class } => writeln!(
+                    f,
+                    "st {}, {} ; {:?}",
+                    self.op(*src),
+                    self.addr(*addr),
+                    class
+                )?,
+                MInst::Call {
+                    callee,
+                    num_stack_args,
+                } => {
                     match callee {
                         MCallee::Direct(id) => match self.module {
                             Some(m) => write!(f, "call @{}", m.funcs[*id].name)?,
@@ -98,7 +113,11 @@ impl AsmDisplay<'_> {
         match b.term {
             MTerminator::Ret => writeln!(f, "  jr ra"),
             MTerminator::Br(t) => writeln!(f, "  j {t}"),
-            MTerminator::CondBr { cond, then_to, else_to } => {
+            MTerminator::CondBr {
+                cond,
+                then_to,
+                else_to,
+            } => {
                 writeln!(f, "  bnez {}, {then_to} ; else {else_to}", self.op(cond))
             }
         }
@@ -107,12 +126,26 @@ impl AsmDisplay<'_> {
 
 impl fmt::Display for AsmDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}: ; frame: {} slots, params: {}", self.func.name, self.func.frame.len(), self.func.num_params)?;
+        writeln!(
+            f,
+            "{}: ; frame: {} slots, params: {}",
+            self.func.name,
+            self.func.frame.len(),
+            self.func.num_params
+        )?;
         for (id, slot) in self.func.frame.iter() {
-            writeln!(f, "  .slot {id} {} [{}] ; {:?}", slot.label, slot.size, slot.purpose)?;
+            writeln!(
+                f,
+                "  .slot {id} {} [{}] ; {:?}",
+                slot.label, slot.size, slot.purpose
+            )?;
         }
         for (id, b) in self.func.blocks.iter() {
-            let marker = if id == self.func.entry { " ; entry" } else { "" };
+            let marker = if id == self.func.entry {
+                " ; entry"
+            } else {
+                ""
+            };
             writeln!(f, "{id}:{marker}")?;
             self.fmt_block(f, b)?;
         }
@@ -134,18 +167,27 @@ mod tests {
         let r = rf.allocatable()[0];
         blocks.push(MBlock {
             insts: vec![
-                MInst::Copy { dst: r, src: MOperand::Imm(7) },
+                MInst::Copy {
+                    dst: r,
+                    src: MOperand::Imm(7),
+                },
                 MInst::Load {
                     dst: PReg(0),
                     addr: MAddress::slot(crate::code::FrameSlotId(0)),
                     class: MemClass::SaveRestore,
                 },
-                MInst::Print { arg: MOperand::Reg(r) },
+                MInst::Print {
+                    arg: MOperand::Reg(r),
+                },
             ],
             term: MTerminator::Ret,
         });
         let mut frame = EntityVec::new();
-        frame.push(FrameSlot { size: 1, purpose: SlotPurpose::Save, label: "save_s0".into() });
+        frame.push(FrameSlot {
+            size: 1,
+            purpose: SlotPurpose::Save,
+            label: "save_s0".into(),
+        });
         let f = MFunction {
             name: "demo".into(),
             entry: BlockId(0),

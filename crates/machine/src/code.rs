@@ -119,7 +119,10 @@ pub enum MAddress {
 impl MAddress {
     /// Frame-slot shorthand with constant index 0.
     pub fn slot(slot: FrameSlotId) -> Self {
-        MAddress::Frame { slot, index: MOperand::Imm(0) }
+        MAddress::Frame {
+            slot,
+            index: MOperand::Imm(0),
+        }
     }
 }
 
@@ -299,11 +302,17 @@ mod tests {
         assert!(l.is_scalar_mem());
         let d = MInst::Store {
             src: MOperand::Imm(0),
-            addr: MAddress::Global { global: GlobalId(0), index: MOperand::Imm(0) },
+            addr: MAddress::Global {
+                global: GlobalId(0),
+                index: MOperand::Imm(0),
+            },
             class: MemClass::Data,
         };
         assert!(!d.is_scalar_mem());
-        let c = MInst::Copy { dst: PReg(0), src: MOperand::Imm(1) };
+        let c = MInst::Copy {
+            dst: PReg(0),
+            src: MOperand::Imm(1),
+        };
         assert!(!c.is_scalar_mem());
     }
 }

@@ -33,7 +33,17 @@ pub struct CostModel {
 impl CostModel {
     /// The R2000-flavoured default.
     pub fn r2000() -> Self {
-        CostModel { alu: 1, mul: 10, div: 30, load: 2, store: 1, branch: 1, call: 2, ret: 2, print: 1 }
+        CostModel {
+            alu: 1,
+            mul: 10,
+            div: 30,
+            load: 2,
+            store: 1,
+            branch: 1,
+            call: 2,
+            ret: 2,
+            print: 1,
+        }
     }
 
     /// Cycles for a binary operator.
@@ -62,6 +72,9 @@ mod tests {
         assert_eq!(c.bin_op(BinOp::Add), 1);
         assert_eq!(c.bin_op(BinOp::Mul), c.mul);
         assert_eq!(c.bin_op(BinOp::Rem), c.div);
-        assert!(c.load > c.alu, "memory must cost more than ALU for the paper's trade-offs");
+        assert!(
+            c.load > c.alu,
+            "memory must cost more than ALU for the paper's trade-offs"
+        );
     }
 }

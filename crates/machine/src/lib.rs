@@ -27,5 +27,5 @@ pub use code::{
     MTerminator, MemClass, SlotPurpose,
 };
 pub use cost::CostModel;
-pub use target::Target;
 pub use regs::{PReg, RegClass, RegFile, RegMask};
+pub use target::Target;

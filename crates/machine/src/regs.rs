@@ -169,12 +169,15 @@ impl RegFile {
         let scratch1 = push("at1".into(), None);
         let ret_reg = push("rv".into(), None);
         let ra = push("ra".into(), None);
-        let param_regs: Vec<PReg> =
-            (0..4).map(|i| push(format!("a{i}"), Some(RegClass::CallerSaved))).collect();
-        let t_regs: Vec<PReg> =
-            (0..11).map(|i| push(format!("t{i}"), Some(RegClass::CallerSaved))).collect();
-        let s_regs: Vec<PReg> =
-            (0..9).map(|i| push(format!("s{i}"), Some(RegClass::CalleeSaved))).collect();
+        let param_regs: Vec<PReg> = (0..4)
+            .map(|i| push(format!("a{i}"), Some(RegClass::CallerSaved)))
+            .collect();
+        let t_regs: Vec<PReg> = (0..11)
+            .map(|i| push(format!("t{i}"), Some(RegClass::CallerSaved)))
+            .collect();
+        let s_regs: Vec<PReg> = (0..9)
+            .map(|i| push(format!("s{i}"), Some(RegClass::CalleeSaved)))
+            .collect();
 
         let mut allocatable = Vec::new();
         if unrestricted {
@@ -183,7 +186,15 @@ impl RegFile {
         allocatable.extend(t_regs.iter().take(caller));
         allocatable.extend(s_regs.iter().take(callee));
 
-        RegFile { names, class, allocatable, param_regs, ret_reg, scratch: [scratch0, scratch1], ra }
+        RegFile {
+            names,
+            class,
+            allocatable,
+            param_regs,
+            ret_reg,
+            scratch: [scratch0, scratch1],
+            ra,
+        }
     }
 
     /// Total number of registers (allocatable and reserved).
@@ -208,7 +219,10 @@ impl RegFile {
 
     /// Allocatable registers of one class.
     pub fn allocatable_of(&self, c: RegClass) -> impl Iterator<Item = PReg> + '_ {
-        self.allocatable.iter().copied().filter(move |&r| self.class(r) == Some(c))
+        self.allocatable
+            .iter()
+            .copied()
+            .filter(move |&r| self.class(r) == Some(c))
     }
 
     /// The four argument registers of the default convention.
@@ -312,7 +326,10 @@ mod tests {
             assert!(m.contains(*r));
         }
         for r in rf.allocatable_of(RegClass::CalleeSaved) {
-            assert!(!m.contains(r), "callee-saved regs preserved by default convention");
+            assert!(
+                !m.contains(r),
+                "callee-saved regs preserved by default convention"
+            );
         }
         assert_eq!(rf.callee_saved_mask().count(), 9);
     }

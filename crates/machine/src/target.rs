@@ -16,12 +16,18 @@ pub struct Target {
 impl Target {
     /// The full MIPS-like target of the paper's measurements.
     pub fn mips_like() -> Self {
-        Target { regs: RegFile::mips_like(), cost: CostModel::r2000() }
+        Target {
+            regs: RegFile::mips_like(),
+            cost: CostModel::r2000(),
+        }
     }
 
     /// Target with a restricted allocatable set (Table 2).
     pub fn with_class_limits(caller: usize, callee: usize) -> Self {
-        Target { regs: RegFile::with_class_limits(caller, callee), cost: CostModel::r2000() }
+        Target {
+            regs: RegFile::with_class_limits(caller, callee),
+            cost: CostModel::r2000(),
+        }
     }
 }
 

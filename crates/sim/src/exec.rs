@@ -13,7 +13,7 @@ use ipra_machine::{
     RegMask,
 };
 
-use crate::stats::Stats;
+use crate::stats::{FuncStats, Stats};
 
 /// Why simulation stopped abnormally.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -61,7 +61,12 @@ impl fmt::Display for SimTrap {
             SimTrap::StackOverflow => write!(f, "frame stack overflow"),
             SimTrap::OutOfFuel => write!(f, "cycle budget exhausted"),
             SimTrap::NoMain => write!(f, "module has no main"),
-            SimTrap::ConventionViolation { func, reg, before, after } => write!(
+            SimTrap::ConventionViolation {
+                func,
+                reg,
+                before,
+                after,
+            } => write!(
                 f,
                 "`{func}` must preserve {reg} but changed it from {before} to {after}"
             ),
@@ -171,7 +176,12 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
         })
         .collect();
     let mut output = Vec::new();
-    let mut stats = Stats::default();
+    let mut stats = Stats {
+        per_func: vec![FuncStats::default(); module.funcs.len()],
+        ..Stats::default()
+    };
+    let mut edge_counts: std::collections::HashMap<(u32, u32), u64> =
+        std::collections::HashMap::new();
 
     let new_activation = |module: &MModule, func: FuncId, incoming: Vec<i64>| -> Activation {
         let f = &module.funcs[func];
@@ -179,26 +189,37 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
             func,
             block: f.entry,
             ip: 0,
-            slots: f.frame.values().map(|s| vec![0i64; s.size as usize]).collect(),
+            slots: f
+                .frame
+                .values()
+                .map(|s| vec![0i64; s.size as usize])
+                .collect(),
             incoming,
             outgoing: vec![0i64; f.max_outgoing as usize],
             preserved: None,
         }
     };
 
-    let snapshot = |opts: &SimOptions, func: FuncId, regs_now: &[i64]| -> Option<Vec<(PReg, i64)>> {
-        opts.preserve_masks.as_ref().map(|masks| {
-            let clobbers = masks[func.index()];
-            (0..regs_now.len() as u8)
-                .map(PReg)
-                .filter(|r| !clobbers.contains(*r) && !opts.exempt.contains(*r))
-                .map(|r| (r, regs_now[r.index()]))
-                .collect()
-        })
-    };
+    let snapshot =
+        |opts: &SimOptions, func: FuncId, regs_now: &[i64]| -> Option<Vec<(PReg, i64)>> {
+            opts.preserve_masks.as_ref().map(|masks| {
+                let clobbers = masks[func.index()];
+                (0..regs_now.len() as u8)
+                    .map(PReg)
+                    .filter(|r| !clobbers.contains(*r) && !opts.exempt.contains(*r))
+                    .map(|r| (r, regs_now[r.index()]))
+                    .collect()
+            })
+        };
 
     let mut profile: Option<Vec<Vec<u64>>> = if opts.collect_block_profile {
-        Some(module.funcs.values().map(|f| vec![0u64; f.blocks.len()]).collect())
+        Some(
+            module
+                .funcs
+                .values()
+                .map(|f| vec![0u64; f.blocks.len()])
+                .collect(),
+        )
     } else {
         None
     };
@@ -206,14 +227,18 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
     let mut stack: Vec<Activation> = Vec::new();
     let mut cur = new_activation(module, main, Vec::new());
     cur.preserved = snapshot(opts, main, &reg_file);
-    stats.max_depth = 1;
+    stats.record_depth(1);
     if let Some(p) = profile.as_mut() {
         p[cur.func.index()][cur.block.index()] += 1;
     }
 
+    // Cycles are attributed to the currently-executing activation, so the
+    // call cost lands on the caller and the return cost on the callee.
     macro_rules! charge {
         ($n:expr) => {{
-            stats.cycles += $n;
+            let n = $n;
+            stats.cycles += n;
+            stats.per_func[cur.func.index()].cycles += n;
             if stats.cycles > opts.fuel {
                 return Err(SimTrap::OutOfFuel);
             }
@@ -228,6 +253,7 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
             let inst = &block.insts[cur.ip];
             cur.ip += 1;
             stats.insts += 1;
+            stats.per_func[cur.func.index()].insts += 1;
 
             let read = |regs_now: &[i64], o: MOperand| -> i64 {
                 match o {
@@ -254,18 +280,24 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
                 MInst::Load { dst, addr, class } => {
                     charge!(opts.cost.load);
                     stats.count_load(*class);
+                    stats.per_func[cur.func.index()].count_load(*class);
                     let v = read_mem(module, &globals, &cur, &reg_file, *addr)?;
                     reg_file[dst.index()] = v;
                 }
                 MInst::Store { src, addr, class } => {
                     charge!(opts.cost.store);
                     stats.count_store(*class);
+                    stats.per_func[cur.func.index()].count_store(*class);
                     let v = read(&reg_file, *src);
                     write_mem(module, &mut globals, &mut cur, &reg_file, *addr, v)?;
                 }
-                MInst::Call { callee, num_stack_args } => {
+                MInst::Call {
+                    callee,
+                    num_stack_args,
+                } => {
                     charge!(opts.cost.call);
                     stats.calls += 1;
+                    stats.per_func[cur.func.index()].calls += 1;
                     let target = match callee {
                         MCallee::Direct(id) => *id,
                         MCallee::Indirect(t) => {
@@ -290,10 +322,11 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
                     if stack.len() + 1 >= opts.max_depth {
                         return Err(SimTrap::StackOverflow);
                     }
+                    *edge_counts.entry((cur.func.0, target.0)).or_insert(0) += 1;
                     let mut callee_act = new_activation(module, target, incoming);
                     callee_act.preserved = snapshot(opts, target, &reg_file);
                     stack.push(std::mem::replace(&mut cur, callee_act));
-                    stats.max_depth = stats.max_depth.max(stack.len() + 1);
+                    stats.record_depth(stack.len() + 1);
                     if let Some(p) = profile.as_mut() {
                         p[cur.func.index()][cur.block.index()] += 1;
                     }
@@ -309,6 +342,7 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
             }
         } else {
             stats.insts += 1;
+            stats.per_func[cur.func.index()].insts += 1;
             match block.term {
                 MTerminator::Ret => {
                     charge!(opts.cost.ret);
@@ -328,12 +362,18 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
                     match stack.pop() {
                         Some(parent) => cur = parent,
                         None => {
+                            let mut edges: Vec<(u32, u32, u64)> = edge_counts
+                                .into_iter()
+                                .map(|((a, b), n)| (a, b, n))
+                                .collect();
+                            edges.sort_unstable();
+                            stats.call_edges = edges;
                             return Ok(SimResult {
                                 output,
                                 return_value: reg_file[regs.ret_reg().index()],
                                 stats,
                                 block_profile: profile,
-                            })
+                            });
                         }
                     }
                 }
@@ -345,7 +385,11 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
                         p[cur.func.index()][cur.block.index()] += 1;
                     }
                 }
-                MTerminator::CondBr { cond, then_to, else_to } => {
+                MTerminator::CondBr {
+                    cond,
+                    then_to,
+                    else_to,
+                } => {
                     charge!(opts.cost.branch);
                     let c = match cond {
                         MOperand::Reg(r) => reg_file[r.index()],
@@ -391,20 +435,31 @@ fn read_mem(
             let i = idx(index);
             let s = &cur.slots[slot.index()];
             if i < 0 || i as usize >= s.len() {
-                return Err(SimTrap::OutOfBounds { what: format!("frame slot {slot}"), index: i });
+                return Err(SimTrap::OutOfBounds {
+                    what: format!("frame slot {slot}"),
+                    index: i,
+                });
             }
             Ok(s[i as usize])
         }
-        MAddress::Incoming(i) => cur
-            .incoming
-            .get(i as usize)
-            .copied()
-            .ok_or(SimTrap::OutOfBounds { what: "incoming arguments".into(), index: i as i64 }),
-        MAddress::Outgoing(i) => cur
-            .outgoing
-            .get(i as usize)
-            .copied()
-            .ok_or(SimTrap::OutOfBounds { what: "outgoing arguments".into(), index: i as i64 }),
+        MAddress::Incoming(i) => {
+            cur.incoming
+                .get(i as usize)
+                .copied()
+                .ok_or(SimTrap::OutOfBounds {
+                    what: "incoming arguments".into(),
+                    index: i as i64,
+                })
+        }
+        MAddress::Outgoing(i) => {
+            cur.outgoing
+                .get(i as usize)
+                .copied()
+                .ok_or(SimTrap::OutOfBounds {
+                    what: "outgoing arguments".into(),
+                    index: i as i64,
+                })
+        }
     }
 }
 
@@ -439,19 +494,26 @@ fn write_mem(
             let i = idx(index);
             let s = &mut cur.slots[slot.index()];
             if i < 0 || i as usize >= s.len() {
-                return Err(SimTrap::OutOfBounds { what: format!("frame slot {slot}"), index: i });
+                return Err(SimTrap::OutOfBounds {
+                    what: format!("frame slot {slot}"),
+                    index: i,
+                });
             }
             s[i as usize] = value;
             Ok(())
         }
-        MAddress::Incoming(i) => {
-            Err(SimTrap::OutOfBounds { what: "incoming arguments (write)".into(), index: i as i64 })
-        }
+        MAddress::Incoming(i) => Err(SimTrap::OutOfBounds {
+            what: "incoming arguments (write)".into(),
+            index: i as i64,
+        }),
         MAddress::Outgoing(i) => {
             let slot = cur
                 .outgoing
                 .get_mut(i as usize)
-                .ok_or(SimTrap::OutOfBounds { what: "outgoing arguments".into(), index: i as i64 })?;
+                .ok_or(SimTrap::OutOfBounds {
+                    what: "outgoing arguments".into(),
+                    index: i as i64,
+                })?;
             *slot = value;
             Ok(())
         }

@@ -56,9 +56,17 @@ mod tests {
             "main",
             vec![MBlock {
                 insts: vec![
-                    MInst::Copy { dst: rv, src: MOperand::Imm(2) },
-                    MInst::Call { callee: MCallee::Direct(FuncId(0)), num_stack_args: 0 },
-                    MInst::Print { arg: MOperand::Reg(rv) },
+                    MInst::Copy {
+                        dst: rv,
+                        src: MOperand::Imm(2),
+                    },
+                    MInst::Call {
+                        callee: MCallee::Direct(FuncId(0)),
+                        num_stack_args: 0,
+                    },
+                    MInst::Print {
+                        arg: MOperand::Reg(rv),
+                    },
                 ],
                 term: MTerminator::Ret,
             }],
@@ -76,7 +84,11 @@ mod tests {
         let regs = RegFile::mips_like();
         let m = call_module(&regs);
         let r = run(&m, &regs, &SimOptions::for_target(&regs)).unwrap();
-        assert_eq!(r.output, vec![6], "callee computed into the shared register");
+        assert_eq!(
+            r.output,
+            vec![6],
+            "callee computed into the shared register"
+        );
         assert_eq!(r.stats.calls, 1);
         assert!(r.stats.cycles > 0);
     }
@@ -111,8 +123,13 @@ mod tests {
                         addr: MAddress::Outgoing(1),
                         class: MemClass::ScalarHome,
                     },
-                    MInst::Call { callee: MCallee::Direct(FuncId(0)), num_stack_args: 2 },
-                    MInst::Print { arg: MOperand::Reg(rv) },
+                    MInst::Call {
+                        callee: MCallee::Direct(FuncId(0)),
+                        num_stack_args: 2,
+                    },
+                    MInst::Print {
+                        arg: MOperand::Reg(rv),
+                    },
                 ],
                 term: MTerminator::Ret,
             }],
@@ -126,7 +143,11 @@ mod tests {
         };
         let r = run(&m, &regs, &SimOptions::for_target(&regs)).unwrap();
         assert_eq!(r.output, vec![20]);
-        assert_eq!(r.stats.stores(MemClass::ScalarHome), 2, "two outgoing stack args");
+        assert_eq!(
+            r.stats.stores(MemClass::ScalarHome),
+            2,
+            "two outgoing stack args"
+        );
         assert_eq!(r.stats.loads(MemClass::ScalarHome), 1);
         assert_eq!(r.stats.scalar_mem(), 3);
     }
@@ -142,7 +163,10 @@ mod tests {
         let child = func(
             "bad_child",
             vec![MBlock {
-                insts: vec![MInst::Copy { dst: s0, src: MOperand::Imm(99) }],
+                insts: vec![MInst::Copy {
+                    dst: s0,
+                    src: MOperand::Imm(99),
+                }],
                 term: MTerminator::Ret,
             }],
             true,
@@ -151,8 +175,14 @@ mod tests {
             "main",
             vec![MBlock {
                 insts: vec![
-                    MInst::Copy { dst: s0, src: MOperand::Imm(1) },
-                    MInst::Call { callee: MCallee::Direct(FuncId(0)), num_stack_args: 0 },
+                    MInst::Copy {
+                        dst: s0,
+                        src: MOperand::Imm(1),
+                    },
+                    MInst::Call {
+                        callee: MCallee::Direct(FuncId(0)),
+                        num_stack_args: 0,
+                    },
                 ],
                 term: MTerminator::Ret,
             }],
@@ -166,7 +196,12 @@ mod tests {
         let masks = vec![RegMask::EMPTY, RegMask::EMPTY];
         let opts = SimOptions::for_target(&regs).check_preservation(masks);
         match run(&m, &regs, &opts) {
-            Err(SimTrap::ConventionViolation { func, reg, before, after }) => {
+            Err(SimTrap::ConventionViolation {
+                func,
+                reg,
+                before,
+                after,
+            }) => {
                 assert_eq!(func, "bad_child");
                 assert_eq!(reg, s0);
                 assert_eq!((before, after), (1, 99));
@@ -186,7 +221,11 @@ mod tests {
         let regs = RegFile::mips_like();
         let a0 = regs.param_regs()[0];
         let mut frame = EntityVec::new();
-        frame.push(FrameSlot { size: 1, purpose: SlotPurpose::Home, label: "x".into() });
+        frame.push(FrameSlot {
+            size: 1,
+            purpose: SlotPurpose::Home,
+            label: "x".into(),
+        });
         let t0 = regs.allocatable()[4];
         let rec = MFunction {
             name: "rec".into(),
@@ -220,7 +259,10 @@ mod tests {
                             lhs: MOperand::Reg(a0),
                             rhs: MOperand::Imm(1),
                         },
-                        MInst::Call { callee: MCallee::Direct(FuncId(0)), num_stack_args: 0 },
+                        MInst::Call {
+                            callee: MCallee::Direct(FuncId(0)),
+                            num_stack_args: 0,
+                        },
                     ],
                     term: MTerminator::Br(BlockId(2)),
                 },
@@ -231,7 +273,9 @@ mod tests {
                             addr: MAddress::slot(FrameSlotId(0)),
                             class: MemClass::ScalarHome,
                         },
-                        MInst::Print { arg: MOperand::Reg(t0) },
+                        MInst::Print {
+                            arg: MOperand::Reg(t0),
+                        },
                     ],
                     term: MTerminator::Ret,
                 },
@@ -247,8 +291,14 @@ mod tests {
             "main",
             vec![MBlock {
                 insts: vec![
-                    MInst::Copy { dst: a0, src: MOperand::Imm(3) },
-                    MInst::Call { callee: MCallee::Direct(FuncId(0)), num_stack_args: 0 },
+                    MInst::Copy {
+                        dst: a0,
+                        src: MOperand::Imm(3),
+                    },
+                    MInst::Call {
+                        callee: MCallee::Direct(FuncId(0)),
+                        num_stack_args: 0,
+                    },
                 ],
                 term: MTerminator::Ret,
             }],
@@ -260,15 +310,25 @@ mod tests {
             main: Some(FuncId(1)),
         };
         let r = run(&m, &regs, &SimOptions::for_target(&regs)).unwrap();
-        assert_eq!(r.output, vec![1, 2, 3], "innermost prints first, frames independent");
-        assert_eq!(r.stats.max_depth, 4);
+        assert_eq!(
+            r.output,
+            vec![1, 2, 3],
+            "innermost prints first, frames independent"
+        );
+        assert_eq!(r.stats.max_depth(), 4);
     }
 
     #[test]
     fn fuel_exhaustion_traps() {
         let regs = RegFile::mips_like();
-        let main =
-            func("main", vec![MBlock { insts: vec![], term: MTerminator::Br(BlockId(0)) }], true);
+        let main = func(
+            "main",
+            vec![MBlock {
+                insts: vec![],
+                term: MTerminator::Br(BlockId(0)),
+            }],
+            true,
+        );
         let m = MModule {
             funcs: [main].into_iter().collect(),
             globals: EntityVec::new(),
@@ -299,6 +359,9 @@ mod tests {
             main: Some(FuncId(0)),
         };
         let opts = SimOptions::for_target(&regs);
-        assert_eq!(run(&m, &regs, &opts).unwrap_err(), SimTrap::BadIndirectTarget(99));
+        assert_eq!(
+            run(&m, &regs, &opts).unwrap_err(),
+            SimTrap::BadIndirectTarget(99)
+        );
     }
 }

@@ -2,9 +2,44 @@
 
 use ipra_machine::MemClass;
 
+/// Dynamic counts attributed to a single function (cycles, instructions and
+/// memory traffic charged while that function's activation was current;
+/// `calls` counts the call instructions *it* executed).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FuncStats {
+    /// Cycles charged while this function was executing.
+    pub cycles: u64,
+    /// Instructions this function executed (terminators included).
+    pub insts: u64,
+    /// Call instructions this function executed.
+    pub calls: u64,
+    /// Loads, by accounting class `[Data, ScalarHome, Spill, SaveRestore]`.
+    pub loads_by_class: [u64; 4],
+    /// Stores, by accounting class.
+    pub stores_by_class: [u64; 4],
+}
+
+impl FuncStats {
+    /// Records a load of class `c`.
+    pub fn count_load(&mut self, c: MemClass) {
+        self.loads_by_class[class_index(c)] += 1;
+    }
+
+    /// Records a store of class `c`.
+    pub fn count_store(&mut self, c: MemClass) {
+        self.stores_by_class[class_index(c)] += 1;
+    }
+
+    /// Save/restore loads + stores only.
+    pub fn save_restore_mem(&self) -> u64 {
+        self.loads_by_class[class_index(MemClass::SaveRestore)]
+            + self.stores_by_class[class_index(MemClass::SaveRestore)]
+    }
+}
+
 /// Dynamic counts accumulated by the simulator (the role `pixie` plays in
 /// the paper's measurements).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Stats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -17,8 +52,16 @@ pub struct Stats {
     pub loads_by_class: [u64; 4],
     /// Stores executed, by accounting class.
     pub stores_by_class: [u64; 4],
-    /// Deepest call stack observed.
-    pub max_depth: usize,
+    /// Call-stack depth histogram: `depth_hist[d]` counts activations
+    /// *entered* at depth `d` (`main` enters at depth 1; index 0 is
+    /// unused). The deepest stack observed is [`Stats::max_depth`].
+    pub depth_hist: Vec<u64>,
+    /// Per-function attribution, indexed by `FuncId` (empty unless the
+    /// simulator filled it in).
+    pub per_func: Vec<FuncStats>,
+    /// Dynamic call-edge counts `(caller, callee, count)` as `FuncId`
+    /// indices, sorted by `(caller, callee)`.
+    pub call_edges: Vec<(u32, u32, u64)>,
 }
 
 fn class_index(c: MemClass) -> usize {
@@ -39,6 +82,19 @@ impl Stats {
     /// Records a store of class `c`.
     pub fn count_store(&mut self, c: MemClass) {
         self.stores_by_class[class_index(c)] += 1;
+    }
+
+    /// Records an activation entering at stack depth `d` (`main` is 1).
+    pub fn record_depth(&mut self, d: usize) {
+        if self.depth_hist.len() <= d {
+            self.depth_hist.resize(d + 1, 0);
+        }
+        self.depth_hist[d] += 1;
+    }
+
+    /// Deepest call stack observed, derived from the depth histogram.
+    pub fn max_depth(&self) -> usize {
+        self.depth_hist.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Loads of a given class.
@@ -111,9 +167,37 @@ mod tests {
 
     #[test]
     fn cycles_per_call() {
-        let s = Stats { cycles: 100, calls: 4, ..Stats::default() };
+        let s = Stats {
+            cycles: 100,
+            calls: 4,
+            ..Stats::default()
+        };
         assert_eq!(s.cycles_per_call(), 25.0);
         assert!(Stats::default().cycles_per_call().is_nan());
+    }
+
+    #[test]
+    fn depth_histogram_and_derived_max() {
+        let mut s = Stats::default();
+        assert_eq!(s.max_depth(), 0, "no activations yet");
+        s.record_depth(1); // main
+        s.record_depth(2);
+        s.record_depth(2);
+        s.record_depth(4);
+        assert_eq!(s.depth_hist, vec![0, 1, 2, 0, 1]);
+        assert_eq!(s.max_depth(), 4);
+        s.record_depth(3);
+        assert_eq!(s.max_depth(), 4, "shallower entries keep the max");
+    }
+
+    #[test]
+    fn per_func_attribution_accumulates() {
+        let mut f = FuncStats::default();
+        f.count_load(MemClass::SaveRestore);
+        f.count_store(MemClass::SaveRestore);
+        f.count_load(MemClass::Data);
+        assert_eq!(f.save_restore_mem(), 2);
+        assert_eq!(f.loads_by_class[0], 1);
     }
 
     #[test]

@@ -140,8 +140,19 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "nim", "map", "calcc", "diff", "dhrystone", "stanford", "pf", "awk", "tex",
-                "ccom", "as1", "upas", "uopt"
+                "nim",
+                "map",
+                "calcc",
+                "diff",
+                "dhrystone",
+                "stanford",
+                "pf",
+                "awk",
+                "tex",
+                "ccom",
+                "as1",
+                "upas",
+                "uopt"
             ]
         );
     }
@@ -149,13 +160,16 @@ mod tests {
     #[test]
     fn every_workload_compiles_verifies_and_runs() {
         for w in all() {
-            let m = compile_workload(w)
-                .unwrap_or_else(|e| panic!("[{}] compile error: {e}", w.name));
+            let m =
+                compile_workload(w).unwrap_or_else(|e| panic!("[{}] compile error: {e}", w.name));
             ipra_ir::verify::verify_module(&m)
                 .unwrap_or_else(|e| panic!("[{}] verify: {e:?}", w.name));
-            let opts = InterpOptions { fuel: 2_000_000_000, max_depth: 20_000 };
-            let r = run_module_with(&m, opts)
-                .unwrap_or_else(|t| panic!("[{}] trapped: {t}", w.name));
+            let opts = InterpOptions {
+                fuel: 2_000_000_000,
+                max_depth: 20_000,
+            };
+            let r =
+                run_module_with(&m, opts).unwrap_or_else(|t| panic!("[{}] trapped: {t}", w.name));
             assert!(!r.output.is_empty(), "[{}] produced no output", w.name);
             assert!(
                 r.calls_executed >= 50,
@@ -201,6 +215,9 @@ mod tests {
         ipra_ir::verify::verify_module(&m).unwrap();
         let r = ipra_ir::interp::run_module(&m).unwrap();
         assert_eq!(r.output.len(), 1);
-        assert!(r.calls_executed >= 5 * (2u64.pow(4) - 1) / 2, "full tree visited");
+        assert!(
+            r.calls_executed >= 5 * (2u64.pow(4) - 1) / 2,
+            "full tree visited"
+        );
     }
 }

@@ -9,8 +9,61 @@ use std::fmt::Write as _;
 
 use ipra_ir::builder::FunctionBuilder;
 use ipra_ir::{BinOp, FuncId, Module, Operand};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// A tiny deterministic PRNG (xorshift64* seeded through splitmix64), so
+/// the generators need no external crates and produce identical programs
+/// for a given seed on every platform.
+#[derive(Clone, Debug)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator from an arbitrary seed (zero included).
+    pub fn new(seed: u64) -> Self {
+        // One splitmix64 step scrambles low-entropy seeds and guarantees a
+        // non-zero xorshift state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift64Star { state: z | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`). The modulo bias is
+    /// irrelevant for program generation.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform value in `lo..hi` (half-open; `lo` when the range is empty).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.below((hi - lo) as u64) as i64
+        }
+    }
+
+    /// Fair coin flip.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// Tuning knobs for [`random_source`].
 #[derive(Clone, Copy, Debug)]
@@ -45,20 +98,26 @@ impl Default for SourceConfig {
 /// loop whose induction variable is written nowhere else, and the call
 /// graph is acyclic (functions only call earlier functions).
 pub fn random_source(seed: u64, cfg: &SourceConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::new(seed);
     let mut out = String::new();
     let _ = writeln!(out, "// random program, seed {seed}");
 
     for g in 0..cfg.num_globals {
-        let _ = writeln!(out, "global g{g}: int = {};", rng.gen_range(-50..50));
+        let _ = writeln!(out, "global g{g}: int = {};", rng.range_i64(-50, 50));
     }
     for a in 0..cfg.num_arrays {
         let _ = writeln!(out, "global arr{a}: [int; 16];");
     }
 
     // Fix arities up front so call sites always match.
-    let arities: Vec<usize> = (0..cfg.num_funcs).map(|_| rng.gen_range(0..4usize)).collect();
-    let mut gen = SrcGen { rng, cfg: *cfg, loop_counter: 0, arities, loop_depth: 0 };
+    let arities: Vec<usize> = (0..cfg.num_funcs).map(|_| rng.below(4) as usize).collect();
+    let mut gen = SrcGen {
+        rng,
+        cfg: *cfg,
+        loop_counter: 0,
+        arities,
+        loop_depth: 0,
+    };
 
     // Functions f0..fN; fK may call f0..f(K-1) (acyclic, so terminating).
     for f in 0..cfg.num_funcs {
@@ -67,7 +126,14 @@ pub fn random_source(seed: u64, cfg: &SourceConfig) -> String {
         let header: Vec<String> = params.iter().map(|p| format!("{p}: int")).collect();
         let _ = writeln!(out, "fn f{f}({}) -> int {{", header.join(", "));
         let mut scope: Vec<String> = params;
-        gen.stmts(&mut out, f, &mut scope, cfg.stmts_per_func, cfg.max_depth, 1);
+        gen.stmts(
+            &mut out,
+            f,
+            &mut scope,
+            cfg.stmts_per_func,
+            cfg.max_depth,
+            1,
+        );
         let _ = writeln!(out, "  return {};", gen.expr(f, &scope, 2));
         let _ = writeln!(out, "}}");
     }
@@ -75,7 +141,14 @@ pub fn random_source(seed: u64, cfg: &SourceConfig) -> String {
     let _ = writeln!(out, "fn main() {{");
     let mut scope: Vec<String> = Vec::new();
     let n = cfg.num_funcs;
-    gen.stmts(&mut out, n, &mut scope, cfg.stmts_per_func, cfg.max_depth, 1);
+    gen.stmts(
+        &mut out,
+        n,
+        &mut scope,
+        cfg.stmts_per_func,
+        cfg.max_depth,
+        1,
+    );
     for f in 0..n {
         let call = gen.call_expr(f, n, &scope, 1);
         let _ = writeln!(out, "  print({call});");
@@ -88,7 +161,7 @@ pub fn random_source(seed: u64, cfg: &SourceConfig) -> String {
 }
 
 struct SrcGen {
-    rng: StdRng,
+    rng: XorShift64Star,
     cfg: SourceConfig,
     loop_counter: usize,
     arities: Vec<usize>,
@@ -104,32 +177,32 @@ impl SrcGen {
         if depth == 0 {
             return self.atom(scope);
         }
-        match self.rng.gen_range(0..10) {
+        match self.rng.below(10) {
             0..=3 => {
-                let op = ["+", "-", "*", "&", "|", "^"][self.rng.gen_range(0..6)];
+                let op = ["+", "-", "*", "&", "|", "^"][self.rng.below(6) as usize];
                 let l = self.expr(f, scope, depth - 1);
                 let r = self.expr(f, scope, depth - 1);
                 format!("({l} {op} {r})")
             }
             4 => {
                 // Division/remainder by a non-zero constant only.
-                let op = if self.rng.gen_bool(0.5) { "/" } else { "%" };
+                let op = if self.rng.coin() { "/" } else { "%" };
                 let l = self.expr(f, scope, depth - 1);
-                let c = self.rng.gen_range(1..9);
+                let c = self.rng.range_i64(1, 9);
                 format!("({l} {op} {c})")
             }
             5 => {
-                let op = ["==", "!=", "<", "<=", ">", ">="][self.rng.gen_range(0..6)];
+                let op = ["==", "!=", "<", "<=", ">", ">="][self.rng.below(6) as usize];
                 let l = self.expr(f, scope, depth - 1);
                 let r = self.expr(f, scope, depth - 1);
                 format!("({l} {op} {r})")
             }
             6 if f > 0 && self.loop_depth == 0 => {
-                let callee = self.rng.gen_range(0..f);
+                let callee = self.rng.below(f as u64) as usize;
                 self.call_expr(callee, f, scope, depth)
             }
             7 if self.cfg.num_arrays > 0 => {
-                let a = self.rng.gen_range(0..self.cfg.num_arrays);
+                let a = self.rng.below(self.cfg.num_arrays as u64) as usize;
                 let i = self.expr(f, scope, depth - 1);
                 format!("arr{a}[(({i}) % 16 + 16) % 16]")
             }
@@ -143,13 +216,13 @@ impl SrcGen {
 
     fn atom(&mut self, scope: &[String]) -> String {
         let choices = scope.len() + self.cfg.num_globals + 1;
-        let k = self.rng.gen_range(0..choices.max(1));
+        let k = self.rng.below(choices.max(1) as u64) as usize;
         if k < scope.len() {
             scope[k].clone()
         } else if k < scope.len() + self.cfg.num_globals {
             format!("g{}", k - scope.len())
         } else {
-            format!("{}", self.rng.gen_range(-99..100))
+            format!("{}", self.rng.range_i64(-99, 100))
         }
     }
 
@@ -174,7 +247,7 @@ impl SrcGen {
     ) {
         let pad = "  ".repeat(indent);
         for _ in 0..n {
-            match self.rng.gen_range(0..10) {
+            match self.rng.below(10) {
                 0..=2 => {
                     let name = format!("v{}", scope.len());
                     let init = self.expr(f, scope, 2);
@@ -182,23 +255,20 @@ impl SrcGen {
                     scope.push(name);
                 }
                 3..=4 if !scope.is_empty() => {
-                    let v = scope[self.rng.gen_range(0..scope.len())].clone();
+                    let v = scope[self.rng.below(scope.len() as u64) as usize].clone();
                     let e = self.expr(f, scope, 2);
                     let _ = writeln!(out, "{pad}{v} = {e};");
                 }
                 5 if self.cfg.num_globals > 0 => {
-                    let g = self.rng.gen_range(0..self.cfg.num_globals);
+                    let g = self.rng.below(self.cfg.num_globals as u64) as usize;
                     let e = self.expr(f, scope, 2);
                     let _ = writeln!(out, "{pad}g{g} = {e};");
                 }
                 6 if self.cfg.num_arrays > 0 => {
-                    let a = self.rng.gen_range(0..self.cfg.num_arrays);
+                    let a = self.rng.below(self.cfg.num_arrays as u64) as usize;
                     let i = self.expr(f, scope, 1);
                     let e = self.expr(f, scope, 2);
-                    let _ = writeln!(
-                        out,
-                        "{pad}arr{a}[(({i}) % 16 + 16) % 16] = {e};"
-                    );
+                    let _ = writeln!(out, "{pad}arr{a}[(({i}) % 16 + 16) % 16] = {e};");
                 }
                 7 if depth > 0 => {
                     let c = self.expr(f, scope, 1);
@@ -217,7 +287,7 @@ impl SrcGen {
                     // can overwrite it and termination is guaranteed).
                     let lv = format!("L{}", self.loop_counter);
                     self.loop_counter += 1;
-                    let bound = self.rng.gen_range(1..8);
+                    let bound = self.rng.range_i64(1, 8);
                     let _ = writeln!(out, "{pad}var {lv}: int = 0;");
                     let _ = writeln!(out, "{pad}while {lv} < {bound} {{");
                     let before = scope.len();
@@ -248,12 +318,13 @@ pub fn call_tree(depth: usize, fanout: usize, work: usize) -> Module {
 }
 
 fn build_tree(m: &mut Module, depth: usize, fanout: usize, work: usize) -> FuncId {
-    let children: Vec<FuncId> =
-        if depth == 0 {
-            Vec::new()
-        } else {
-            (0..fanout).map(|_| build_tree(m, depth - 1, fanout, work)).collect()
-        };
+    let children: Vec<FuncId> = if depth == 0 {
+        Vec::new()
+    } else {
+        (0..fanout)
+            .map(|_| build_tree(m, depth - 1, fanout, work))
+            .collect()
+    };
     let name = format!("n{}", m.funcs.len());
     let mut b = FunctionBuilder::new(name);
     let x = b.param("x");

@@ -46,8 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let status = if report.open_reasons.is_empty() && !report.forced_open {
             "closed".to_string()
         } else {
-            let reasons: Vec<String> =
-                report.open_reasons.iter().map(|r| r.to_string()).collect();
+            let reasons: Vec<String> = report.open_reasons.iter().map(|r| r.to_string()).collect();
             format!("OPEN ({})", reasons.join(", "))
         };
         println!(
@@ -58,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let m = compile_and_run(&module, &config)?;
     println!("\noutput: {:?}", m.output);
-    println!("cycles: {}, scalar loads/stores: {}", m.stats.cycles, m.stats.scalar_mem());
+    println!(
+        "cycles: {}, scalar loads/stores: {}",
+        m.stats.cycles,
+        m.stats.scalar_mem()
+    );
     println!("\nNote how `leaf` and `mid` publish real summaries (closed), while the");
     println!("recursive, address-taken and extern functions fall back to the default");
     println!("convention — exactly the paper's §3 classification.");

@@ -45,10 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for config in [Config::o2_base(), Config::a()] {
         let compiled = compile_only(&module, &config);
         println!("=== `work` compiled under {} ===", config.name);
-        println!("{}", compiled.mmodule.funcs[work].display(&config.target.regs));
+        println!(
+            "{}",
+            compiled.mmodule.funcs[work].display(&config.target.regs)
+        );
         let m = compile_and_run(&module, &config)?;
-        let saves =
-            m.stats.loads(MemClass::SaveRestore) + m.stats.stores(MemClass::SaveRestore);
+        let saves = m.stats.loads(MemClass::SaveRestore) + m.stats.stores(MemClass::SaveRestore);
         println!(
             "dynamic save/restore memory ops: {saves}   (cycles: {})\n",
             m.stats.cycles

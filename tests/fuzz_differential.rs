@@ -14,14 +14,24 @@ fn check_seed(seed: u64, cfg: &SourceConfig, configs: &[Config]) {
     for c in configs {
         let m = compile_and_run(&module, c)
             .unwrap_or_else(|t| panic!("seed {seed} config {}: {t}\n{src}", c.name));
-        assert_eq!(m.output, expected.output, "seed {seed} config {}\n{src}", c.name);
+        assert_eq!(
+            m.output, expected.output,
+            "seed {seed} config {}\n{src}",
+            c.name
+        );
     }
 }
 
 #[test]
 fn random_programs_default_shape() {
-    let configs =
-        [Config::o2_base(), Config::a(), Config::b(), Config::c(), Config::d(), Config::e()];
+    let configs = [
+        Config::o2_base(),
+        Config::a(),
+        Config::b(),
+        Config::c(),
+        Config::d(),
+        Config::e(),
+    ];
     for seed in 0..60 {
         check_seed(seed, &SourceConfig::default(), &configs);
     }

