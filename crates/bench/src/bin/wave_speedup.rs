@@ -1,0 +1,152 @@
+//! Measures the wall-clock effect of the wave scheduler: compiles each
+//! workload repeatedly under `--jobs 1` and `--jobs N` and prints the
+//! speedup, together with the call-graph wave shape (how much parallelism
+//! each module exposes).
+//!
+//! ```text
+//! wave_speedup [--jobs <n>] [--reps <r>] [--small]
+//!   --jobs <n>   parallel worker count to compare against serial
+//!                (default: available parallelism)
+//!   --reps <r>   timed repetitions per configuration (default 5; the
+//!                minimum over reps is reported to suppress scheduling noise)
+//!   --small      three smallest workloads only
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ipra_callgraph::{scc::SccInfo, CallGraph};
+use ipra_core::ipra::compile_module;
+use ipra_driver::Config;
+use ipra_ir::Module;
+use ipra_workloads::synth;
+
+struct Row {
+    name: String,
+    funcs: usize,
+    waves: usize,
+    widest: usize,
+    serial_us: u128,
+    parallel_us: u128,
+}
+
+fn wave_shape(module: &Module) -> (usize, usize, usize) {
+    let cg = CallGraph::build(module);
+    let scc = SccInfo::compute(&cg);
+    let waves = scc.levels(&cg);
+    let widest = waves.iter().map(Vec::len).max().unwrap_or(0);
+    (module.funcs.len(), waves.len(), widest)
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_micros());
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    let mut jobs = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut reps = 5usize;
+    let mut small = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let ok = match a.as_str() {
+            "--jobs" => match args.next().and_then(|v| v.trim().parse().ok()) {
+                Some(v) => {
+                    jobs = v;
+                    true
+                }
+                None => false,
+            },
+            "--reps" => match args.next().and_then(|v| v.trim().parse().ok()) {
+                Some(v) => {
+                    reps = v;
+                    true
+                }
+                None => false,
+            },
+            "--small" => {
+                small = true;
+                true
+            }
+            _ => false,
+        };
+        if !ok {
+            eprintln!("usage: wave_speedup [--jobs N] [--reps R] [--small]");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut modules: Vec<(String, Module)> = ipra_workloads::all()
+        .into_iter()
+        .take(if small { 3 } else { usize::MAX })
+        .map(|w| {
+            let m = ipra_workloads::compile_workload(w).expect("workload compiles");
+            (w.name.to_string(), m)
+        })
+        .collect();
+    // A wide synthetic call DAG (255 leaf-heavy functions): the upper end of
+    // the parallelism the paper's workloads expose.
+    modules.push(("tree-8x2".into(), synth::call_tree_program(7, 2, 8, 1)));
+
+    let base = Config::c();
+    println!(
+        "wave scheduler speedup — jobs=1 vs jobs={jobs}, best of {reps} reps, host parallelism {}",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    println!(
+        "{:<10} {:>6} {:>6} {:>7} | {:>11} {:>11} {:>8}",
+        "program", "funcs", "waves", "widest", "serial(us)", "jobs-N(us)", "speedup"
+    );
+    let mut rows = Vec::new();
+    for (name, module) in &modules {
+        let (funcs, waves, widest) = wave_shape(module);
+        let mut serial = base.clone();
+        serial.opts.jobs = 1;
+        let mut parallel = base.clone();
+        parallel.opts.jobs = jobs;
+        let serial_us = best_of(reps, || {
+            compile_module(module, &serial.target, &serial.opts);
+        });
+        let parallel_us = best_of(reps, || {
+            compile_module(module, &parallel.target, &parallel.opts);
+        });
+        rows.push(Row {
+            name: name.clone(),
+            funcs,
+            waves,
+            widest,
+            serial_us,
+            parallel_us,
+        });
+    }
+    for r in &rows {
+        println!(
+            "{:<10} {:>6} {:>6} {:>7} | {:>11} {:>11} {:>7.2}x",
+            r.name,
+            r.funcs,
+            r.waves,
+            r.widest,
+            r.serial_us,
+            r.parallel_us,
+            r.serial_us as f64 / r.parallel_us.max(1) as f64
+        );
+    }
+    let s: u128 = rows.iter().map(|r| r.serial_us).sum();
+    let p: u128 = rows.iter().map(|r| r.parallel_us).sum();
+    println!(
+        "{:<10} {:>6} {:>6} {:>7} | {:>11} {:>11} {:>7.2}x",
+        "TOTAL",
+        "",
+        "",
+        "",
+        s,
+        p,
+        s as f64 / p.max(1) as f64
+    );
+    ExitCode::SUCCESS
+}

@@ -128,6 +128,42 @@ impl SccInfo {
     pub fn bottom_up_order(&self) -> Vec<FuncId> {
         self.components.iter().flatten().copied().collect()
     }
+
+    /// Partitions the components into *waves* (levels of the condensation
+    /// DAG): level 0 holds the components with no calls outside themselves;
+    /// a component's level is one more than the deepest level it calls
+    /// into. All components of one level are mutually independent — none
+    /// (transitively) calls another — so once every lower level is
+    /// summarized, a whole level can be allocated in parallel without
+    /// violating the paper's bottom-up invariant (callee summaries ready
+    /// at every call site).
+    ///
+    /// Returns component indices into [`SccInfo::components`], each level
+    /// sorted ascending (bottom-up order within the level).
+    pub fn levels(&self, cg: &CallGraph) -> Vec<Vec<usize>> {
+        let nc = self.components.len();
+        let mut level = vec![0usize; nc];
+        // Components are in bottom-up order, so every cross-component
+        // callee has a smaller index and its level is already final.
+        for (ci, comp) in self.components.iter().enumerate() {
+            let mut l = 0;
+            for &f in comp {
+                for &callee in &cg.callees[f.index()] {
+                    let cc = self.component_of[callee.index()];
+                    if cc != ci {
+                        l = l.max(level[cc] + 1);
+                    }
+                }
+            }
+            level[ci] = l;
+        }
+        let depth = level.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); depth];
+        for (ci, &l) in level.iter().enumerate() {
+            waves[l].push(ci);
+        }
+        waves
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +225,75 @@ mod tests {
         let scc = SccInfo::compute(&cg);
         assert!(scc.on_cycle[0]);
         assert!(!scc.on_cycle[1]);
+    }
+
+    #[test]
+    fn levels_of_dag_put_callees_strictly_lower() {
+        // Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let m = module_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        let waves = scc.levels(&cg);
+        assert_eq!(waves.len(), 3);
+        // Every wave's members are exactly the components, once each.
+        let total: usize = waves.iter().map(|w| w.len()).sum();
+        assert_eq!(total, scc.components.len());
+        let wave_of = |f: usize| {
+            let ci = scc.component_of[f];
+            waves.iter().position(|w| w.contains(&ci)).unwrap()
+        };
+        assert_eq!(wave_of(3), 0);
+        assert_eq!(wave_of(1), 1);
+        assert_eq!(wave_of(2), 1);
+        assert_eq!(wave_of(0), 2);
+        // Invariant the scheduler relies on: every cross-component callee
+        // sits in a strictly lower wave.
+        for (from, to) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            assert!(wave_of(to) < wave_of(from));
+        }
+    }
+
+    #[test]
+    fn levels_handle_mutual_recursion_as_one_unit() {
+        // 0 -> 1 <-> 2, 2 -> 3
+        let m = module_from_edges(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        let waves = scc.levels(&cg);
+        // Leaf 3 at level 0, the {1,2} cycle at level 1, root 0 at level 2.
+        assert_eq!(waves.len(), 3);
+        let cycle = scc.component_of[1];
+        assert_eq!(scc.component_of[2], cycle);
+        assert!(waves[1].contains(&cycle));
+        assert!(waves[0].contains(&scc.component_of[3]));
+        assert!(waves[2].contains(&scc.component_of[0]));
+        // Intra-component edges (1 <-> 2) must not inflate the level.
+        assert_eq!(waves[1].len(), 1);
+    }
+
+    #[test]
+    fn levels_of_disconnected_functions_share_wave_zero() {
+        // 0 -> 1; 2 and 3 are isolated roots.
+        let m = module_from_edges(4, &[(0, 1)]);
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        let waves = scc.levels(&cg);
+        assert_eq!(waves.len(), 2);
+        // 1, 2, 3 have no callees: all in wave 0. Caller 0 in wave 1.
+        assert_eq!(waves[0].len(), 3);
+        assert_eq!(waves[1], vec![scc.component_of[0]]);
+        // Waves list components ascending, preserving bottom-up order.
+        for w in &waves {
+            assert!(w.windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+
+    #[test]
+    fn levels_of_empty_module_are_empty() {
+        let m = Module::new();
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        assert!(scc.levels(&cg).is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use ipra_cfg::{Cfg, Liveness};
 use ipra_ir::{BlockId, Vreg};
 use ipra_machine::{PReg, RegClass, RegMask};
 
-use crate::priority::PriorityCtx;
+use crate::priority::{PriorityCache, PriorityCtx};
 
 /// Where a virtual register lives (over its whole range, or per block for
 /// split ranges).
@@ -85,13 +85,24 @@ pub fn color(
     let mut occ_whole = vec![RegMask::EMPTY; nb];
     let mut occ_split = vec![RegMask::EMPTY; nb];
 
-    let split_forbid = |occ_split: &[RegMask], lr: &crate::ranges::LiveRange| -> RegMask {
-        let mut m = RegMask::EMPTY;
-        for b in lr.blocks.iter() {
-            m |= occ_split[b];
+    // Incremental per-range forbid masks from split occupancy. A split
+    // touches a handful of blocks; only ranges containing those blocks can
+    // be affected, so the block -> candidate-ranges index lets a split
+    // update exactly those masks instead of every heap pop re-ORing
+    // `occ_split` over its whole range.
+    let mut ranges_in_block: Vec<Vec<u32>> = vec![Vec::new(); nb];
+    for lr in &ctx.ranges.ranges {
+        if !lr.is_candidate() {
+            continue;
         }
-        m
-    };
+        for b in lr.blocks.iter() {
+            ranges_in_block[b].push(lr.vreg.index() as u32);
+        }
+    }
+    let mut split_forbid = vec![RegMask::EMPTY; nv];
+
+    // Memoized static priority terms (see `PriorityCache`).
+    let mut cache = PriorityCache::new(ctx);
 
     // Max-heap of (density, vreg); keys may go stale, so they are
     // re-validated on pop.
@@ -101,8 +112,8 @@ pub fn color(
         if !lr.is_candidate() {
             continue;
         }
-        let forbid = forbidden[lr.vreg.index()] | split_forbid(&occ_split, lr);
-        if let Some((_, d)) = ctx.best(lr, forbid, used) {
+        let forbid = forbidden[lr.vreg.index()] | split_forbid[lr.vreg.index()];
+        if let Some((_, d)) = cache.best(ctx, lr, forbid, used) {
             heap.push((Score(d), lr.vreg.index()));
         }
     }
@@ -113,8 +124,8 @@ pub fn color(
             continue;
         }
         let lr = &ctx.ranges.ranges[vi];
-        let forbid = forbidden[vi] | split_forbid(&occ_split, lr);
-        match ctx.best(lr, forbid, used) {
+        let forbid = forbidden[vi] | split_forbid[vi];
+        match cache.best(ctx, lr, forbid, used) {
             Some((r, d2)) => {
                 if d2 < d - 1e-9 {
                     // Stale key (a neighbour took our best register);
@@ -138,6 +149,8 @@ pub fn color(
                             &mut occ_whole,
                             &mut occ_split,
                             &mut used,
+                            &ranges_in_block,
+                            &mut split_forbid,
                         );
                     }
                     emit_decision(ctx, vi, &split, None, d2);
@@ -166,6 +179,8 @@ pub fn color(
                         &mut occ_whole,
                         &mut occ_split,
                         &mut used,
+                        &ranges_in_block,
+                        &mut split_forbid,
                     );
                 }
                 emit_decision(ctx, vi, &split, None, d);
@@ -230,6 +245,8 @@ fn try_split(
     occ_whole: &mut [RegMask],
     occ_split: &mut [RegMask],
     used: &mut RegMask,
+    ranges_in_block: &[Vec<u32>],
+    split_forbid: &mut [RegMask],
 ) {
     let lr = &ctx.ranges.ranges[vi];
     if lr.size() < 2 {
@@ -337,6 +354,10 @@ fn try_split(
             map.insert(b, r);
             occ_split[b].insert(r);
             remaining.remove(b);
+            // Invalidate only the ranges this split actually touches.
+            for &v in &ranges_in_block[b] {
+                split_forbid[v as usize].insert(r);
+            }
         }
         used.insert(r);
         if remaining.is_empty() {

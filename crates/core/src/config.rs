@@ -39,6 +39,11 @@ pub struct AllocOptions {
     /// invisible and they are open), simulating incomplete program
     /// information (§3) without editing the IR.
     pub forced_open: HashSet<String>,
+    /// Worker threads for the wave scheduler: `0` picks
+    /// `std::thread::available_parallelism`, `1` forces the serial path.
+    /// Results are bit-identical for every value. The `IPRA_JOBS`
+    /// environment variable overrides this field when set.
+    pub jobs: usize,
 }
 
 impl AllocOptions {
@@ -51,6 +56,7 @@ impl AllocOptions {
             promote_globals: true,
             split_ranges: true,
             forced_open: HashSet::new(),
+            jobs: 0,
         }
     }
 
@@ -88,6 +94,7 @@ impl AllocOptions {
             promote_globals: false,
             split_ranges: false,
             forced_open: HashSet::new(),
+            jobs: 0,
         }
     }
 
@@ -95,6 +102,27 @@ impl AllocOptions {
     pub fn force_open(mut self, name: impl Into<String>) -> Self {
         self.forced_open.insert(name.into());
         self
+    }
+
+    /// Sets the wave-scheduler worker count (see [`AllocOptions::jobs`]).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Resolves [`AllocOptions::jobs`] to a concrete worker count:
+    /// `IPRA_JOBS` (when set and parseable) wins, then the field; `0`
+    /// means "ask the OS", clamped to at least 1.
+    pub fn effective_jobs(&self) -> usize {
+        let requested = std::env::var("IPRA_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(self.jobs);
+        if requested == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            requested
+        }
     }
 }
 
@@ -124,5 +152,16 @@ mod tests {
         let o = AllocOptions::o3().force_open("lib_fn").force_open("other");
         assert!(o.forced_open.contains("lib_fn"));
         assert_eq!(o.forced_open.len(), 2);
+    }
+
+    #[test]
+    fn jobs_resolution() {
+        // Note: assumes IPRA_JOBS is unset in the test environment.
+        if std::env::var_os("IPRA_JOBS").is_some() {
+            return;
+        }
+        assert_eq!(AllocOptions::o3().with_jobs(3).effective_jobs(), 3);
+        assert_eq!(AllocOptions::o3().with_jobs(1).effective_jobs(), 1);
+        assert!(AllocOptions::o3().with_jobs(0).effective_jobs() >= 1);
     }
 }

@@ -6,10 +6,26 @@
 //! Open procedures (paper §3) fall back to the default convention. The same
 //! driver also runs the intra-procedural and no-allocation configurations,
 //! which simply never consult summaries.
+//!
+//! # Wave scheduling
+//!
+//! The bottom-up invariant only orders a function after its callees;
+//! functions whose callees are all summarized are mutually independent.
+//! The driver therefore partitions the SCC condensation into levels
+//! ([`SccInfo::levels`]) and fans each level out across scoped worker
+//! threads when [`AllocOptions::jobs`] resolves to more than one. The unit
+//! of work is the *component*, not the function: members of a multi-node
+//! SCC see each other's whole-tree usage in serial processing order, so a
+//! worker replays that order against a private copy of the environment.
+//! Workers collect their own observability shards; the driver merges
+//! summaries and shards in `FuncId` order, making output, reports, and
+//! traces independent of thread scheduling — bit-identical to `jobs = 1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ipra_callgraph::{CallGraph, OpenReason, Openness, SccInfo};
 use ipra_ir::{EntityVec, FuncId, Module};
-use ipra_machine::{MModule, RegMask, Target};
+use ipra_machine::{MFunction, MModule, RegMask, Target};
 
 use crate::alloc::{allocate_function, FuncArtifacts, SummaryEnv};
 use crate::config::{AllocMode, AllocOptions};
@@ -94,42 +110,119 @@ pub fn compile_module_with_profile(
 
     let inter = opts.mode == AllocMode::Inter;
     let n = module.funcs.len();
+    let jobs = opts.effective_jobs();
     let mut env = SummaryEnv::default();
     let mut artifacts: Vec<Option<FuncArtifacts>> = (0..n).map(|_| None).collect();
 
-    for fid in scc.bottom_up_order() {
-        let _obs = ipra_obs::scope(&module.funcs[fid].name);
-        let forced = opts.forced_open.contains(&module.funcs[fid].name);
-        let is_open = !inter || forced || openness.is_open(fid);
-        let art = allocate_function(
-            &module,
-            fid,
-            target,
-            opts,
-            is_open,
-            &env,
-            profile.map(|p| p[fid.index()].as_slice()),
-        );
-        if inter && !is_open {
-            env.summaries.insert(fid, art.alloc.summary.clone());
+    if jobs <= 1 {
+        // Serial path: one pass over the flat bottom-up order.
+        for fid in scc.bottom_up_order() {
+            let _obs = ipra_obs::scope(&module.funcs[fid].name);
+            let forced = opts.forced_open.contains(&module.funcs[fid].name);
+            let is_open = !inter || forced || openness.is_open(fid);
+            let art = allocate_function(
+                &module,
+                fid,
+                target,
+                opts,
+                is_open,
+                &env,
+                profile.map(|p| p[fid.index()].as_slice()),
+            );
+            if inter && !is_open {
+                env.summaries.insert(fid, art.alloc.summary.clone());
+            }
+            env.tree_used.insert(fid, art.alloc.tree_used);
+            artifacts[fid.index()] = Some(art);
         }
-        env.tree_used.insert(fid, art.alloc.tree_used);
-        artifacts[fid.index()] = Some(art);
+    } else {
+        // Wave scheduler: every component of a level has all its callees
+        // summarized, so a whole level fans out at once. `env` is frozen
+        // (shared read-only) while a wave runs and updated between waves
+        // in FuncId order, so results match the serial path bit for bit.
+        let tracing = ipra_obs::is_enabled();
+        for wave in scc.levels(&cg) {
+            let comps: Vec<&[FuncId]> = wave
+                .iter()
+                .map(|&ci| scc.components[ci].as_slice())
+                .collect();
+            let mut results = run_tasks(jobs, comps.len(), |out, t| {
+                alloc_component(
+                    &module, comps[t], target, opts, inter, &openness, &env, profile, tracing, out,
+                );
+            });
+            results.sort_by_key(|(fid, _, _)| fid.index());
+            for (fid, art, shard) in results {
+                if inter && !art.alloc.is_open {
+                    env.summaries.insert(fid, art.alloc.summary.clone());
+                }
+                env.tree_used.insert(fid, art.alloc.tree_used);
+                ipra_obs::absorb(shard);
+                artifacts[fid.index()] = Some(art);
+            }
+        }
     }
+
+    // Lowering is embarrassingly parallel: the artifacts are frozen now.
+    let lowered: Vec<MFunction> = if jobs <= 1 {
+        module
+            .funcs
+            .iter()
+            .map(|(fid, func)| {
+                let art = artifacts[fid.index()]
+                    .as_ref()
+                    .expect("every function allocated");
+                let _obs = ipra_obs::scope(&func.name);
+                let _t = ipra_obs::span("lower");
+                lower_function(&module, func, target, art)
+            })
+            .collect()
+    } else {
+        let tracing = ipra_obs::is_enabled();
+        let mut results = run_tasks(jobs, n, |out, t| {
+            let fid = FuncId(t as u32);
+            let func = &module.funcs[fid];
+            let art = artifacts[fid.index()]
+                .as_ref()
+                .expect("every function allocated");
+            // Shard capture only on sink-less worker threads; inline
+            // execution records straight into the driver's sink (see
+            // `alloc_component`).
+            let capture = tracing && !ipra_obs::is_enabled();
+            if capture {
+                ipra_obs::enable();
+            }
+            let mf = {
+                let _obs = ipra_obs::scope(&func.name);
+                let _t = ipra_obs::span("lower");
+                lower_function(&module, func, target, art)
+            };
+            let shard = if capture {
+                ipra_obs::disable()
+            } else {
+                ipra_obs::Trace::default()
+            };
+            out.push((t, mf, shard));
+        });
+        results.sort_by_key(|(i, _, _)| *i);
+        results
+            .into_iter()
+            .map(|(_, mf, shard)| {
+                ipra_obs::absorb(shard);
+                mf
+            })
+            .collect()
+    };
 
     let mut funcs = EntityVec::new();
     let mut summaries = Vec::with_capacity(n);
     let mut clobber_masks = Vec::with_capacity(n);
     let mut reports = Vec::with_capacity(n);
-    for (fid, func) in module.funcs.iter() {
+    for ((fid, func), mf) in module.funcs.iter().zip(lowered) {
         let art = artifacts[fid.index()]
             .as_ref()
             .expect("every function allocated");
-        {
-            let _obs = ipra_obs::scope(&func.name);
-            let _t = ipra_obs::span("lower");
-            funcs.push(lower_function(&module, func, target, art));
-        }
+        funcs.push(mf);
 
         let a = &art.alloc;
         summaries.push(a.summary.clone());
@@ -175,6 +268,115 @@ pub fn compile_module_with_profile(
         clobber_masks,
         reports,
         promotion,
+    }
+}
+
+/// Fans `tasks` indices out across at most `jobs` scoped worker threads.
+/// Workers pull indices from a shared counter and append results into
+/// their own vector; the concatenation is returned in arbitrary order
+/// (callers sort by `FuncId` before consuming).
+fn run_tasks<T: Send>(
+    jobs: usize,
+    tasks: usize,
+    work: impl Fn(&mut Vec<T>, usize) + Sync,
+) -> Vec<T> {
+    let workers = jobs.min(tasks).max(1);
+    if workers == 1 {
+        // Narrow wave (or serial request): run inline, no thread overhead.
+        let mut out = Vec::new();
+        for t in 0..tasks {
+            work(&mut out, t);
+        }
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= tasks {
+                            break;
+                        }
+                        work(&mut out, t);
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(part) => all.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    })
+}
+
+/// Allocates one SCC on a worker thread. Members of a multi-node SCC
+/// observe each other's whole-tree register usage in serial order, so the
+/// component replays that order against a private copy of the environment
+/// (multi-node SCCs are rare; singletons use the shared snapshot
+/// directly). Each member's observability records are collected into a
+/// per-function shard for deterministic merging by the driver.
+#[allow(clippy::too_many_arguments)]
+fn alloc_component(
+    module: &Module,
+    comp: &[FuncId],
+    target: &Target,
+    opts: &AllocOptions,
+    inter: bool,
+    openness: &Openness,
+    env: &SummaryEnv,
+    profile: Option<&[Vec<u64>]>,
+    tracing: bool,
+    out: &mut Vec<(FuncId, FuncArtifacts, ipra_obs::Trace)>,
+) {
+    let mut overlay: Option<SummaryEnv> = if comp.len() > 1 {
+        Some(env.clone())
+    } else {
+        None
+    };
+    for &fid in comp {
+        // On a spawned worker the thread has no sink: install one and
+        // return its records as a shard. When the task runs inline on the
+        // driver thread (narrow wave), the driver's own sink is already
+        // installed and records flow into it directly — enabling here
+        // would wipe it.
+        let capture = tracing && !ipra_obs::is_enabled();
+        if capture {
+            ipra_obs::enable();
+        }
+        let art = {
+            let _obs = ipra_obs::scope(&module.funcs[fid].name);
+            let forced = opts.forced_open.contains(&module.funcs[fid].name);
+            let is_open = !inter || forced || openness.is_open(fid);
+            allocate_function(
+                module,
+                fid,
+                target,
+                opts,
+                is_open,
+                overlay.as_ref().unwrap_or(env),
+                profile.map(|p| p[fid.index()].as_slice()),
+            )
+        };
+        let shard = if capture {
+            ipra_obs::disable()
+        } else {
+            ipra_obs::Trace::default()
+        };
+        if let Some(ov) = overlay.as_mut() {
+            if inter && !art.alloc.is_open {
+                ov.summaries.insert(fid, art.alloc.summary.clone());
+            }
+            ov.tree_used.insert(fid, art.alloc.tree_used);
+        }
+        out.push((fid, art, shard));
     }
 }
 

@@ -128,6 +128,100 @@ fn pref_rank(p: (bool, bool)) -> u8 {
     }
 }
 
+/// Memoized static priority terms for the coloring loop.
+///
+/// `benefit`, the per-call cost sum, and the hint bonus of a
+/// `(variable, register)` pair never change while coloring runs (site
+/// clobbers and hints are fixed per function), yet [`PriorityCtx::best`]
+/// re-derives them on every heap revalidation. The cache computes each
+/// pair once, lazily. Only the callee-saved entry charge depends on
+/// evolving state (`used_in_func`), so it is added at lookup time — in the
+/// same accumulation order as [`PriorityCtx::reg_cost`], which keeps every
+/// floating-point result bit-identical to the uncached path.
+pub struct PriorityCache {
+    nr: usize,
+    /// Per-vreg benefit; `None` until first asked.
+    benefit: Vec<Option<f64>>,
+    /// Per `(vreg, reg)` pair: `(call_cost, hint_bonus)`.
+    pair: Vec<Option<(f64, f64)>>,
+}
+
+impl PriorityCache {
+    /// An empty cache sized for `ctx`.
+    pub fn new(ctx: &PriorityCtx<'_>) -> Self {
+        let nv = ctx.ranges.ranges.len();
+        let nr = ctx.target.regs.num_regs();
+        PriorityCache {
+            nr,
+            benefit: vec![None; nv],
+            pair: vec![None; nv * nr],
+        }
+    }
+
+    /// Cached equivalent of [`PriorityCtx::net`].
+    pub fn net(
+        &mut self,
+        ctx: &PriorityCtx<'_>,
+        lr: &LiveRange,
+        r: PReg,
+        used_in_func: RegMask,
+    ) -> f64 {
+        let vi = lr.vreg.index();
+        let benefit = *self.benefit[vi].get_or_insert_with(|| ctx.benefit(lr));
+        let (call_cost, hint) = *self.pair[vi * self.nr + r.index()].get_or_insert_with(|| {
+            let c = &ctx.target.cost;
+            let save_restore = (c.load + c.store) as f64;
+            let mut cost = 0.0;
+            for &site in &lr.spans_calls {
+                if ctx.site_clobbers[site as usize].contains(r) {
+                    cost += ctx.ranges.call_sites[site as usize].weight * save_restore;
+                }
+            }
+            (cost, ctx.hint_bonus(lr, r))
+        });
+        let mut cost = call_cost;
+        if ctx.charge_callee_saved_entry
+            && ctx.target.regs.class(r) == Some(RegClass::CalleeSaved)
+            && !used_in_func.contains(r)
+        {
+            let c = &ctx.target.cost;
+            cost += ctx.entry_weight * (c.load + c.store) as f64;
+        }
+        benefit - cost + hint
+    }
+
+    /// Cached equivalent of [`PriorityCtx::best`]: same selection, same
+    /// tie-breaks, same result — the per-pair terms just come from the
+    /// memo table.
+    pub fn best(
+        &mut self,
+        ctx: &PriorityCtx<'_>,
+        lr: &LiveRange,
+        forbidden: RegMask,
+        used_in_func: RegMask,
+    ) -> Option<(PReg, f64)> {
+        let size = lr.size().max(1) as f64;
+        let mut best: Option<(PReg, f64, (bool, bool))> = None;
+        for &r in ctx.target.regs.allocatable() {
+            if forbidden.contains(r) {
+                continue;
+            }
+            let density = self.net(ctx, lr, r, used_in_func) / size;
+            let pref = (ctx.subtree_used.contains(r), used_in_func.contains(r));
+            let better = match best {
+                None => true,
+                Some((_, bd, bp)) => {
+                    density > bd + 1e-9 || (density > bd - 1e-9 && pref_rank(pref) > pref_rank(bp))
+                }
+            };
+            if better {
+                best = Some((r, density, pref));
+            }
+        }
+        best.map(|(r, d, _)| (r, d))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +374,52 @@ mod tests {
             .best(&rd.ranges[x.index()], RegMask::EMPTY, RegMask::EMPTY)
             .unwrap();
         assert_eq!(best, fav);
+    }
+
+    #[test]
+    fn cache_matches_uncached_bit_for_bit() {
+        let (f, _, _) = func_with_call();
+        let target = Target::mips_like();
+        let (rd, weights) = range_data(&f);
+        let clobbers = vec![target.regs.default_clobbers()];
+        let fav = target.regs.allocatable()[2];
+        let mut hints = vec![Vec::new(); f.num_vregs()];
+        hints[0].push((fav, 7.5));
+        let ctx = PriorityCtx {
+            target: &target,
+            ranges: &rd,
+            site_clobbers: &clobbers,
+            charge_callee_saved_entry: true,
+            entry_weight: 1.0,
+            subtree_used: RegMask::single(fav),
+            hints: &hints,
+            weights: &weights,
+        };
+        let mut cache = PriorityCache::new(&ctx);
+        for lr in rd.ranges.iter().filter(|l| l.is_candidate()) {
+            for &r in target.regs.allocatable() {
+                for used in [RegMask::EMPTY, RegMask::single(r)] {
+                    // Ask twice: the first call fills the memo, the second
+                    // reads it; both must equal the uncached value exactly.
+                    for _ in 0..2 {
+                        assert_eq!(
+                            cache.net(&ctx, lr, r, used).to_bits(),
+                            ctx.net(lr, r, used).to_bits(),
+                        );
+                    }
+                }
+            }
+            let uncached = ctx.best(lr, RegMask::EMPTY, RegMask::EMPTY);
+            let cached = cache.best(&ctx, lr, RegMask::EMPTY, RegMask::EMPTY);
+            match (uncached, cached) {
+                (None, None) => {}
+                (Some((ur, ud)), Some((cr, cd))) => {
+                    assert_eq!(ur, cr);
+                    assert_eq!(ud.to_bits(), cd.to_bits());
+                }
+                other => panic!("cache diverged: {other:?}"),
+            }
+        }
     }
 
     #[test]

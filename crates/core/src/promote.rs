@@ -62,7 +62,7 @@ pub fn promote_globals(module: &mut Module) -> PromotionStats {
             }
         }
 
-        let safe: Vec<(GlobalId, bool, String)> = counts
+        let mut safe: Vec<(GlobalId, bool, String)> = counts
             .iter()
             .filter(|&(g, &(n, _))| {
                 !rejected.contains(g)
@@ -76,6 +76,10 @@ pub fn promote_globals(module: &mut Module) -> PromotionStats {
             })
             .map(|(g, &(_, stored))| (*g, stored, format!("g_{}", module.globals[*g].name)))
             .collect();
+        // HashMap iteration order varies between map instances; the order
+        // here fixes the promoted vregs' numbering (and so the emitted
+        // load/store order), which must be identical across compiles.
+        safe.sort_by_key(|(g, _, _)| g.index());
         if safe.is_empty() {
             continue;
         }

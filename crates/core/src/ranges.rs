@@ -172,16 +172,10 @@ impl RangeData {
         }
 
         // Backward scan: precise interference, weighted counts, live-across
-        // sets.
-        let interfere = |adj: &mut Vec<BitSet>, d: usize, live_now: &BitSet| {
-            for l in live_now.iter() {
-                if l != d {
-                    adj[d].insert(l);
-                    adj[l].insert(d);
-                }
-            }
-        };
-
+        // sets. Each def ORs the whole live set into its adjacency row in
+        // one word-level pass — the reverse edges are filled in by a single
+        // symmetrization sweep after the scan, instead of a per-def
+        // bit-by-bit walk of `live_now`.
         for (id, b) in func.blocks.iter() {
             if !cfg.is_reachable(id) {
                 continue;
@@ -210,7 +204,7 @@ impl RangeData {
                 }
                 if let Some(d) = inst.def() {
                     let di = d.index();
-                    interfere(&mut adj, di, &live_now);
+                    adj[di].union_with(&live_now);
                     live_now.remove(di);
                     ranges[di].weighted_defs += w;
                     ranges[di].num_refs += 1;
@@ -252,6 +246,21 @@ impl RangeData {
                     adj[q.index()].insert(p.index());
                 }
             }
+        }
+
+        // Symmetrize: the scan recorded def -> live edges only. Rows of
+        // vregs that were never defined while something was live are empty
+        // and skipped with one word-level check.
+        for v in 0..nv {
+            adj[v].remove(v);
+            if adj[v].is_empty() {
+                continue;
+            }
+            let row = std::mem::replace(&mut adj[v], BitSet::new(0));
+            for u in row.iter() {
+                adj[u].insert(v);
+            }
+            adj[v] = row;
         }
 
         // De-duplicate spans_calls (a range can be rediscovered live across

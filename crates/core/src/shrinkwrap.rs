@@ -81,6 +81,9 @@ pub fn shrink_wrap(cfg: &Cfg, loops: &LoopInfo, app: &[RegMask]) -> SavePlan {
 
     let mut iterations = 0u32;
     loop {
+        // One span per range-extension round, nested under the phase span,
+        // so rounds can be costed individually in the trace.
+        let _round = ipra_obs::span("shrink_wrap.round");
         iterations += 1;
         let sol = solve_placement(cfg, &app);
         let problems = find_problems(cfg, &app_orig, &sol);
@@ -194,6 +197,9 @@ fn solve_placement(cfg: &Cfg, app: &[RegMask]) -> Solution {
         avout[i] = full;
     }
 
+    // Timed separately so the sweeps counter can be costed under its own
+    // sub-span of the shrink_wrap phase.
+    let antav_span = ipra_obs::span("shrink_wrap.antav");
     let mut sweeps = 0u64;
     let mut changed = true;
     while changed {
@@ -236,6 +242,7 @@ fn solve_placement(cfg: &Cfg, app: &[RegMask]) -> Solution {
     }
 
     ipra_obs::counter("shrink_wrap.antav.sweeps", sweeps);
+    drop(antav_span);
 
     // SAVE_i = ANTIN_i · ¬AVIN_i · ∏_{j∈pred} ¬ANTIN_j            (3.5)
     // RESTORE_i = AVOUT_i · ¬ANTOUT_i · ∏_{j∈succ} ¬AVOUT_j       (3.6)
@@ -603,6 +610,40 @@ mod tests {
         assert!(plan.save_at[1].contains(ipra_machine::PReg(0)));
         assert!(plan.save_at[0].contains(ipra_machine::PReg(1)));
         assert_eq!(plan.entry_spanning, r1);
+    }
+
+    #[test]
+    fn rounds_and_antav_nest_under_phase_span() {
+        let f = diamond();
+        let (cfg, loops) = analyses(&f);
+        let mut app = vec![RegMask::EMPTY; 4];
+        app[1] = R;
+        ipra_obs::enable();
+        {
+            let _phase = ipra_obs::span("shrink_wrap");
+            let _ = shrink_wrap(&cfg, &loops, &app);
+        }
+        let trace = ipra_obs::disable();
+        let phase = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "shrink_wrap")
+            .unwrap();
+        let rounds: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "shrink_wrap.round")
+            .collect();
+        assert!(!rounds.is_empty());
+        for r in &rounds {
+            assert_eq!(r.parent_id, Some(phase.id), "round nests under phase");
+        }
+        for a in trace.spans.iter().filter(|s| s.name == "shrink_wrap.antav") {
+            assert!(
+                rounds.iter().any(|r| Some(r.id) == a.parent_id),
+                "antav nests under a round"
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!   --run                  simulate and print output + statistics
 //!   --trace                print the compile/execution trace to stderr
 //!   --trace-json <path>    write the trace as JSON to <path>
+//!   --jobs <n>             wave-scheduler worker threads (0 = auto, 1 = serial)
 //!   --workload <name>      compile a bundled benchmark instead of a file
 //! ```
 
@@ -36,7 +37,7 @@ enum Input {
 fn usage() -> &'static str {
     "usage: mini-cc [-O0|-O2|-O3] [--no-shrink-wrap] [--limit NC,NE] \
      [--emit ir|asm|summary] [--run] [--trace] [--trace-json PATH] \
-     (<file.mini> | --workload <name>)"
+     [--jobs N] (<file.mini> | --workload <name>)"
 }
 
 fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -47,10 +48,12 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut trace = false;
     let mut trace_json = None;
     let mut input = None;
-    // `-O2`/`-O3` replace the whole option set, so `--no-shrink-wrap` is
-    // remembered separately and applied after the flag loop — otherwise
-    // `--no-shrink-wrap -O3` would silently re-enable shrink-wrapping.
+    // `-O2`/`-O3` replace the whole option set, so `--no-shrink-wrap` and
+    // `--jobs` are remembered separately and applied after the flag loop —
+    // otherwise `--no-shrink-wrap -O3` would silently re-enable
+    // shrink-wrapping (and likewise reset the job count).
     let mut no_shrink_wrap = false;
+    let mut jobs = None;
 
     let mut args = args;
     while let Some(a) = args.next() {
@@ -70,6 +73,10 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--run" => run = true,
             "--trace" => trace = true,
             "--trace-json" => trace_json = Some(args.next().ok_or("--trace-json needs a path")?),
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a count")?;
+                jobs = Some(v.trim().parse::<usize>().map_err(|_| "bad --jobs count")?);
+            }
             "--workload" => {
                 input = Some(Input::Workload(
                     args.next().ok_or("--workload needs a name")?,
@@ -82,6 +89,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if no_shrink_wrap {
         opts.shrink_wrap = false;
+    }
+    if let Some(j) = jobs {
+        opts.jobs = j;
     }
     let input = input.ok_or_else(|| usage().to_string())?;
     Ok(Args {
@@ -234,6 +244,16 @@ mod tests {
     fn shrink_wrap_on_by_default_at_o3() {
         let a = parse(&["-O3", "x.mini"]);
         assert!(a.opts.shrink_wrap);
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_survives_opt_level() {
+        let a = parse(&["--jobs", "4", "-O3", "x.mini"]);
+        assert_eq!(a.opts.jobs, 4);
+        let b = parse(&["-O2", "--jobs", "1", "x.mini"]);
+        assert_eq!(b.opts.jobs, 1);
+        let c = parse(&["x.mini"]);
+        assert_eq!(c.opts.jobs, 0, "default: auto");
     }
 
     #[test]

@@ -11,15 +11,21 @@ use ipra_obs::json::Json;
 use ipra_obs::Trace;
 use ipra_sim::Stats;
 
-/// Wall-clock time of one pipeline phase of one function.
+/// Wall-clock time of one pipeline phase of one function. Phases nest:
+/// sub-phase spans (e.g. `shrink_wrap.round` and its `shrink_wrap.antav`
+/// sweeps) appear under their enclosing phase via the span parent ids, so
+/// per-function `phases` lists only top-level pipeline phases.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseTime {
-    /// Phase name: `ranges`, `priority`, `color`, `shrink_wrap` or `lower`.
+    /// Phase name: `ranges`, `priority`, `color`, `shrink_wrap` or `lower`
+    /// at the top level; sub-phase names below.
     pub name: String,
     /// Start in nanoseconds relative to trace start.
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Sub-phase spans nested under this phase, in completion order.
+    pub children: Vec<PhaseTime>,
 }
 
 /// One per-vreg allocation decision (from the coloring pass).
@@ -112,6 +118,41 @@ pub struct CompileTrace {
     pub sim: Option<SimTrace>,
 }
 
+/// Nests one function's spans into phase trees via the span parent ids.
+/// A span whose parent is missing from the function's own span set (or
+/// `None`) is top-level; children keep completion order. Raw span ids are
+/// scheduling-dependent (workers get remapped id blocks), so they are
+/// resolved here and never surface in the output — the rendered trace is
+/// identical for serial and parallel compilations.
+fn phase_tree(raw: &Trace, func: &str) -> Vec<PhaseTime> {
+    let spans: Vec<&ipra_obs::SpanRec> = raw.spans.iter().filter(|s| s.scope == func).collect();
+    let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut by_parent: std::collections::HashMap<u64, Vec<&ipra_obs::SpanRec>> =
+        std::collections::HashMap::new();
+    let mut top: Vec<&ipra_obs::SpanRec> = Vec::new();
+    for s in &spans {
+        match s.parent_id {
+            Some(p) if ids.contains(&p) => by_parent.entry(p).or_default().push(s),
+            _ => top.push(s),
+        }
+    }
+    fn build(
+        s: &ipra_obs::SpanRec,
+        by_parent: &std::collections::HashMap<u64, Vec<&ipra_obs::SpanRec>>,
+    ) -> PhaseTime {
+        PhaseTime {
+            name: s.name.to_string(),
+            start_ns: s.start_ns,
+            dur_ns: s.dur_ns,
+            children: by_parent
+                .get(&s.id)
+                .map(|cs| cs.iter().map(|c| build(c, by_parent)).collect())
+                .unwrap_or_default(),
+        }
+    }
+    top.into_iter().map(|s| build(s, &by_parent)).collect()
+}
+
 fn sum_counters(items: impl Iterator<Item = (String, u64)>) -> Vec<(String, u64)> {
     let mut out: Vec<(String, u64)> = Vec::new();
     for (name, v) in items {
@@ -147,16 +188,7 @@ impl CompileTrace {
             .enumerate()
             .map(|(fi, report)| {
                 let name = report.name.clone();
-                let phases = raw
-                    .spans
-                    .iter()
-                    .filter(|s| s.scope == name)
-                    .map(|s| PhaseTime {
-                        name: s.name.to_string(),
-                        start_ns: s.start_ns,
-                        dur_ns: s.dur_ns,
-                    })
-                    .collect();
+                let phases = phase_tree(raw, &name);
                 let counters = sum_counters(
                     raw.counters
                         .iter()
@@ -249,10 +281,18 @@ impl CompileTrace {
         for (name, v) in &self.module_counters {
             let _ = writeln!(out, "  {name}: {v}");
         }
+        fn write_phase(out: &mut String, p: &PhaseTime, depth: usize) {
+            use std::fmt::Write as _;
+            let indent = "  ".repeat(depth + 1);
+            let _ = writeln!(out, "{indent}phase {:<12} {:>9} ns", p.name, p.dur_ns);
+            for c in &p.children {
+                write_phase(out, c, depth + 1);
+            }
+        }
         for f in &self.funcs {
             let _ = writeln!(out, "fn {}:", f.name);
             for p in &f.phases {
-                let _ = writeln!(out, "  phase {:<12} {:>9} ns", p.name, p.dur_ns);
+                write_phase(&mut out, p, 0);
             }
             for (name, v) in &f.counters {
                 let _ = writeln!(out, "  {name}: {v}");
@@ -301,17 +341,18 @@ impl CompileTrace {
             .funcs
             .iter()
             .map(|f| {
-                let phases = f
-                    .phases
-                    .iter()
-                    .map(|p| {
-                        Json::obj(vec![
-                            ("name", Json::Str(p.name.clone())),
-                            ("start_ns", Json::Int(p.start_ns as i64)),
-                            ("dur_ns", Json::Int(p.dur_ns as i64)),
-                        ])
-                    })
-                    .collect();
+                fn phase_json(p: &PhaseTime) -> Json {
+                    Json::obj(vec![
+                        ("name", Json::Str(p.name.clone())),
+                        ("start_ns", Json::Int(p.start_ns as i64)),
+                        ("dur_ns", Json::Int(p.dur_ns as i64)),
+                        (
+                            "children",
+                            Json::Arr(p.children.iter().map(phase_json).collect()),
+                        ),
+                    ])
+                }
+                let phases = f.phases.iter().map(phase_json).collect();
                 let decisions = f
                     .decisions
                     .iter()

@@ -97,6 +97,13 @@ pub struct SpanRec {
     pub scope: String,
     /// Span name, e.g. `"color"`.
     pub name: &'static str,
+    /// Span id, unique within one [`Trace`] (ids are assigned in span
+    /// *start* order; records appear in completion order).
+    pub id: u64,
+    /// Id of the enclosing span that was open when this one started, or
+    /// `None` for a top-level span. Lets sub-phase spans (e.g. shrink-wrap
+    /// ANT/AV sweeps) be costed under their parent phase.
+    pub parent_id: Option<u64>,
     /// Start time in nanoseconds relative to [`enable`] on this thread.
     pub start_ns: u64,
     /// Wall-clock duration in nanoseconds.
@@ -155,6 +162,10 @@ impl Trace {
 struct Collector {
     epoch: Instant,
     scopes: Vec<String>,
+    /// Next span id to hand out.
+    next_span_id: u64,
+    /// Ids of the spans currently open on this thread, innermost last.
+    open_spans: Vec<u64>,
     trace: Trace,
 }
 
@@ -175,6 +186,8 @@ pub fn enable() {
         *s = Some(Collector {
             epoch: Instant::now(),
             scopes: Vec::new(),
+            next_span_id: 0,
+            open_spans: Vec::new(),
             trace: Trace::default(),
         });
     });
@@ -240,11 +253,27 @@ impl Drop for ScopeGuard {
 #[must_use = "the span records its duration when the guard drops"]
 pub fn span(name: &'static str) -> Span {
     if !is_enabled() {
-        return Span { name, start: None };
+        return Span {
+            name,
+            start: None,
+            id: 0,
+            parent_id: None,
+        };
     }
+    let (id, parent_id) = SINK.with(|s| {
+        let mut s = s.borrow_mut();
+        let c = s.as_mut().expect("is_enabled checked");
+        let id = c.next_span_id;
+        c.next_span_id += 1;
+        let parent = c.open_spans.last().copied();
+        c.open_spans.push(id);
+        (id, parent)
+    });
     Span {
         name,
         start: Some(Instant::now()),
+        id,
+        parent_id,
     }
 }
 
@@ -252,6 +281,8 @@ pub fn span(name: &'static str) -> Span {
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    id: u64,
+    parent_id: Option<u64>,
 }
 
 impl Drop for Span {
@@ -260,17 +291,69 @@ impl Drop for Span {
         let dur_ns = start.elapsed().as_nanos() as u64;
         SINK.with(|s| {
             if let Some(c) = s.borrow_mut().as_mut() {
+                // Spans are scoped guards, so the top of the open stack is
+                // this span; be robust to out-of-order drops anyway.
+                match c.open_spans.last() {
+                    Some(&top) if top == self.id => {
+                        c.open_spans.pop();
+                    }
+                    _ => c.open_spans.retain(|&i| i != self.id),
+                }
                 let start_ns = start.duration_since(c.epoch).as_nanos() as u64;
                 let scope = c.current_scope();
                 c.trace.spans.push(SpanRec {
                     scope,
                     name: self.name,
+                    id: self.id,
+                    parent_id: self.parent_id,
                     start_ns,
                     dur_ns,
                 });
             }
         });
     }
+}
+
+/// Merges a [`Trace`] recorded on another thread (a *shard*) into the
+/// current thread's sink. No-op when tracing is disabled here.
+///
+/// Worker threads of a parallel compilation each collect their own trace
+/// with [`enable`]/[`disable`]; the driver absorbs the shards in a
+/// deterministic order so the merged trace is independent of scheduling.
+/// Span ids are remapped past the sink's counter (parent links preserved),
+/// and shard times are rebased to start after everything already recorded,
+/// keeping per-shard span order meaningful under a single virtual clock.
+pub fn absorb(shard: Trace) {
+    if shard.is_empty() || !is_enabled() {
+        return;
+    }
+    SINK.with(|s| {
+        let mut s = s.borrow_mut();
+        let Some(c) = s.as_mut() else { return };
+        let time_base = c
+            .trace
+            .spans
+            .iter()
+            .map(|sp| sp.start_ns + sp.dur_ns)
+            .max()
+            .unwrap_or(0);
+        let id_base = c.next_span_id;
+        let mut max_id = None::<u64>;
+        for sp in shard.spans {
+            max_id = Some(max_id.map_or(sp.id, |m| m.max(sp.id)));
+            c.trace.spans.push(SpanRec {
+                id: id_base + sp.id,
+                parent_id: sp.parent_id.map(|p| id_base + p),
+                start_ns: time_base + sp.start_ns,
+                ..sp
+            });
+        }
+        if let Some(m) = max_id {
+            c.next_span_id = id_base + m + 1;
+        }
+        c.trace.counters.extend(shard.counters);
+        c.trace.events.extend(shard.events);
+    });
 }
 
 /// Adds `value` to the named counter. No-op when tracing is disabled.
@@ -370,6 +453,95 @@ mod tests {
         let trace = disable();
         assert_eq!(trace.counters.len(), 1);
         assert_eq!(trace.counters[0].name, "b");
+    }
+
+    #[test]
+    fn span_parent_ids_follow_nesting() {
+        enable();
+        {
+            let _outer = span("phase");
+            {
+                let _inner = span("round");
+                let _leaf = span("sweep");
+            }
+            let _sibling = span("round");
+        }
+        let _top = span("other_phase");
+        drop(_top);
+        let trace = disable();
+
+        let find = |name: &'static str| trace.spans.iter().filter(move |s| s.name == name);
+        let phase = find("phase").next().unwrap();
+        assert_eq!(phase.parent_id, None);
+        for round in find("round") {
+            assert_eq!(round.parent_id, Some(phase.id));
+        }
+        let sweep = find("sweep").next().unwrap();
+        let inner_round = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "round" && Some(s.id) == sweep.parent_id)
+            .expect("sweep nests under a round");
+        assert_eq!(inner_round.parent_id, Some(phase.id));
+        let other = find("other_phase").next().unwrap();
+        assert_eq!(other.parent_id, None, "closed spans do not parent");
+
+        // Ids are unique.
+        let mut ids: Vec<u64> = trace.spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.spans.len());
+    }
+
+    #[test]
+    fn absorb_merges_shard_with_remapped_ids_and_rebased_times() {
+        // Record a shard on a worker thread.
+        let shard = std::thread::spawn(|| {
+            enable();
+            let _f = scope("worker_fn");
+            {
+                let _p = span("phase");
+                let _c = span("child");
+                counter("n", 2);
+            }
+            event("ev", || vec![("x", TraceValue::Int(1))]);
+            disable()
+        })
+        .join()
+        .unwrap();
+
+        enable();
+        {
+            let _m = scope("main_fn");
+            let _t = span("phase");
+        }
+        absorb(shard);
+        let trace = disable();
+
+        assert_eq!(trace.spans.len(), 3);
+        let main_phase = trace.spans.iter().find(|s| s.scope == "main_fn").unwrap();
+        let w_phase = trace
+            .spans
+            .iter()
+            .find(|s| s.scope == "worker_fn" && s.name == "phase")
+            .unwrap();
+        let w_child = trace
+            .spans
+            .iter()
+            .find(|s| s.scope == "worker_fn" && s.name == "child")
+            .unwrap();
+        // Remapped ids stay unique and parent links survive.
+        assert_ne!(w_phase.id, main_phase.id);
+        assert_eq!(w_child.parent_id, Some(w_phase.id));
+        // Shard times land after everything already recorded.
+        assert!(w_phase.start_ns >= main_phase.start_ns + main_phase.dur_ns);
+        // Counters and events come along.
+        assert_eq!(trace.counter_total("worker_fn", "n"), 2);
+        assert_eq!(trace.events.len(), 1);
+
+        // Absorbing into a disabled sink is a no-op.
+        absorb(Trace::default());
+        assert!(!is_enabled());
     }
 
     #[test]

@@ -148,6 +148,109 @@ fn disabled_sink_records_nothing_and_results_are_identical() {
     assert!(!ipra_obs::is_enabled());
 }
 
+/// Zeroes the scheduling-dependent wall-clock fields (`start_ns`,
+/// `dur_ns`) everywhere in a trace document, leaving all structural
+/// content — phase nesting, counters, decisions, sim attribution — intact.
+fn normalize_times(j: &Json) -> Json {
+    match j {
+        Json::Arr(items) => Json::Arr(items.iter().map(normalize_times).collect()),
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .map(|(k, v)| {
+                    if k == "start_ns" || k == "dur_ns" {
+                        (k.clone(), Json::Int(0))
+                    } else {
+                        (k.clone(), normalize_times(v))
+                    }
+                })
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// The wave scheduler must be invisible in every output: compiling with
+/// `jobs = 4` has to produce the same machine code, summaries, clobber
+/// masks, reports and (timing aside) the same trace JSON as `jobs = 1`,
+/// across a corpus that covers deep call DAGs, mutual recursion and
+/// generator-produced programs.
+///
+/// (Under a forced `IPRA_JOBS` environment both sides resolve to the same
+/// worker count, so the comparison still holds — it just stops being a
+/// serial-vs-parallel check for that run.)
+#[test]
+fn wave_scheduler_output_is_identical_to_serial() {
+    use ipra_workloads::synth;
+
+    let mutual = r#"
+        fn even(n: int) -> int { if n == 0 { return 1; } return odd(n - 1); }
+        fn odd(n: int) -> int { if n == 0 { return 0; } return even(n - 1); }
+        fn main() { print(even(10) + odd(7)); }
+    "#;
+
+    let mut corpus: Vec<(String, ipra_ir::Module)> = vec![
+        ("demo".into(), ipra_frontend::compile(DEMO).unwrap()),
+        ("mutual".into(), ipra_frontend::compile(mutual).unwrap()),
+        ("tree".into(), synth::call_tree_program(3, 2, 4, 5)),
+    ];
+    for seed in 0..6u64 {
+        let src = synth::random_source(seed, &synth::SourceConfig::default());
+        corpus.push((
+            format!("synth-{seed}"),
+            ipra_frontend::compile(&src).unwrap(),
+        ));
+    }
+    for w in ["nim", "stanford"] {
+        let workload = ipra_workloads::by_name(w).unwrap();
+        corpus.push((
+            w.into(),
+            ipra_workloads::compile_workload(workload).unwrap(),
+        ));
+    }
+
+    let mut serial_cfg = Config::c();
+    serial_cfg.opts.jobs = 1;
+    let mut parallel_cfg = Config::c();
+    parallel_cfg.opts.jobs = 4;
+
+    for (name, module) in &corpus {
+        let serial = compile_and_run_traced(module, &serial_cfg)
+            .unwrap_or_else(|t| panic!("[{name}] serial trapped: {t}"));
+        let parallel = compile_and_run_traced(module, &parallel_cfg)
+            .unwrap_or_else(|t| panic!("[{name}] parallel trapped: {t}"));
+
+        assert_eq!(serial.output, parallel.output, "[{name}] program output");
+        assert_eq!(serial.stats, parallel.stats, "[{name}] simulator stats");
+
+        let sc = compile_only(module, &serial_cfg);
+        let pc = compile_only(module, &parallel_cfg);
+        assert_eq!(
+            format!("{:?}", sc.summaries),
+            format!("{:?}", pc.summaries),
+            "[{name}] summaries"
+        );
+        assert_eq!(sc.clobber_masks, pc.clobber_masks, "[{name}] clobber masks");
+        assert_eq!(
+            format!("{:?}", sc.reports),
+            format!("{:?}", pc.reports),
+            "[{name}] reports"
+        );
+        for ((_, sf), (_, pf)) in sc.mmodule.funcs.iter().zip(pc.mmodule.funcs.iter()) {
+            let regs = &serial_cfg.target.regs;
+            assert_eq!(
+                sf.display_in(regs, &sc.mmodule).to_string(),
+                pf.display_in(regs, &pc.mmodule).to_string(),
+                "[{name}] machine code"
+            );
+        }
+
+        let st = normalize_times(&serial.trace.unwrap().to_json()).render_pretty();
+        let pt = normalize_times(&parallel.trace.unwrap().to_json()).render_pretty();
+        assert_eq!(st, pt, "[{name}] trace JSON (timing normalized)");
+    }
+}
+
 #[test]
 fn trace_counts_match_function_reports() {
     let module = ipra_frontend::compile(DEMO).unwrap();
