@@ -164,6 +164,37 @@ impl SccInfo {
         }
         waves
     }
+
+    /// The set of functions whose allocation may change when `seeds`
+    /// change: the seeds plus everything that (transitively) calls them,
+    /// in `FuncId` order. This is the *upper bound* the incremental cache
+    /// invalidates against; the summary-keyed cache typically stops far
+    /// earlier (a caller whose callees' summaries are byte-identical is a
+    /// hit — the early cutoff), so this closure is what tests compare the
+    /// observed miss set *against*, not what the cache recompiles.
+    pub fn dirty_closure(&self, cg: &CallGraph, seeds: &[FuncId]) -> Vec<FuncId> {
+        let n = cg.len();
+        let mut dirty = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for &s in seeds {
+            if !dirty[s.index()] {
+                dirty[s.index()] = true;
+                stack.push(s.index());
+            }
+        }
+        while let Some(f) = stack.pop() {
+            for caller in cg.callers(FuncId(f as u32)) {
+                if !dirty[caller.index()] {
+                    dirty[caller.index()] = true;
+                    stack.push(caller.index());
+                }
+            }
+        }
+        (0..n)
+            .filter(|&i| dirty[i])
+            .map(|i| FuncId(i as u32))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +325,24 @@ mod tests {
         let cg = CallGraph::build(&m);
         let scc = SccInfo::compute(&cg);
         assert!(scc.levels(&cg).is_empty());
+    }
+
+    #[test]
+    fn dirty_closure_is_the_ancestor_set() {
+        // Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3; plus isolated 4.
+        let m = module_from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        let ids = |v: &[usize]| v.iter().map(|&i| FuncId(i as u32)).collect::<Vec<_>>();
+        assert_eq!(scc.dirty_closure(&cg, &ids(&[3])), ids(&[0, 1, 2, 3]));
+        assert_eq!(scc.dirty_closure(&cg, &ids(&[1])), ids(&[0, 1]));
+        assert_eq!(scc.dirty_closure(&cg, &ids(&[4])), ids(&[4]));
+        assert_eq!(scc.dirty_closure(&cg, &[]), Vec::<FuncId>::new());
+        // Mutual recursion: the whole cycle and its callers are dirty.
+        let m = module_from_edges(3, &[(0, 1), (1, 2), (2, 1)]);
+        let cg = CallGraph::build(&m);
+        let scc = SccInfo::compute(&cg);
+        assert_eq!(scc.dirty_closure(&cg, &ids(&[2])), ids(&[0, 1, 2]));
     }
 
     #[test]

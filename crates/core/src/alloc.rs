@@ -262,6 +262,9 @@ pub fn allocate_function(
     for lr in &ranges.ranges {
         match &assignment.split[lr.vreg.index()] {
             Some(map) => {
+                // Determinism: the per-vreg split map is a HashMap, but the
+                // loop body is a commutative mask insert, so its randomized
+                // iteration order cannot affect the resulting occupancy.
                 for (&b, &r) in map {
                     occupancy[b].insert(r);
                 }

@@ -44,6 +44,13 @@ pub struct AllocOptions {
     /// Results are bit-identical for every value. The `IPRA_JOBS`
     /// environment variable overrides this field when set.
     pub jobs: usize,
+    /// Directory for the incremental allocation cache (`ipra-cache.json`
+    /// inside it). `None` disables caching. The `IPRA_CACHE` environment
+    /// variable supplies a directory when this field is `None`. Warm
+    /// compiles are bit-identical to cold ones; the cache key covers the
+    /// function body, every option in this struct (except `jobs` and
+    /// `cache_dir` themselves), the target, and all callee summaries.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl AllocOptions {
@@ -57,6 +64,7 @@ impl AllocOptions {
             split_ranges: true,
             forced_open: HashSet::new(),
             jobs: 0,
+            cache_dir: None,
         }
     }
 
@@ -95,6 +103,7 @@ impl AllocOptions {
             split_ranges: false,
             forced_open: HashSet::new(),
             jobs: 0,
+            cache_dir: None,
         }
     }
 
@@ -108,6 +117,24 @@ impl AllocOptions {
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
         self
+    }
+
+    /// Enables the incremental allocation cache rooted at `dir`.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Resolves [`AllocOptions::cache_dir`]: the field wins; otherwise a
+    /// non-empty `IPRA_CACHE` environment variable supplies the directory.
+    pub fn effective_cache_dir(&self) -> Option<std::path::PathBuf> {
+        if let Some(d) = &self.cache_dir {
+            return Some(d.clone());
+        }
+        match std::env::var("IPRA_CACHE") {
+            Ok(v) if !v.trim().is_empty() => Some(std::path::PathBuf::from(v.trim())),
+            _ => None,
+        }
     }
 
     /// Resolves [`AllocOptions::jobs`] to a concrete worker count:
@@ -152,6 +179,20 @@ mod tests {
         let o = AllocOptions::o3().force_open("lib_fn").force_open("other");
         assert!(o.forced_open.contains("lib_fn"));
         assert_eq!(o.forced_open.len(), 2);
+    }
+
+    #[test]
+    fn cache_dir_resolution() {
+        // Note: assumes IPRA_CACHE is unset in the test environment.
+        if std::env::var_os("IPRA_CACHE").is_some() {
+            return;
+        }
+        assert_eq!(AllocOptions::o3().effective_cache_dir(), None);
+        let o = AllocOptions::o3().with_cache_dir("/tmp/x");
+        assert_eq!(
+            o.effective_cache_dir(),
+            Some(std::path::PathBuf::from("/tmp/x"))
+        );
     }
 
     #[test]

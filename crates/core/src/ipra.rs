@@ -28,6 +28,7 @@ use ipra_ir::{EntityVec, FuncId, Module};
 use ipra_machine::{MFunction, MModule, RegMask, Target};
 
 use crate::alloc::{allocate_function, FuncArtifacts, SummaryEnv};
+use crate::cache::{component_key, config_fingerprint, AllocCache, CacheStats, CachedFunc};
 use crate::config::{AllocMode, AllocOptions};
 use crate::lower::lower_function;
 use crate::normalize::normalize_entries;
@@ -70,6 +71,15 @@ pub struct CompiledModule {
     pub reports: Vec<FuncReport>,
     /// Global-promotion statistics (zero when the pass is off).
     pub promotion: PromotionStats,
+    /// Incremental-cache outcome (default when no cache was configured).
+    pub cache: CacheStats,
+}
+
+/// How one function's result was obtained: allocated in this compile, or
+/// replayed from the incremental cache.
+enum FuncResult {
+    Fresh(Box<FuncArtifacts>),
+    Cached(CachedFunc),
 }
 
 /// Compiles a module under the given options.
@@ -112,9 +122,27 @@ pub fn compile_module_with_profile(
     let n = module.funcs.len();
     let jobs = opts.effective_jobs();
     let mut env = SummaryEnv::default();
-    let mut artifacts: Vec<Option<FuncArtifacts>> = (0..n).map(|_| None).collect();
 
-    if jobs <= 1 {
+    // Incremental cache (see `crate::cache`). When enabled, compilation
+    // always takes the wave path below — the per-wave lookup needs the
+    // environment frozen at wave boundaries — and stays bit-identical to
+    // the serial path for any hit/miss pattern.
+    let mut cache = opts.effective_cache_dir().map(|d| AllocCache::load(&d));
+    let fingerprint = if cache.is_some() {
+        config_fingerprint(target, opts)
+    } else {
+        0
+    };
+    let mut cache_stats = CacheStats {
+        enabled: cache.is_some(),
+        ..CacheStats::default()
+    };
+    let mut recompiled = vec![false; n];
+    let mut miss_records: Vec<(u64, Vec<FuncId>)> = Vec::new();
+
+    let mut results: Vec<Option<FuncResult>> = (0..n).map(|_| None).collect();
+
+    if jobs <= 1 && cache.is_none() {
         // Serial path: one pass over the flat bottom-up order.
         for fid in scc.bottom_up_order() {
             let _obs = ipra_obs::scope(&module.funcs[fid].name);
@@ -133,7 +161,7 @@ pub fn compile_module_with_profile(
                 env.summaries.insert(fid, art.alloc.summary.clone());
             }
             env.tree_used.insert(fid, art.alloc.tree_used);
-            artifacts[fid.index()] = Some(art);
+            results[fid.index()] = Some(FuncResult::Fresh(Box::new(art)));
         }
     } else {
         // Wave scheduler: every component of a level has all its callees
@@ -146,116 +174,262 @@ pub fn compile_module_with_profile(
                 .iter()
                 .map(|&ci| scc.components[ci].as_slice())
                 .collect();
-            let mut results = run_tasks(jobs, comps.len(), |out, t| {
+
+            // Cache lookup, serial and deterministic, against the frozen
+            // environment (every external callee lives in a lower wave).
+            let mut comp_keys = vec![0u64; comps.len()];
+            let mut hits: Vec<Option<Vec<CachedFunc>>> = (0..comps.len()).map(|_| None).collect();
+            if let Some(c) = &cache {
+                for (i, comp) in comps.iter().enumerate() {
+                    let key = component_key(
+                        &module,
+                        comp,
+                        |fid| {
+                            let forced = opts.forced_open.contains(&module.funcs[fid].name);
+                            !inter || forced || openness.is_open(fid)
+                        },
+                        fingerprint,
+                        inter,
+                        &env,
+                        profile,
+                    );
+                    comp_keys[i] = key;
+                    if let Some(funcs) = c.lookup(key, &module) {
+                        // The names guard against FNV collisions and stale
+                        // entries; a mismatch is just a miss.
+                        let matches = funcs.len() == comp.len()
+                            && funcs
+                                .iter()
+                                .zip(comp.iter())
+                                .all(|(cf, &fid)| cf.name == module.funcs[fid].name);
+                        if matches {
+                            hits[i] = Some(funcs);
+                        }
+                    }
+                }
+            }
+
+            // Fan the misses out across the workers.
+            let miss_idx: Vec<usize> = (0..comps.len()).filter(|&i| hits[i].is_none()).collect();
+            let mut fresh = run_tasks(jobs, miss_idx.len(), |out, t| {
                 alloc_component(
-                    &module, comps[t], target, opts, inter, &openness, &env, profile, tracing, out,
+                    &module,
+                    comps[miss_idx[t]],
+                    target,
+                    opts,
+                    inter,
+                    &openness,
+                    &env,
+                    profile,
+                    tracing,
+                    out,
                 );
             });
-            results.sort_by_key(|(fid, _, _)| fid.index());
-            for (fid, art, shard) in results {
-                if inter && !art.alloc.is_open {
-                    env.summaries.insert(fid, art.alloc.summary.clone());
+            fresh.sort_by_key(|(fid, _, _)| fid.index());
+            if cache.is_some() {
+                for &i in &miss_idx {
+                    miss_records.push((comp_keys[i], comps[i].to_vec()));
                 }
-                env.tree_used.insert(fid, art.alloc.tree_used);
-                ipra_obs::absorb(shard);
-                artifacts[fid.index()] = Some(art);
+            }
+
+            // Deterministic merge: interleave the hit and miss streams in
+            // FuncId order so the environment, observability records and
+            // counters come out independent of thread scheduling.
+            let mut hit_funcs: Vec<(FuncId, CachedFunc)> = Vec::new();
+            for (i, h) in hits.into_iter().enumerate() {
+                if let Some(funcs) = h {
+                    for (cf, &fid) in funcs.into_iter().zip(comps[i].iter()) {
+                        hit_funcs.push((fid, cf));
+                    }
+                }
+            }
+            hit_funcs.sort_by_key(|(fid, _)| fid.index());
+            let mut fresh_it = fresh.into_iter().peekable();
+            let mut hit_it = hit_funcs.into_iter().peekable();
+            loop {
+                let take_fresh = match (fresh_it.peek(), hit_it.peek()) {
+                    (Some((f, _, _)), Some((h, _))) => f.index() < h.index(),
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_fresh {
+                    let (fid, art, shard) = fresh_it.next().expect("peeked");
+                    if inter && !art.alloc.is_open {
+                        env.summaries.insert(fid, art.alloc.summary.clone());
+                    }
+                    env.tree_used.insert(fid, art.alloc.tree_used);
+                    ipra_obs::absorb(shard);
+                    recompiled[fid.index()] = true;
+                    if cache.is_some() {
+                        cache_stats.misses += 1;
+                        cache_stats.recompiled.push(module.funcs[fid].name.clone());
+                        let _obs = ipra_obs::scope(&module.funcs[fid].name);
+                        ipra_obs::counter("cache.miss", 1);
+                    }
+                    results[fid.index()] = Some(FuncResult::Fresh(Box::new(art)));
+                } else {
+                    let (fid, cf) = hit_it.next().expect("peeked");
+                    if inter && !cf.is_open {
+                        env.summaries.insert(fid, cf.summary.clone());
+                    }
+                    env.tree_used.insert(fid, cf.tree_used);
+                    cache_stats.hits += 1;
+                    // A hit whose direct callee was recompiled is an early
+                    // cutoff: the callee changed but its summary bytes did
+                    // not, so invalidation stopped here.
+                    let cutoff = cg.callees(fid).iter().any(|c| recompiled[c.index()]);
+                    {
+                        let _obs = ipra_obs::scope(&module.funcs[fid].name);
+                        let _t = ipra_obs::span("cache.hit");
+                        ipra_obs::counter("cache.hit", 1);
+                        if cutoff {
+                            cache_stats.cutoffs += 1;
+                            ipra_obs::counter("cache.cutoff", 1);
+                        }
+                    }
+                    results[fid.index()] = Some(FuncResult::Cached(cf));
+                }
             }
         }
     }
 
     // Lowering is embarrassingly parallel: the artifacts are frozen now.
-    let lowered: Vec<MFunction> = if jobs <= 1 {
-        module
-            .funcs
-            .iter()
-            .map(|(fid, func)| {
-                let art = artifacts[fid.index()]
-                    .as_ref()
-                    .expect("every function allocated");
-                let _obs = ipra_obs::scope(&func.name);
-                let _t = ipra_obs::span("lower");
-                lower_function(&module, func, target, art)
-            })
-            .collect()
-    } else {
-        let tracing = ipra_obs::is_enabled();
-        let mut results = run_tasks(jobs, n, |out, t| {
-            let fid = FuncId(t as u32);
-            let func = &module.funcs[fid];
-            let art = artifacts[fid.index()]
-                .as_ref()
-                .expect("every function allocated");
-            // Shard capture only on sink-less worker threads; inline
-            // execution records straight into the driver's sink (see
-            // `alloc_component`).
-            let capture = tracing && !ipra_obs::is_enabled();
-            if capture {
-                ipra_obs::enable();
-            }
-            let mf = {
-                let _obs = ipra_obs::scope(&func.name);
-                let _t = ipra_obs::span("lower");
-                lower_function(&module, func, target, art)
-            };
-            let shard = if capture {
-                ipra_obs::disable()
-            } else {
-                ipra_obs::Trace::default()
-            };
-            out.push((t, mf, shard));
-        });
-        results.sort_by_key(|(i, _, _)| *i);
-        results
-            .into_iter()
-            .map(|(_, mf, shard)| {
-                ipra_obs::absorb(shard);
-                mf
-            })
-            .collect()
-    };
+    // Cache hits already carry their lowered code and skip this entirely.
+    let fresh_ids: Vec<usize> = (0..n)
+        .filter(|&i| matches!(results[i], Some(FuncResult::Fresh(_))))
+        .collect();
+    let tracing = ipra_obs::is_enabled();
+    let mut lowered_parts = run_tasks(jobs, fresh_ids.len(), |out, t| {
+        let fi = fresh_ids[t];
+        let fid = FuncId(fi as u32);
+        let func = &module.funcs[fid];
+        let Some(FuncResult::Fresh(art)) = &results[fi] else {
+            unreachable!("fresh_ids only lists fresh results");
+        };
+        // Shard capture only on sink-less worker threads; inline
+        // execution records straight into the driver's sink (see
+        // `alloc_component`).
+        let capture = tracing && !ipra_obs::is_enabled();
+        if capture {
+            ipra_obs::enable();
+        }
+        let mf = {
+            let _obs = ipra_obs::scope(&func.name);
+            let _t = ipra_obs::span("lower");
+            lower_function(&module, func, target, art)
+        };
+        let shard = if capture {
+            ipra_obs::disable()
+        } else {
+            ipra_obs::Trace::default()
+        };
+        out.push((fi, mf, shard));
+    });
+    lowered_parts.sort_by_key(|(i, _, _)| *i);
+    let mut lowered: Vec<Option<MFunction>> = (0..n).map(|_| None).collect();
+    for (i, mf, shard) in lowered_parts {
+        ipra_obs::absorb(shard);
+        lowered[i] = Some(mf);
+    }
 
     let mut funcs = EntityVec::new();
     let mut summaries = Vec::with_capacity(n);
     let mut clobber_masks = Vec::with_capacity(n);
     let mut reports = Vec::with_capacity(n);
-    for ((fid, func), mf) in module.funcs.iter().zip(lowered) {
-        let art = artifacts[fid.index()]
+    for (fid, func) in module.funcs.iter() {
+        match results[fid.index()]
             .as_ref()
-            .expect("every function allocated");
-        funcs.push(mf);
-
-        let a = &art.alloc;
-        summaries.push(a.summary.clone());
-        clobber_masks.push(if inter && !a.is_open {
-            a.summary.clobbers
-        } else {
-            target.regs.default_clobbers()
-        });
-        let mut memory_vregs = 0;
-        let mut split_vregs = 0;
-        let mut candidates = 0;
-        for lr in &art.ranges.ranges {
-            if !lr.is_candidate() {
-                continue;
+            .expect("every function compiled")
+        {
+            FuncResult::Fresh(art) => {
+                funcs.push(lowered[fid.index()].take().expect("fresh function lowered"));
+                let a = &art.alloc;
+                summaries.push(a.summary.clone());
+                clobber_masks.push(if inter && !a.is_open {
+                    a.summary.clobbers
+                } else {
+                    target.regs.default_clobbers()
+                });
+                let mut memory_vregs = 0;
+                let mut split_vregs = 0;
+                let mut candidates = 0;
+                for lr in &art.ranges.ranges {
+                    if !lr.is_candidate() {
+                        continue;
+                    }
+                    candidates += 1;
+                    if a.assignment.is_split(lr.vreg) {
+                        split_vregs += 1;
+                    } else if a.assignment.whole[lr.vreg.index()] == crate::color::VregLoc::Mem {
+                        memory_vregs += 1;
+                    }
+                }
+                reports.push(FuncReport {
+                    name: func.name.clone(),
+                    open_reasons: openness.reasons(fid).to_vec(),
+                    forced_open: opts.forced_open.contains(&func.name),
+                    used: a.assignment.used,
+                    locally_saved: a.locally_saved,
+                    shrink_iterations: a.shrink_iterations,
+                    memory_vregs,
+                    split_vregs,
+                    candidate_vregs: candidates,
+                });
             }
-            candidates += 1;
-            if a.assignment.is_split(lr.vreg) {
-                split_vregs += 1;
-            } else if a.assignment.whole[lr.vreg.index()] == crate::color::VregLoc::Mem {
-                memory_vregs += 1;
+            FuncResult::Cached(c) => {
+                funcs.push(c.code.clone());
+                summaries.push(c.summary.clone());
+                clobber_masks.push(if inter && !c.is_open {
+                    c.summary.clobbers
+                } else {
+                    target.regs.default_clobbers()
+                });
+                reports.push(FuncReport {
+                    name: func.name.clone(),
+                    open_reasons: openness.reasons(fid).to_vec(),
+                    forced_open: opts.forced_open.contains(&func.name),
+                    used: c.used,
+                    locally_saved: c.locally_saved,
+                    shrink_iterations: c.shrink_iterations,
+                    memory_vregs: c.memory_vregs,
+                    split_vregs: c.split_vregs,
+                    candidate_vregs: c.candidate_vregs,
+                });
             }
         }
-        reports.push(FuncReport {
-            name: func.name.clone(),
-            open_reasons: openness.reasons(fid).to_vec(),
-            forced_open: opts.forced_open.contains(&func.name),
-            used: a.assignment.used,
-            locally_saved: a.locally_saved,
-            shrink_iterations: a.shrink_iterations,
-            memory_vregs,
-            split_vregs,
-            candidate_vregs: candidates,
-        });
+    }
+
+    // Store every miss back into the cache, keyed by the lookup-time key.
+    if let Some(cache) = &mut cache {
+        for (key, comp) in &miss_records {
+            let entry: Vec<CachedFunc> = comp
+                .iter()
+                .map(|&fid| {
+                    let i = fid.index();
+                    let Some(FuncResult::Fresh(art)) = &results[i] else {
+                        unreachable!("misses were compiled fresh");
+                    };
+                    CachedFunc {
+                        name: module.funcs[fid].name.clone(),
+                        code: funcs[fid].clone(),
+                        summary: summaries[i].clone(),
+                        tree_used: art.alloc.tree_used,
+                        is_open: art.alloc.is_open,
+                        used: reports[i].used,
+                        locally_saved: reports[i].locally_saved,
+                        shrink_iterations: reports[i].shrink_iterations,
+                        memory_vregs: reports[i].memory_vregs,
+                        split_vregs: reports[i].split_vregs,
+                        candidate_vregs: reports[i].candidate_vregs,
+                    }
+                })
+                .collect();
+            cache.insert(*key, &entry, &module);
+        }
+        if !miss_records.is_empty() {
+            cache.save();
+        }
     }
 
     CompiledModule {
@@ -268,6 +442,7 @@ pub fn compile_module_with_profile(
         clobber_masks,
         reports,
         promotion,
+        cache: cache_stats,
     }
 }
 

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod cache;
 pub mod color;
 pub mod config;
 pub mod ipra;
@@ -31,6 +32,7 @@ pub mod shrinkwrap;
 pub mod summary;
 
 pub use alloc::{allocate_function, CallPlan, FuncAllocation, FuncArtifacts, SummaryEnv};
+pub use cache::{AllocCache, CacheStats, CachedFunc};
 pub use color::{Assignment, VregLoc};
 pub use config::{AllocMode, AllocOptions};
 pub use ipra::{compile_module, compile_module_with_profile, CompiledModule, FuncReport};

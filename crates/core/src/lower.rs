@@ -81,6 +81,12 @@ impl<'a> Lowerer<'a> {
         }
 
         // Local arrays.
+        //
+        // Determinism: the slot maps below are HashMaps, but they are
+        // populated from deterministic sources (entity-id order, RegMask
+        // iteration, call-plan order) and only ever read by keyed lookup —
+        // frame-slot numbering comes from the insertion loops, never from
+        // map iteration.
         let mut array_slots = HashMap::new();
         for (id, s) in func.slots.iter() {
             array_slots.insert(

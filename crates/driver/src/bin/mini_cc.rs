@@ -10,13 +10,16 @@
 //!   --trace                print the compile/execution trace to stderr
 //!   --trace-json <path>    write the trace as JSON to <path>
 //!   --jobs <n>             wave-scheduler worker threads (0 = auto, 1 = serial)
+//!   --cache-dir <dir>      incremental allocation cache directory
+//!   --profile-out <file>   run, then write per-block execution counts as JSON
+//!   --profile-in <file>    recompile with a previously written profile
 //!   --workload <name>      compile a bundled benchmark instead of a file
 //! ```
 
 use std::process::ExitCode;
 
 use ipra_core::config::{AllocMode, AllocOptions};
-use ipra_driver::{run_compiled, CompileTrace, Config};
+use ipra_driver::{profile_from_json, profile_to_json, run_compiled, CompileTrace, Config};
 use ipra_machine::Target;
 
 struct Args {
@@ -26,6 +29,8 @@ struct Args {
     run: bool,
     trace: bool,
     trace_json: Option<String>,
+    profile_out: Option<String>,
+    profile_in: Option<String>,
     input: Input,
 }
 
@@ -37,7 +42,8 @@ enum Input {
 fn usage() -> &'static str {
     "usage: mini-cc [-O0|-O2|-O3] [--no-shrink-wrap] [--limit NC,NE] \
      [--emit ir|asm|summary] [--run] [--trace] [--trace-json PATH] \
-     [--jobs N] (<file.mini> | --workload <name>)"
+     [--jobs N] [--cache-dir DIR] [--profile-out PATH] [--profile-in PATH] \
+     (<file.mini> | --workload <name>)"
 }
 
 fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -47,13 +53,17 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut run = false;
     let mut trace = false;
     let mut trace_json = None;
+    let mut profile_out = None;
+    let mut profile_in = None;
     let mut input = None;
-    // `-O2`/`-O3` replace the whole option set, so `--no-shrink-wrap` and
-    // `--jobs` are remembered separately and applied after the flag loop —
-    // otherwise `--no-shrink-wrap -O3` would silently re-enable
-    // shrink-wrapping (and likewise reset the job count).
+    // `-O2`/`-O3` replace the whole option set, so `--no-shrink-wrap`,
+    // `--jobs` and `--cache-dir` are remembered separately and applied
+    // after the flag loop — otherwise `--no-shrink-wrap -O3` would
+    // silently re-enable shrink-wrapping (and likewise reset the job
+    // count or drop the cache directory).
     let mut no_shrink_wrap = false;
     let mut jobs = None;
+    let mut cache_dir = None;
 
     let mut args = args;
     while let Some(a) = args.next() {
@@ -77,6 +87,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                 let v = args.next().ok_or("--jobs needs a count")?;
                 jobs = Some(v.trim().parse::<usize>().map_err(|_| "bad --jobs count")?);
             }
+            "--cache-dir" => cache_dir = Some(args.next().ok_or("--cache-dir needs a directory")?),
+            "--profile-out" => profile_out = Some(args.next().ok_or("--profile-out needs a path")?),
+            "--profile-in" => profile_in = Some(args.next().ok_or("--profile-in needs a path")?),
             "--workload" => {
                 input = Some(Input::Workload(
                     args.next().ok_or("--workload needs a name")?,
@@ -93,6 +106,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     if let Some(j) = jobs {
         opts.jobs = j;
     }
+    if let Some(d) = cache_dir {
+        opts.cache_dir = Some(std::path::PathBuf::from(d));
+    }
     let input = input.ok_or_else(|| usage().to_string())?;
     Ok(Args {
         opts,
@@ -101,6 +117,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         run,
         trace,
         trace_json,
+        profile_out,
+        profile_in,
         input,
     })
 }
@@ -122,6 +140,14 @@ fn real_main() -> Result<(), String> {
     };
 
     let module = ipra_frontend::compile(&source).map_err(|e| format!("compile error: {e}"))?;
+    let loaded_profile = match &args.profile_in {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let doc = ipra_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            Some(profile_from_json(&doc, &module).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
     let config = Config {
         name: match args.opts.mode {
             AllocMode::NoAlloc => "-O0".into(),
@@ -138,12 +164,23 @@ fn real_main() -> Result<(), String> {
     if tracing {
         ipra_obs::enable();
     }
-    let compiled = ipra_core::ipra::compile_module(&module, &config.target, &config.opts);
+    let compiled = ipra_core::ipra::compile_module_with_profile(
+        &module,
+        &config.target,
+        &config.opts,
+        loaded_profile.as_deref(),
+    );
     let raw_trace = if tracing {
         Some(ipra_obs::disable())
     } else {
         None
     };
+    if compiled.cache.enabled {
+        eprintln!(
+            "[cache] hits: {}  misses: {}  cutoffs: {}",
+            compiled.cache.hits, compiled.cache.misses, compiled.cache.cutoffs
+        );
+    }
 
     match args.emit.as_deref() {
         Some("ir") => println!("{module}"),
@@ -178,23 +215,37 @@ fn real_main() -> Result<(), String> {
     }
 
     let mut stats = None;
-    if args.run || args.emit.is_none() {
-        let m = run_compiled(&compiled, &config).map_err(|t| format!("runtime trap: {t}"))?;
-        for v in &m.output {
+    // `--profile-out` implies a run: the profile is the run's block counts.
+    if args.run || args.profile_out.is_some() || args.emit.is_none() {
+        let (run_stats, output) = if let Some(path) = &args.profile_out {
+            let sim_opts = ipra_sim::SimOptions::for_target(&config.target.regs)
+                .check_preservation(compiled.clobber_masks.clone())
+                .with_block_profile();
+            let r = ipra_sim::run(&compiled.mmodule, &config.target.regs, &sim_opts)
+                .map_err(|t| format!("runtime trap: {t}"))?;
+            let profile = r.block_profile.expect("profile requested");
+            std::fs::write(path, profile_to_json(&module, &profile).render_pretty())
+                .map_err(|e| format!("{path}: {e}"))?;
+            (r.stats, r.output)
+        } else {
+            let m = run_compiled(&compiled, &config).map_err(|t| format!("runtime trap: {t}"))?;
+            (m.stats, m.output)
+        };
+        for v in &output {
             println!("{v}");
         }
         eprintln!(
             "[{}] cycles: {}  insts: {}  calls: {}  loads: {}  stores: {}  scalar l/s: {}  cycles/call: {:.1}",
             config.name,
-            m.stats.cycles,
-            m.stats.insts,
-            m.stats.calls,
-            m.stats.total_loads(),
-            m.stats.total_stores(),
-            m.stats.scalar_mem(),
-            m.stats.cycles_per_call()
+            run_stats.cycles,
+            run_stats.insts,
+            run_stats.calls,
+            run_stats.total_loads(),
+            run_stats.total_stores(),
+            run_stats.scalar_mem(),
+            run_stats.cycles_per_call()
         );
-        stats = Some(m.stats);
+        stats = Some(run_stats);
     }
 
     if let Some(raw) = raw_trace {
@@ -254,6 +305,26 @@ mod tests {
         assert_eq!(b.opts.jobs, 1);
         let c = parse(&["x.mini"]);
         assert_eq!(c.opts.jobs, 0, "default: auto");
+    }
+
+    #[test]
+    fn cache_dir_flag_survives_opt_level() {
+        let a = parse(&["--cache-dir", "/tmp/c", "-O3", "x.mini"]);
+        assert_eq!(a.opts.cache_dir.as_deref(), Some("/tmp/c".as_ref()));
+        let b = parse(&["-O2", "--cache-dir", "/tmp/c", "x.mini"]);
+        assert_eq!(b.opts.cache_dir.as_deref(), Some("/tmp/c".as_ref()));
+        let c = parse(&["x.mini"]);
+        assert_eq!(c.opts.cache_dir, None, "default: no cache");
+    }
+
+    #[test]
+    fn profile_flags_parse() {
+        let a = parse(&["--profile-out", "p.json", "x.mini"]);
+        assert_eq!(a.profile_out.as_deref(), Some("p.json"));
+        assert!(a.profile_in.is_none());
+        let b = parse(&["--profile-in", "p.json", "--run", "x.mini"]);
+        assert_eq!(b.profile_in.as_deref(), Some("p.json"));
+        assert!(b.run);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod profile;
 pub mod trace;
 
 use ipra_core::config::AllocOptions;
@@ -28,6 +29,7 @@ use ipra_sim::{SimOptions, SimTrap, Stats};
 
 pub use ipra_core::config::AllocMode;
 pub use ipra_sim::percent_reduction;
+pub use profile::{profile_from_json, profile_to_json};
 pub use trace::CompileTrace;
 
 /// A named compilation configuration (target + allocator options).

@@ -1,0 +1,176 @@
+//! Block-profile persistence: the simulator's per-block execution counts as
+//! a small JSON document, so a training run in one process can feed the
+//! priority function of a later compilation (`mini-cc --profile-out` /
+//! `--profile-in`).
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "funcs": [ { "name": "main", "counts": [12, 3, 0] } ]
+//! }
+//! ```
+//!
+//! Counts are indexed by block id in the function's *post-normalization*
+//! block order — the same order [`ipra_sim::SimResult::block_profile`]
+//! produces — and functions are matched **by name** when loading, so a
+//! profile survives edits to other functions (blocks added or removed in a
+//! renamed or changed function simply pad with zeros or truncate).
+
+use ipra_ir::Module;
+use ipra_obs::json::Json;
+
+/// Current schema version written by [`profile_to_json`].
+pub const PROFILE_FORMAT_VERSION: i64 = 1;
+
+/// Encodes per-function block counts (indexed like
+/// `CompiledModule`'s function list) into the version-1 JSON schema.
+pub fn profile_to_json(module: &Module, profile: &[Vec<u64>]) -> Json {
+    let funcs = module
+        .funcs
+        .iter()
+        .zip(profile.iter())
+        .map(|((_, f), counts)| {
+            Json::obj(vec![
+                ("name", Json::Str(f.name.clone())),
+                (
+                    "counts",
+                    Json::Arr(counts.iter().map(|&c| Json::Int(c as i64)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("version", Json::Int(PROFILE_FORMAT_VERSION)),
+        ("funcs", Json::Arr(funcs)),
+    ])
+}
+
+/// Decodes a version-1 profile document against `module`, returning one
+/// count vector per function in module order.
+///
+/// Matching is by function name; functions absent from the document get an
+/// all-zero profile (flat weights). Counts are clamped at zero for negative
+/// values and the vector is padded/truncated to the function's block count
+/// by the consumer, so stale-but-well-formed profiles degrade gracefully.
+///
+/// # Errors
+///
+/// Returns a message for structural problems: wrong version, missing
+/// `funcs`, or a malformed function entry.
+pub fn profile_from_json(doc: &Json, module: &Module) -> Result<Vec<Vec<u64>>, String> {
+    let version = doc
+        .get("version")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| "profile: missing `version`".to_string())?;
+    if version != PROFILE_FORMAT_VERSION {
+        return Err(format!(
+            "profile: unsupported version {version} (expected {PROFILE_FORMAT_VERSION})"
+        ));
+    }
+    let funcs = doc
+        .get("funcs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "profile: missing `funcs` array".to_string())?;
+
+    let mut by_name: Vec<(String, Vec<u64>)> = Vec::with_capacity(funcs.len());
+    for (i, f) in funcs.iter().enumerate() {
+        let name = f
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("profile: funcs[{i}] has no `name`"))?;
+        let counts = f
+            .get("counts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("profile: funcs[{i}] has no `counts`"))?
+            .iter()
+            .map(|c| c.as_i64().map(|v| v.max(0) as u64))
+            .collect::<Option<Vec<u64>>>()
+            .ok_or_else(|| format!("profile: funcs[{i}] has a non-integer count"))?;
+        by_name.push((name.to_string(), counts));
+    }
+
+    Ok(module
+        .funcs
+        .iter()
+        .map(|(_, f)| {
+            by_name
+                .iter()
+                .find(|(n, _)| *n == f.name)
+                .map(|(_, c)| c.clone())
+                .unwrap_or_default()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_funcs() -> Module {
+        ipra_frontend::compile(
+            r#"
+            fn leaf(a: int) -> int { if a > 3 { return a + 1; } return a; }
+            fn main() { var i: int = 0; while i < 5 { print(leaf(i)); i = i + 1; } }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let m = two_funcs();
+        let profile = vec![vec![5, 2, 3, 5], vec![1, 5, 5, 1]];
+        let text = profile_to_json(&m, &profile).render_pretty();
+        let doc = ipra_obs::json::parse(&text).unwrap();
+        let back = profile_from_json(&doc, &m).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn unknown_functions_get_flat_zero_profiles() {
+        let m = two_funcs();
+        let doc = ipra_obs::json::parse(r#"{"version":1,"funcs":[{"name":"gone","counts":[9]}]}"#)
+            .unwrap();
+        let back = profile_from_json(&doc, &m).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        let m = two_funcs();
+        assert!(profile_from_json(&ipra_obs::json::parse("{}").unwrap(), &m).is_err());
+        let bad = ipra_obs::json::parse(r#"{"version":2,"funcs":[]}"#).unwrap();
+        assert!(profile_from_json(&bad, &m).is_err());
+        let bad = ipra_obs::json::parse(r#"{"version":1,"funcs":[{"name":"x"}]}"#).unwrap();
+        assert!(profile_from_json(&bad, &m).is_err());
+    }
+
+    #[test]
+    fn real_training_profile_feeds_a_recompile() {
+        // File-based analogue of `profile_guided`: train, serialize, parse,
+        // recompile with the loaded profile; output must be unchanged.
+        let m = two_funcs();
+        let config = crate::Config::c();
+        let compiled = ipra_core::compile_module(&m, &config.target, &config.opts);
+        let sim_opts = ipra_sim::SimOptions::for_target(&config.target.regs).with_block_profile();
+        let trained = ipra_sim::run(&compiled.mmodule, &config.target.regs, &sim_opts).unwrap();
+        let profile = trained.block_profile.unwrap();
+
+        let text = profile_to_json(&m, &profile).render();
+        let loaded = profile_from_json(&ipra_obs::json::parse(&text).unwrap(), &m).unwrap();
+        assert_eq!(loaded, profile);
+
+        let recompiled =
+            ipra_core::compile_module_with_profile(&m, &config.target, &config.opts, Some(&loaded));
+        let r = ipra_sim::run(
+            &recompiled.mmodule,
+            &config.target.regs,
+            &ipra_sim::SimOptions::for_target(&config.target.regs),
+        )
+        .unwrap();
+        assert_eq!(r.output, trained.output);
+    }
+}

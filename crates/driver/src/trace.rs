@@ -6,6 +6,7 @@
 //! human-readable report or a JSON document (hand-rolled — the workspace
 //! carries no serde).
 
+use ipra_core::cache::CacheStats;
 use ipra_core::ipra::CompiledModule;
 use ipra_obs::json::Json;
 use ipra_obs::Trace;
@@ -116,6 +117,8 @@ pub struct CompileTrace {
     pub funcs: Vec<FuncTrace>,
     /// Simulator summary, when the program was run.
     pub sim: Option<SimTrace>,
+    /// Incremental-cache outcome, when a cache directory was configured.
+    pub cache: Option<CacheStats>,
 }
 
 /// Nests one function's spans into phase trees via the span parent ids.
@@ -127,6 +130,9 @@ pub struct CompileTrace {
 fn phase_tree(raw: &Trace, func: &str) -> Vec<PhaseTime> {
     let spans: Vec<&ipra_obs::SpanRec> = raw.spans.iter().filter(|s| s.scope == func).collect();
     let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    // Determinism: `by_parent` is only ever read by keyed lookup (`get`);
+    // output order comes from the `spans`/`top` Vecs, never from map
+    // iteration, so the HashMap's randomized order cannot leak out.
     let mut by_parent: std::collections::HashMap<u64, Vec<&ipra_obs::SpanRec>> =
         std::collections::HashMap::new();
     let mut top: Vec<&ipra_obs::SpanRec> = Vec::new();
@@ -270,6 +276,7 @@ impl CompileTrace {
             module_counters,
             funcs,
             sim,
+            cache: compiled.cache.enabled.then(|| compiled.cache.clone()),
         }
     }
 
@@ -280,6 +287,13 @@ impl CompileTrace {
         let _ = writeln!(out, "== compile trace [{}] ==", self.config);
         for (name, v) in &self.module_counters {
             let _ = writeln!(out, "  {name}: {v}");
+        }
+        if let Some(c) = &self.cache {
+            let _ = writeln!(
+                out,
+                "  cache: {} hits, {} misses, {} cutoffs",
+                c.hits, c.misses, c.cutoffs
+            );
         }
         fn write_phase(out: &mut String, p: &PhaseTime, depth: usize) {
             use std::fmt::Write as _;
@@ -396,6 +410,20 @@ impl CompileTrace {
             ),
             ("functions", Json::Arr(funcs)),
         ];
+        if let Some(c) = &self.cache {
+            root.push((
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::Int(c.hits as i64)),
+                    ("misses", Json::Int(c.misses as i64)),
+                    ("cutoffs", Json::Int(c.cutoffs as i64)),
+                    (
+                        "recompiled",
+                        Json::Arr(c.recompiled.iter().map(|n| Json::Str(n.clone())).collect()),
+                    ),
+                ]),
+            ));
+        }
         if let Some(s) = &self.sim {
             root.push((
                 "sim",

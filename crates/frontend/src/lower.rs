@@ -21,6 +21,11 @@ pub fn lower(prog: &Program) -> Result<Module, CompileError> {
     let mut module = Module::new();
 
     // Globals.
+    //
+    // Determinism: the name tables here (and the scope stack below) are
+    // HashMaps read only by keyed lookup; entity ids are assigned in source
+    // order by the `prog` iteration, so map iteration order never shapes
+    // the module.
     let mut globals: HashMap<String, (GlobalId, Ty)> = HashMap::new();
     for g in &prog.globals {
         if globals.contains_key(&g.name) {

@@ -34,6 +34,7 @@ pub mod builder;
 pub mod display;
 pub mod entity;
 pub mod function;
+pub mod hash;
 pub mod ids;
 pub mod instr;
 pub mod interp;
@@ -42,6 +43,7 @@ pub mod verify;
 
 pub use entity::{EntityId, EntityMap, EntityVec};
 pub use function::{Block, FuncAttrs, Function, SlotData};
+pub use hash::{hash_function, Fnv64};
 pub use ids::{BlockId, FuncId, GlobalId, InstLoc, SlotId, Vreg};
 pub use instr::{Address, BinOp, Callee, Inst, Operand, Terminator, UnOp};
 pub use module::{GlobalData, Module};

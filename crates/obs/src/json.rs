@@ -347,12 +347,18 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
+                    // Consume the maximal run of unescaped characters in one
+                    // step, validating UTF-8 for that run only. (Validating
+                    // from here to the end of the *input* per character made
+                    // parsing quadratic — 5 ms for a 20 KB document.)
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let end = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let s = std::str::from_utf8(&rest[..end]).map_err(|_| "invalid utf-8")?;
+                    out.push_str(s);
+                    self.pos += end;
                 }
             }
         }

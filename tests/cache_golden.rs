@@ -1,0 +1,259 @@
+//! Golden tests for the incremental allocation cache: warm compiles must be
+//! bit-identical to cold ones across the whole corpus, invalidation must
+//! follow the call graph exactly, early cutoff must stop recompilation at
+//! callers whose callees' summaries are byte-identical, and a damaged cache
+//! must degrade to a cold compile — never to a panic or a wrong program.
+
+use ipra_callgraph::{CallGraph, SccInfo};
+use ipra_core::ipra::CompiledModule;
+use ipra_driver::{compile_only, run_compiled, Config};
+
+/// A scratch cache directory, unique per test and process.
+fn cache_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ipra-golden-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Everything observable about one compilation: program output, simulator
+/// stats, summaries, clobber masks, reports and the rendered machine code.
+fn observe(compiled: &CompiledModule, config: &Config) -> String {
+    let m = run_compiled(compiled, config).expect("program runs");
+    let mut out = String::new();
+    out.push_str(&format!("output: {:?}\nstats: {:?}\n", m.output, m.stats));
+    out.push_str(&format!(
+        "summaries: {:?}\nclobbers: {:?}\nreports: {:?}\n",
+        compiled.summaries, compiled.clobber_masks, compiled.reports
+    ));
+    for (_, f) in compiled.mmodule.funcs.iter() {
+        out.push_str(
+            &f.display_in(&config.target.regs, &compiled.mmodule)
+                .to_string(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+const DEMO: &str = r#"
+fn helper(a: int, b: int) -> int {
+    var t: int = a * b;
+    if t > 100 { t = t - 100; }
+    return t + 1;
+}
+fn main() {
+    var acc: int = 0;
+    var i: int = 0;
+    while i < 20 {
+        acc = acc + helper(i, acc);
+        i = i + 1;
+    }
+    print(acc);
+}
+"#;
+
+/// The same 11-program corpus as `trace_golden`: the demo, mutual
+/// recursion, a deep call DAG, six generator programs and two real
+/// workloads.
+fn corpus() -> Vec<(String, ipra_ir::Module)> {
+    use ipra_workloads::synth;
+
+    let mutual = r#"
+        fn even(n: int) -> int { if n == 0 { return 1; } return odd(n - 1); }
+        fn odd(n: int) -> int { if n == 0 { return 0; } return even(n - 1); }
+        fn main() { print(even(10) + odd(7)); }
+    "#;
+    let mut corpus: Vec<(String, ipra_ir::Module)> = vec![
+        ("demo".into(), ipra_frontend::compile(DEMO).unwrap()),
+        ("mutual".into(), ipra_frontend::compile(mutual).unwrap()),
+        ("tree".into(), synth::call_tree_program(3, 2, 4, 5)),
+    ];
+    for seed in 0..6u64 {
+        let src = synth::random_source(seed, &synth::SourceConfig::default());
+        corpus.push((
+            format!("synth-{seed}"),
+            ipra_frontend::compile(&src).unwrap(),
+        ));
+    }
+    for w in ["nim", "stanford"] {
+        let workload = ipra_workloads::by_name(w).unwrap();
+        corpus.push((
+            w.into(),
+            ipra_workloads::compile_workload(workload).unwrap(),
+        ));
+    }
+    corpus
+}
+
+/// Warm compiles must replay every function from the cache and still be
+/// bit-identical to the cold compile — machine code, summaries, clobber
+/// masks, reports, output and stats — at both `jobs = 1` and `jobs = 4`.
+#[test]
+fn warm_compile_is_bit_identical_to_cold_across_corpus() {
+    for jobs in [1usize, 4] {
+        let dir = cache_dir(&format!("warm-{jobs}"));
+        for (name, module) in &corpus() {
+            let mut cfg = Config::c();
+            cfg.opts.jobs = jobs;
+            let baseline = compile_only(module, &cfg);
+            assert!(!baseline.cache.enabled, "[{name}] no cache configured");
+
+            cfg.opts.cache_dir = Some(dir.join(name));
+            let cold = compile_only(module, &cfg);
+            let n = module.funcs.len() as u64;
+            assert_eq!(cold.cache.misses, n, "[{name}/j{jobs}] cold misses all");
+            assert_eq!(cold.cache.hits, 0, "[{name}/j{jobs}] cold has no hits");
+
+            let warm = compile_only(module, &cfg);
+            assert_eq!(warm.cache.hits, n, "[{name}/j{jobs}] warm hits all");
+            assert_eq!(warm.cache.misses, 0, "[{name}/j{jobs}] warm misses none");
+            assert_eq!(warm.cache.cutoffs, 0, "[{name}/j{jobs}] nothing recompiled");
+
+            let want = observe(&baseline, &cfg);
+            assert_eq!(
+                observe(&cold, &cfg),
+                want,
+                "[{name}/j{jobs}] cold == uncached"
+            );
+            assert_eq!(observe(&warm, &cfg), want, "[{name}/j{jobs}] warm == cold");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+const CHAIN_V1: &str = r#"
+fn leaf(a: int) -> int { return a + 1; }
+fn mid(a: int) -> int { return leaf(a) + leaf(a + 1); }
+fn top(a: int) -> int { return mid(a) * 2; }
+fn other(a: int) -> int { return a * 3; }
+fn main() { print(top(2) + other(5)); }
+"#;
+
+/// Editing a leaf's body without changing its summary or subtree register
+/// usage must recompile exactly that leaf: its callers replay from the
+/// cache (the early cutoff), and the result is still bit-identical to a
+/// cold compile of the edited program.
+#[test]
+fn leaf_edit_with_unchanged_summary_recompiles_exactly_one_function() {
+    // Same shape, same register demand — only the constant differs, so
+    // `leaf`'s summary and tree-used mask are unchanged.
+    let v2 = CHAIN_V1.replace("return a + 1;", "return a + 2;");
+
+    let m1 = ipra_frontend::compile(CHAIN_V1).unwrap();
+    let m2 = ipra_frontend::compile(&v2).unwrap();
+
+    let dir = cache_dir("cutoff");
+    let mut cfg = Config::c();
+    cfg.opts.cache_dir = Some(dir.clone());
+
+    let cold1 = compile_only(&m1, &cfg);
+    assert_eq!(cold1.cache.misses, 5);
+    // Precondition for the cutoff: the edit leaves the exported interface
+    // byte-identical.
+    let fresh2 = compile_only(&m2, &Config::c());
+    assert_eq!(
+        format!("{:?}", cold1.summaries),
+        format!("{:?}", fresh2.summaries)
+    );
+
+    let warm2 = compile_only(&m2, &cfg);
+    assert_eq!(
+        warm2.cache.recompiled,
+        vec!["leaf".to_string()],
+        "only the edited leaf recompiles"
+    );
+    assert_eq!(warm2.cache.misses, 1);
+    assert_eq!(warm2.cache.hits, 4);
+    assert!(
+        warm2.cache.cutoffs > 0,
+        "a caller of the recompiled leaf must report the cutoff"
+    );
+    assert_eq!(
+        observe(&warm2, &cfg),
+        observe(&fresh2, &cfg),
+        "incremental result == cold compile of the edited program"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Editing a leaf so that its register usage (summary / tree-used mask)
+/// changes must invalidate exactly the leaf's ancestor set in the call
+/// graph — `other`, which cannot reach the leaf, stays cached.
+#[test]
+fn interface_change_invalidates_exactly_the_ancestor_set() {
+    // The new leaf keeps many values live at once: its used-register set
+    // (hence its subtree mask, hence every ancestor's cache key) changes.
+    let v2 = CHAIN_V1.replace(
+        "fn leaf(a: int) -> int { return a + 1; }",
+        r#"fn leaf(a: int) -> int {
+            var b: int = a * 2; var c: int = b + a; var d: int = c * b;
+            var e: int = d - a; var f: int = e * c; var g: int = f + d;
+            return b + c + d + e + f + g;
+        }"#,
+    );
+
+    let m1 = ipra_frontend::compile(CHAIN_V1).unwrap();
+    let m2 = ipra_frontend::compile(&v2).unwrap();
+
+    let dir = cache_dir("ancestors");
+    let mut cfg = Config::c();
+    cfg.opts.cache_dir = Some(dir.clone());
+    compile_only(&m1, &cfg);
+
+    // The expected invalidation set, from the call graph itself.
+    let cg = CallGraph::build(&m2);
+    let scc = SccInfo::compute(&cg);
+    let leaf = m2.func_by_name("leaf").unwrap();
+    let ancestors: Vec<String> = scc
+        .dirty_closure(&cg, &[leaf])
+        .into_iter()
+        .map(|fid| m2.funcs[fid].name.clone())
+        .collect();
+    assert_eq!(ancestors, ["leaf", "mid", "top", "main"]);
+
+    let warm2 = compile_only(&m2, &cfg);
+    assert_eq!(
+        warm2.cache.recompiled, ancestors,
+        "invalidation must be exactly the ancestor set"
+    );
+    assert_eq!(warm2.cache.hits, 1, "`other` replays from the cache");
+    assert_eq!(
+        observe(&warm2, &cfg),
+        observe(&compile_only(&m2, &Config::c()), &cfg),
+        "incremental result == cold compile of the edited program"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted, truncated, version-skewed or otherwise unusable cache file
+/// must behave exactly like an empty cache: a cold compile that then
+/// repopulates the directory.
+#[test]
+fn damaged_cache_degrades_to_cold_compile() {
+    let module = ipra_frontend::compile(DEMO).unwrap();
+    let dir = cache_dir("damaged");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("ipra-cache.json");
+
+    let mut cfg = Config::c();
+    cfg.opts.cache_dir = Some(dir.clone());
+    let want = observe(&compile_only(&module, &Config::c()), &cfg);
+
+    for garbage in [
+        "not json at all",
+        "{\"version\": 999, \"entries\": {}}",
+        "{\"version\": 1, \"entries\": {\"zz\": [17], \"0abc\": \"nope\"}}",
+        "",
+    ] {
+        std::fs::write(&file, garbage).unwrap();
+        let c = compile_only(&module, &cfg);
+        assert_eq!(c.cache.hits, 0, "damaged cache yields no hits");
+        assert_eq!(c.cache.misses, 2, "damaged cache compiles cold");
+        assert_eq!(observe(&c, &cfg), want, "and the result is unharmed");
+    }
+
+    // The cold compile rewrote the file; the next compile is warm again.
+    let warm = compile_only(&module, &cfg);
+    assert_eq!(warm.cache.hits, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
