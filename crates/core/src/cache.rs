@@ -14,12 +14,18 @@
 //! the wave scheduler: members of a mutual-recursion component see each
 //! other during allocation, so they hit or miss together.
 //!
-//! Persistence is one JSON document per cache directory
-//! (`ipra-cache.json`), written through the in-tree `ipra-obs` JSON layer.
-//! Loading is tolerant: unreadable, unparsable, or version-mismatched
-//! files behave like an empty cache; a stale entry that names functions or
-//! globals absent from the current module decodes to a miss. Saving is
-//! atomic-ish (temp file + rename) and never fails a compile.
+//! Persistence is *sharded*: one JSON document per component entry
+//! (`<key>.ce.json` under the cache directory), written through the
+//! in-tree `ipra-obs` JSON layer. Sharding keeps concurrent compiles
+//! sharing one cache directory from serializing on a single file — each
+//! process writes only the entries it computed, through its own temp file
+//! and an atomic rename, so the worst concurrent case is two processes
+//! racing to publish the *same* (byte-identical, key-addressed) entry.
+//! Loading is lazy and tolerant: entries are read on first lookup, and an
+//! unreadable, unparsable, or version-mismatched file behaves like an
+//! absent entry; a stale entry that names functions or globals absent
+//! from the current module decodes to a miss. Saving never fails a
+//! compile.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -37,9 +43,11 @@ use crate::alloc::SummaryEnv;
 use crate::config::{AllocMode, AllocOptions};
 use crate::summary::{FuncSummary, ParamLoc};
 
-/// Bumped whenever the key derivation or the entry encoding changes;
-/// files written by another version load as empty.
-pub const CACHE_FORMAT_VERSION: i64 = 2;
+/// Bumped whenever the key derivation, the entry encoding, or the on-disk
+/// layout changes; files written by another version load as empty.
+/// Version 3 moved from one `ipra-cache.json` document to one
+/// `<key>.ce.json` file per component entry.
+pub const CACHE_FORMAT_VERSION: i64 = 3;
 
 /// Outcome counters of one compile with the cache enabled.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -244,53 +252,73 @@ fn hash_callee_inputs(h: &mut Fnv64, inter: bool, env: &SummaryEnv, callee: Func
 }
 
 /// The on-disk allocation cache: `key → [cached function, ...]` with one
-/// entry per SCC component.
+/// entry per SCC component, persisted as one `<key:016x>.ce.json` file
+/// per entry under the cache directory.
 #[derive(Debug)]
 pub struct AllocCache {
-    path: PathBuf,
-    entries: BTreeMap<u64, Json>,
+    dir: PathBuf,
+    /// Entries inserted by this compile, pending [`AllocCache::save`].
+    /// Lookups consult these first, then the per-entry files.
+    dirty: BTreeMap<u64, Json>,
+}
+
+/// File name of the shard holding `key`.
+fn shard_name(key: u64) -> String {
+    format!("{key:016x}.ce.json")
 }
 
 impl AllocCache {
-    /// Loads `ipra-cache.json` from `dir`, tolerating every failure mode
-    /// (missing file, parse error, wrong version, malformed entries) by
-    /// starting empty.
+    /// Opens the cache at `dir`. No I/O happens here: entries are read
+    /// lazily on [`AllocCache::lookup`], so opening a huge shared cache
+    /// costs nothing and concurrent processes never contend on open.
     pub fn load(dir: &Path) -> AllocCache {
-        let path = dir.join("ipra-cache.json");
-        let mut entries = BTreeMap::new();
-        if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Ok(doc) = json::parse(&text) {
-                if doc.get("version").and_then(Json::as_i64) == Some(CACHE_FORMAT_VERSION) {
-                    if let Some(pairs) = doc.get("entries").and_then(Json::as_obj) {
-                        for (k, v) in pairs {
-                            if let Ok(key) = u64::from_str_radix(k, 16) {
-                                if v.as_arr().is_some() {
-                                    entries.insert(key, v.clone());
-                                }
-                            }
-                        }
-                    }
+        AllocCache {
+            dir: dir.to_path_buf(),
+            dirty: BTreeMap::new(),
+        }
+    }
+
+    /// Number of cached components on disk or pending save.
+    pub fn len(&self) -> usize {
+        let mut keys: std::collections::BTreeSet<u64> = self.dirty.keys().copied().collect();
+        if let Ok(rd) = std::fs::read_dir(&self.dir) {
+            for entry in rd.flatten() {
+                if let Some(key) = entry
+                    .file_name()
+                    .to_str()
+                    .and_then(|n| n.strip_suffix(".ce.json"))
+                    .and_then(|k| u64::from_str_radix(k, 16).ok())
+                {
+                    keys.insert(key);
                 }
             }
         }
-        AllocCache { path, entries }
-    }
-
-    /// Number of cached components.
-    pub fn len(&self) -> usize {
-        self.entries.len()
+        keys.len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Decodes the entry under `key` against the current module. Returns
-    /// `None` — a plain miss — when the key is absent or the entry is
-    /// stale (names a function or global the module no longer has).
+    /// `None` — a plain miss — when the key is absent, its file is
+    /// unreadable, unparsable or version-skewed, or the entry is stale
+    /// (names a function or global the module no longer has).
     pub fn lookup(&self, key: u64, module: &Module) -> Option<Vec<CachedFunc>> {
-        let arr = self.entries.get(&key)?.as_arr()?;
+        let from_disk;
+        let arr = match self.dirty.get(&key) {
+            Some(v) => v.as_arr()?,
+            None => {
+                let text = std::fs::read_to_string(self.dir.join(shard_name(key))).ok()?;
+                let doc = json::parse(&text).ok()?;
+                if doc.get("version").and_then(Json::as_i64) != Some(CACHE_FORMAT_VERSION) {
+                    return None;
+                }
+                from_disk = doc;
+                from_disk.get("funcs")?.as_arr()?
+            }
+        };
         let mut out = Vec::with_capacity(arr.len());
         for v in arr {
             out.push(dec_cached(v, module)?);
@@ -298,40 +326,38 @@ impl AllocCache {
         Some(out)
     }
 
-    /// Stores one component's results under `key`.
+    /// Stores one component's results under `key` (pending save).
     pub fn insert(&mut self, key: u64, funcs: &[CachedFunc], module: &Module) {
-        self.entries.insert(
+        self.dirty.insert(
             key,
             Json::Arr(funcs.iter().map(|c| enc_cached(c, module)).collect()),
         );
     }
 
-    /// Writes the cache back to disk. Best-effort: the directory is
-    /// created if missing, the document goes through a temp file + rename,
-    /// and I/O errors are swallowed (a failed save costs a future miss,
-    /// never a failed compile).
+    /// Writes every pending entry to its own shard file. Best-effort: the
+    /// directory is created if missing, each shard goes through a
+    /// process-unique temp file + atomic rename (so concurrent compiles
+    /// sharing the directory never tear or serialize on one file), and
+    /// I/O errors are swallowed (a failed save costs a future miss, never
+    /// a failed compile).
     pub fn save(&self) {
-        let doc = Json::obj(vec![
-            ("version", Json::Int(CACHE_FORMAT_VERSION)),
-            (
-                "entries",
-                Json::Obj(
-                    self.entries
-                        .iter()
-                        .map(|(k, v)| (format!("{k:016x}"), v.clone()))
-                        .collect(),
-                ),
-            ),
-        ]);
-        let Some(dir) = self.path.parent() else {
+        if self.dirty.is_empty() {
             return;
-        };
-        let _ = std::fs::create_dir_all(dir);
-        let tmp = self
-            .path
-            .with_file_name(format!("ipra-cache.{}.tmp", std::process::id()));
-        if std::fs::write(&tmp, doc.render()).is_ok() {
-            let _ = std::fs::rename(&tmp, &self.path);
+        }
+        let _ = std::fs::create_dir_all(&self.dir);
+        for (key, funcs) in &self.dirty {
+            let doc = Json::obj(vec![
+                ("version", Json::Int(CACHE_FORMAT_VERSION)),
+                ("funcs", funcs.clone()),
+            ]);
+            let tmp = self
+                .dir
+                .join(format!("{key:016x}.{}.tmp", std::process::id()));
+            if std::fs::write(&tmp, doc.render()).is_ok()
+                && std::fs::rename(&tmp, self.dir.join(shard_name(*key))).is_err()
+            {
+                let _ = std::fs::remove_file(&tmp);
+            }
         }
     }
 }
@@ -920,32 +946,57 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_or_stale_files_load_as_empty() {
+    fn corrupt_or_stale_shards_decode_to_misses() {
         let dir = test_dir("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ipra-cache.json");
+        let module = demo_module();
 
-        std::fs::write(&path, "{ not json !!").unwrap();
-        assert!(AllocCache::load(&dir).is_empty(), "garbage tolerated");
-
-        std::fs::write(&path, r#"{"version":999,"entries":{"00":[{}]}}"#).unwrap();
-        assert!(
-            AllocCache::load(&dir).is_empty(),
-            "version mismatch tolerated"
-        );
-
+        // Garbage, version skew, and a malformed blob: each shard decodes
+        // to a miss, never a panic.
+        std::fs::write(dir.join(shard_name(0x01)), "{ not json !!").unwrap();
         std::fs::write(
-            &path,
-            r#"{"version":2,"entries":{"zz":[],"0a":["! bogus"]}}"#,
+            dir.join(shard_name(0x02)),
+            r#"{"version":999,"funcs":["~f 0"]}"#,
         )
         .unwrap();
+        std::fs::write(
+            dir.join(shard_name(0x03)),
+            r#"{"version":3,"funcs":["! bogus"]}"#,
+        )
+        .unwrap();
+        // Files that are not shards at all (the pre-v3 monolithic layout,
+        // a stray temp file, a bad hex name) are ignored by the scan.
+        std::fs::write(dir.join("ipra-cache.json"), "{}").unwrap();
+        std::fs::write(dir.join("zz.ce.json"), "{}").unwrap();
+
         let c = AllocCache::load(&dir);
-        assert_eq!(c.len(), 1, "bad hex key dropped, malformed entry kept raw");
+        for key in [0x01, 0x02, 0x03, 0x04] {
+            assert!(c.lookup(key, &module).is_none(), "key {key:#x} must miss");
+        }
+        assert_eq!(c.len(), 3, "only well-named shards are counted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two caches sharing one directory: each saves only what it
+    /// computed, and both entries are visible afterwards — the concurrent
+    /// fuzz-process layout.
+    #[test]
+    fn independent_saves_into_one_directory_do_not_clobber() {
         let module = demo_module();
-        assert!(
-            c.lookup(0x0a, &module).is_none(),
-            "malformed entry decodes to a miss, not a panic"
-        );
+        let funcs = compiled_cached_funcs(&module);
+        let dir = test_dir("shared");
+
+        let mut a = AllocCache::load(&dir);
+        a.insert(1, &funcs, &module);
+        let mut b = AllocCache::load(&dir);
+        b.insert(2, &funcs, &module);
+        a.save();
+        b.save();
+
+        let c = AllocCache::load(&dir);
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(1, &module).is_some());
+        assert!(c.lookup(2, &module).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,282 @@
+//! Differential-testing oracle over the full configuration cross-product.
+//!
+//! One seed passes when, for *every* named allocator configuration, the
+//! simulated machine code (with the register-preservation checker on)
+//! prints exactly what the [`ipra_ir::interp`] reference interpreter
+//! prints — and additionally the compile is deterministic across worker
+//! counts (`jobs = 1` vs `jobs = 4` render byte-identical assembly) and
+//! across cache temperature (a warm `--cache-dir` compile replays to the
+//! same assembly as the cold one that populated it).
+//!
+//! Seeds whose oracle run exhausts a resource budget (fuel or call depth)
+//! are *skipped*, not failed: a generated program too expensive to execute
+//! tells us nothing about the compiler.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use ipra_core::ipra::CompiledModule;
+use ipra_ir::interp::{self, InterpOptions, Trap};
+use ipra_ir::Module;
+
+use crate::{compile_only, run_compiled, Config};
+
+/// Every named configuration the differential harness checks, in table
+/// order: the `-O2` baseline, Table 1 columns A–C, the register-starved
+/// Table 2 columns D and E, and the no-allocation oracle config.
+pub fn all_configs() -> Vec<Config> {
+    vec![
+        Config::o2_base(),
+        Config::a(),
+        Config::b(),
+        Config::c(),
+        Config::d(),
+        Config::e(),
+        Config::no_alloc(),
+    ]
+}
+
+/// Knobs for one differential check.
+#[derive(Clone, Debug)]
+pub struct DiffOptions {
+    /// Budgets for the reference-interpreter oracle run. Seeds that
+    /// exhaust them are reported as [`DiffVerdict::Skipped`].
+    pub interp: InterpOptions,
+    /// Worker counts whose compiles must render byte-identical assembly.
+    pub jobs_pair: (usize, usize),
+    /// When set, a scratch directory for the cold-vs-warm cache check
+    /// (run under configuration C). The harness creates and removes a
+    /// subdirectory per call, so one root may serve many seeds.
+    pub cache_root: Option<PathBuf>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            interp: InterpOptions::default(),
+            jobs_pair: (1, 4),
+            cache_root: None,
+        }
+    }
+}
+
+impl DiffOptions {
+    /// Returns options with the oracle instruction budget replaced.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.interp = self.interp.with_fuel(fuel);
+        self
+    }
+
+    /// Returns options with the cache scratch root set.
+    pub fn with_cache_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.cache_root = Some(root.into());
+        self
+    }
+}
+
+/// A non-failing check result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DiffVerdict {
+    /// Every configuration agreed with the oracle.
+    Pass,
+    /// The oracle run exhausted a resource budget; nothing was checked.
+    Skipped(Trap),
+}
+
+/// One differential disagreement — a compiler bug until proven otherwise.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DiffFailure {
+    /// Name of the configuration (or pipeline stage) that disagreed.
+    pub config: String,
+    /// Human-readable description of the disagreement.
+    pub what: String,
+}
+
+impl fmt::Display for DiffFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.config, self.what)
+    }
+}
+
+impl std::error::Error for DiffFailure {}
+
+fn fail(config: &str, what: impl Into<String>) -> DiffFailure {
+    DiffFailure {
+        config: config.to_string(),
+        what: what.into(),
+    }
+}
+
+/// Renders every function's machine code — the byte-identity witness for
+/// the determinism and cache checks.
+fn asm_of(compiled: &CompiledModule, config: &Config) -> String {
+    let mut out = String::new();
+    for (_, f) in compiled.mmodule.funcs.iter() {
+        out.push_str(
+            &f.display_in(&config.target.regs, &compiled.mmodule)
+                .to_string(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Describes the first index where two outputs diverge, compactly.
+fn diff_outputs(got: &[i64], want: &[i64]) -> String {
+    let i = got
+        .iter()
+        .zip(want.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| got.len().min(want.len()));
+    format!(
+        "output diverges at print #{i}: got {:?} (len {}), oracle {:?} (len {})",
+        got.get(i),
+        got.len(),
+        want.get(i),
+        want.len()
+    )
+}
+
+/// Runs the full differential check on one module.
+///
+/// # Errors
+///
+/// Returns the first [`DiffFailure`] found: a simulator trap (including
+/// register-preservation violations), an output mismatch against the
+/// interpreter, a `jobs`-dependent compile, or a warm-cache compile that
+/// differs from the cold one.
+pub fn check_module(module: &Module, opts: &DiffOptions) -> Result<DiffVerdict, DiffFailure> {
+    let oracle = match interp::run_module_with(module, opts.interp) {
+        Ok(r) => r,
+        Err(t) if t.is_resource_limit() => return Ok(DiffVerdict::Skipped(t)),
+        Err(t) => return Err(fail("interp", format!("oracle trapped: {t}"))),
+    };
+
+    for config in all_configs() {
+        let mut c1 = config.clone();
+        c1.opts.jobs = opts.jobs_pair.0;
+        let compiled = compile_only(module, &c1);
+        let m = run_compiled(&compiled, &c1)
+            .map_err(|t| fail(&config.name, format!("simulator trapped: {t}")))?;
+        if m.output != oracle.output {
+            return Err(fail(&config.name, diff_outputs(&m.output, &oracle.output)));
+        }
+
+        let mut c4 = config.clone();
+        c4.opts.jobs = opts.jobs_pair.1;
+        let compiled4 = compile_only(module, &c4);
+        if asm_of(&compiled4, &c4) != asm_of(&compiled, &c1) {
+            return Err(fail(
+                &config.name,
+                format!(
+                    "assembly differs between jobs={} and jobs={}",
+                    opts.jobs_pair.0, opts.jobs_pair.1
+                ),
+            ));
+        }
+    }
+
+    if let Some(root) = &opts.cache_root {
+        check_cache_roundtrip(module, root)?;
+    }
+    Ok(DiffVerdict::Pass)
+}
+
+/// Cold compile populates a fresh cache directory; the warm compile must
+/// replay every function and render byte-identical assembly.
+fn check_cache_roundtrip(module: &Module, root: &std::path::Path) -> Result<(), DiffFailure> {
+    let dir = root.join(format!("diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = Config::c();
+    cfg.opts.cache_dir = Some(dir.clone());
+    let n = module.funcs.len() as u64;
+
+    let cold = compile_only(module, &cfg);
+    let warm = compile_only(module, &cfg);
+    let result = if cold.cache.misses != n || cold.cache.hits != 0 {
+        Err(fail(
+            "cache",
+            format!(
+                "cold compile expected {n} misses / 0 hits, got {} / {}",
+                cold.cache.misses, cold.cache.hits
+            ),
+        ))
+    } else if warm.cache.hits != n || warm.cache.misses != 0 {
+        Err(fail(
+            "cache",
+            format!(
+                "warm compile expected {n} hits / 0 misses, got {} / {}",
+                warm.cache.hits, warm.cache.misses
+            ),
+        ))
+    } else if asm_of(&warm, &cfg) != asm_of(&cold, &cfg) {
+        Err(fail("cache", "warm assembly differs from cold"))
+    } else {
+        Ok(())
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Compiles Mini source and runs [`check_module`] on the result.
+///
+/// # Errors
+///
+/// A frontend rejection is a failure too — the generator promises valid
+/// programs — reported under the pseudo-config `"frontend"`.
+pub fn check_source(source: &str, opts: &DiffOptions) -> Result<DiffVerdict, DiffFailure> {
+    let module = ipra_frontend::compile(source)
+        .map_err(|e| fail("frontend", format!("generated source rejected: {e}")))?;
+    check_module(&module, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OK: &str = r#"
+        fn add(a: int, b: int) -> int { return a + b; }
+        fn main() { print(add(2, 3)); }
+    "#;
+
+    #[test]
+    fn healthy_program_passes_all_configs() {
+        assert_eq!(
+            check_source(OK, &DiffOptions::default()).unwrap(),
+            DiffVerdict::Pass
+        );
+    }
+
+    #[test]
+    fn cache_roundtrip_check_passes_on_healthy_program() {
+        let dir = std::env::temp_dir().join(format!("ipra-diff-test-{}", std::process::id()));
+        let opts = DiffOptions::default().with_cache_root(&dir);
+        assert_eq!(check_source(OK, &opts).unwrap(), DiffVerdict::Pass);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_a_skip_not_a_failure() {
+        // Terminates, but not within two instructions.
+        let opts = DiffOptions::default().with_fuel(2);
+        match check_source(OK, &opts).unwrap() {
+            DiffVerdict::Skipped(t) => assert!(t.is_resource_limit()),
+            v => panic!("expected a skip, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn frontend_rejection_is_a_failure() {
+        let err = check_source("fn main() { junk±; }", &DiffOptions::default()).unwrap_err();
+        assert_eq!(err.config, "frontend");
+    }
+
+    #[test]
+    fn output_divergence_reports_the_first_index() {
+        let msg = diff_outputs(&[1, 2, 9], &[1, 2, 3]);
+        assert!(msg.contains("print #2"), "{msg}");
+        let msg = diff_outputs(&[1, 2], &[1, 2, 3]);
+        assert!(msg.contains("print #2"), "{msg}");
+    }
+}

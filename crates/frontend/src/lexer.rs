@@ -76,22 +76,20 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                 out.push(Spanned { tok, pos });
             }
             _ => {
-                // Punctuation and operators, longest match first.
-                let two = if i + 1 < bytes.len() {
-                    &source[i..i + 2]
-                } else {
-                    ""
-                };
-                let (tok, len) = match two {
-                    "->" => (Tok::Arrow, 2),
-                    "==" => (Tok::EqEq, 2),
-                    "!=" => (Tok::NotEq, 2),
-                    "<=" => (Tok::Le, 2),
-                    ">=" => (Tok::Ge, 2),
-                    "&&" => (Tok::AndAnd, 2),
-                    "||" => (Tok::OrOr, 2),
-                    "<<" => (Tok::Shl, 2),
-                    ">>" => (Tok::Shr, 2),
+                // Punctuation and operators, longest match first. Matched
+                // on raw bytes: slicing `source` at `i..i + 2` would panic
+                // on arbitrary (non-UTF-8-aligned) input.
+                let next = if i + 1 < bytes.len() { bytes[i + 1] } else { 0 };
+                let (tok, len) = match (c, next) {
+                    (b'-', b'>') => (Tok::Arrow, 2),
+                    (b'=', b'=') => (Tok::EqEq, 2),
+                    (b'!', b'=') => (Tok::NotEq, 2),
+                    (b'<', b'=') => (Tok::Le, 2),
+                    (b'>', b'=') => (Tok::Ge, 2),
+                    (b'&', b'&') => (Tok::AndAnd, 2),
+                    (b'|', b'|') => (Tok::OrOr, 2),
+                    (b'<', b'<') => (Tok::Shl, 2),
+                    (b'>', b'>') => (Tok::Shr, 2),
                     _ => match c {
                         b'(' => (Tok::LParen, 1),
                         b')' => (Tok::RParen, 1),
@@ -114,10 +112,16 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                         b'&' => (Tok::Amp, 1),
                         b'|' => (Tok::Pipe, 1),
                         b'^' => (Tok::Caret, 1),
-                        other => {
+                        other if other.is_ascii() => {
                             return Err(CompileError::new(
                                 pos,
                                 format!("unexpected character `{}`", other as char),
+                            ))
+                        }
+                        other => {
+                            return Err(CompileError::new(
+                                pos,
+                                format!("unexpected byte 0x{other:02x}"),
                             ))
                         }
                     },
@@ -199,5 +203,16 @@ mod tests {
     #[test]
     fn rejects_huge_literal() {
         assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn rejects_multibyte_input_without_panicking() {
+        // A multi-byte character right before a two-byte operator start:
+        // the old str-slice operator lookahead panicked off the char
+        // boundary here.
+        for src in ["a �& b", "x =\u{2603}= y", "é", "<\u{fffd}"] {
+            let err = lex(src).unwrap_err();
+            assert!(err.message.contains("unexpected byte"), "{src:?}: {err}");
+        }
     }
 }

@@ -1,7 +1,9 @@
 //! Tokens and source positions.
 
-/// A position in the source text (1-based line and column).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// A position in the source text (1-based line and column). The default
+/// `0:0` marks synthetic nodes that have no source position (e.g. ones
+/// fabricated by the test-case reducer).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Pos {
     /// Line number, starting at 1.
     pub line: u32,

@@ -70,6 +70,17 @@ impl fmt::Display for Trap {
     }
 }
 
+impl Trap {
+    /// True for traps that mean "execution exceeded a configured resource
+    /// budget" ([`Trap::OutOfFuel`], [`Trap::StackOverflow`]) rather than a
+    /// semantic error in the program. Differential harnesses skip seeds
+    /// whose oracle run hits a resource limit instead of reporting them as
+    /// miscompiles.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(self, Trap::OutOfFuel | Trap::StackOverflow)
+    }
+}
+
 impl std::error::Error for Trap {}
 
 /// Result of a successful execution.
@@ -100,6 +111,18 @@ impl Default for InterpOptions {
             fuel: 500_000_000,
             max_depth: 10_000,
         }
+    }
+}
+
+impl InterpOptions {
+    /// Returns options with the instruction budget replaced.
+    pub fn with_fuel(self, fuel: u64) -> Self {
+        InterpOptions { fuel, ..self }
+    }
+
+    /// Returns options with the call-depth limit replaced.
+    pub fn with_max_depth(self, max_depth: usize) -> Self {
+        InterpOptions { max_depth, ..self }
     }
 }
 
@@ -543,5 +566,17 @@ mod tests {
             run_module(&m).unwrap_err(),
             Trap::MissingReturnValue(_)
         ));
+    }
+
+    #[test]
+    fn resource_limit_traps_are_distinguished() {
+        assert!(Trap::OutOfFuel.is_resource_limit());
+        assert!(Trap::StackOverflow.is_resource_limit());
+        assert!(!Trap::DivideByZero.is_resource_limit());
+        assert!(!Trap::NoMain.is_resource_limit());
+
+        let opts = InterpOptions::default().with_fuel(3).with_max_depth(7);
+        assert_eq!(opts.fuel, 3);
+        assert_eq!(opts.max_depth, 7);
     }
 }

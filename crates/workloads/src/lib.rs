@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod reduce;
 pub mod synth;
 
 use ipra_frontend::CompileError;

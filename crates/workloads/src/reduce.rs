@@ -1,0 +1,697 @@
+//! Delta-debugging reducer for failing Mini sources.
+//!
+//! Given a source that makes some *predicate* true (typically "this seed
+//! still fails the differential check"), [`reduce`] shrinks it while the
+//! predicate keeps holding, in ever finer passes:
+//!
+//! 1. drop whole functions (callees first — they are declared earlier),
+//! 2. replace function bodies with a bare `return 0;`,
+//! 3. drop globals,
+//! 4. drop statements (preorder, inner blocks included) and flatten
+//!    `if`/`while` bodies into their parent block,
+//! 5. simplify expressions: replace an operand with one of its children
+//!    or with a literal `0`.
+//!
+//! Candidates are produced by mutating the parsed AST and re-rendering
+//! with a canonical pretty-printer, so every candidate is syntactically
+//! well-formed; *semantic* validity (a dropped function may still be
+//! called) is left to the predicate, which simply rejects such
+//! candidates. Passes repeat until a full round makes no progress, which
+//! makes the result 1-minimal with respect to the transformations above.
+
+use ipra_frontend::ast::{BinAst, Expr, FuncDecl, LValue, Program, Stmt, Ty};
+use ipra_frontend::parser;
+use std::fmt::Write as _;
+
+/// Why reduction could not start.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReduceError {
+    /// The original source does not parse, so there is no AST to shrink.
+    OriginalDoesNotParse(String),
+    /// The predicate does not hold on the (re-rendered) original, so
+    /// there is nothing to preserve while shrinking.
+    NotReproducible,
+}
+
+impl std::fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceError::OriginalDoesNotParse(e) => {
+                write!(f, "original source does not parse: {e}")
+            }
+            ReduceError::NotReproducible => {
+                write!(f, "predicate does not hold on the original source")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
+
+/// Reduction bookkeeping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ReduceStats {
+    /// Candidates handed to the predicate.
+    pub tested: usize,
+    /// Candidates the predicate accepted (shrink steps taken).
+    pub accepted: usize,
+    /// Non-empty lines of the re-rendered original.
+    pub initial_lines: usize,
+    /// Non-empty lines of the result.
+    pub final_lines: usize,
+}
+
+/// Reducer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ReduceOptions {
+    /// Upper bound on predicate invocations; reduction stops (still
+    /// returning the best candidate so far) when exhausted. Differential
+    /// predicates cost a full compile sweep each, so unbounded runs can
+    /// be slow.
+    pub max_tests: usize,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> Self {
+        ReduceOptions { max_tests: 20_000 }
+    }
+}
+
+/// Shrinks `source` while `predicate` keeps returning `true`.
+///
+/// The predicate sees complete candidate sources. It must return `true`
+/// exactly when the failure being chased still reproduces — checking
+/// failure *identity* (same config, same kind), not just "anything went
+/// wrong", or the reducer will happily walk to an unrelated failure.
+///
+/// # Errors
+///
+/// See [`ReduceError`].
+pub fn reduce(
+    source: &str,
+    mut predicate: impl FnMut(&str) -> bool,
+    opts: &ReduceOptions,
+) -> Result<(String, ReduceStats), ReduceError> {
+    let program =
+        parser::parse(source).map_err(|e| ReduceError::OriginalDoesNotParse(e.to_string()))?;
+    let mut stats = ReduceStats {
+        initial_lines: count_lines(source),
+        ..ReduceStats::default()
+    };
+
+    let rendered = render(&program);
+    stats.tested += 1;
+    if !predicate(&rendered) {
+        return Err(ReduceError::NotReproducible);
+    }
+
+    let mut r = Reducer {
+        current: program,
+        predicate: &mut predicate,
+        stats,
+        budget: opts.max_tests,
+    };
+    loop {
+        let before = r.stats.accepted;
+        r.pass_drop_functions();
+        r.pass_empty_bodies();
+        r.pass_drop_globals();
+        r.pass_drop_statements();
+        r.pass_flatten_blocks();
+        r.pass_simplify_exprs();
+        if r.stats.accepted == before || r.budget == 0 {
+            break;
+        }
+    }
+
+    let out = render(&r.current);
+    let mut stats = r.stats;
+    stats.final_lines = count_lines(&out);
+    Ok((out, stats))
+}
+
+fn count_lines(s: &str) -> usize {
+    s.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+struct Reducer<'p> {
+    current: Program,
+    predicate: &'p mut dyn FnMut(&str) -> bool,
+    stats: ReduceStats,
+    budget: usize,
+}
+
+impl Reducer<'_> {
+    /// Tests `candidate`; commits it as the new current program when the
+    /// predicate still holds.
+    fn try_commit(&mut self, candidate: Program) -> bool {
+        if self.budget == 0 {
+            return false;
+        }
+        self.budget -= 1;
+        self.stats.tested += 1;
+        let rendered = render(&candidate);
+        if (self.predicate)(&rendered) {
+            self.current = candidate;
+            self.stats.accepted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tries deleting each function (reverse declaration order, so
+    /// leaves-last programs shed callees first). `main` stays.
+    fn pass_drop_functions(&mut self) {
+        let mut i = self.current.funcs.len();
+        while i > 0 {
+            i -= 1;
+            if self.current.funcs[i].name == "main" {
+                continue;
+            }
+            let mut cand = self.current.clone();
+            cand.funcs.remove(i);
+            if self.try_commit(cand) {
+                i = i.min(self.current.funcs.len());
+            }
+        }
+    }
+
+    /// Tries replacing each function body with the smallest legal one.
+    fn pass_empty_bodies(&mut self) {
+        for i in 0..self.current.funcs.len() {
+            let f = &self.current.funcs[i];
+            let minimal: Vec<Stmt> = if f.returns_value {
+                vec![Stmt::Return(
+                    Some(Expr::Int(0, Default::default())),
+                    Default::default(),
+                )]
+            } else {
+                Vec::new()
+            };
+            if f.body.len() == minimal.len() {
+                continue;
+            }
+            let mut cand = self.current.clone();
+            cand.funcs[i].body = minimal;
+            self.try_commit(cand);
+        }
+    }
+
+    fn pass_drop_globals(&mut self) {
+        let mut i = self.current.globals.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = self.current.clone();
+            cand.globals.remove(i);
+            if self.try_commit(cand) {
+                i = i.min(self.current.globals.len());
+            }
+        }
+    }
+
+    /// Tries deleting each statement, innermost blocks included.
+    fn pass_drop_statements(&mut self) {
+        let mut site = total_stmts(&self.current);
+        while site > 0 {
+            site -= 1;
+            let mut cand = self.current.clone();
+            if edit_stmt(&mut cand, site, &StmtEdit::Delete) && self.try_commit(cand) {
+                site = site.min(total_stmts(&self.current));
+            }
+        }
+    }
+
+    /// Tries replacing each `if`/`while` with the statements of its
+    /// bodies (keeps nested work while deleting the control structure).
+    fn pass_flatten_blocks(&mut self) {
+        let mut site = total_stmts(&self.current);
+        while site > 0 {
+            site -= 1;
+            let mut cand = self.current.clone();
+            if edit_stmt(&mut cand, site, &StmtEdit::Flatten) && self.try_commit(cand) {
+                site = site.min(total_stmts(&self.current));
+            }
+        }
+    }
+
+    /// Tries, at every expression site, each child operand and then a
+    /// literal `0` as a replacement.
+    fn pass_simplify_exprs(&mut self) {
+        let mut site = total_exprs(&self.current);
+        while site > 0 {
+            site -= 1;
+            for edit in [ExprEdit::Lhs, ExprEdit::Rhs, ExprEdit::Zero] {
+                let mut cand = self.current.clone();
+                if edit_expr(&mut cand, site, &edit) && self.try_commit(cand) {
+                    break;
+                }
+            }
+            site = site.min(total_exprs(&self.current));
+        }
+    }
+}
+
+// --- statement traversal ---------------------------------------------------
+
+enum StmtEdit {
+    Delete,
+    Flatten,
+}
+
+fn total_stmts(p: &Program) -> usize {
+    fn count(body: &[Stmt]) -> usize {
+        body.iter()
+            .map(|s| {
+                1 + match s {
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => count(then_body) + count(else_body),
+                    Stmt::While { body, .. } => count(body),
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+    p.funcs.iter().map(|f| count(&f.body)).sum()
+}
+
+/// Applies `edit` to the `site`-th statement in program preorder.
+/// Returns `false` when the edit does not apply there (e.g. flattening a
+/// non-block statement) or the site is out of range.
+fn edit_stmt(p: &mut Program, site: usize, edit: &StmtEdit) -> bool {
+    fn walk(body: &mut Vec<Stmt>, n: &mut usize, edit: &StmtEdit) -> bool {
+        let mut i = 0;
+        while i < body.len() {
+            if *n == 0 {
+                return match edit {
+                    StmtEdit::Delete => {
+                        body.remove(i);
+                        true
+                    }
+                    StmtEdit::Flatten => match body[i].clone() {
+                        Stmt::If {
+                            then_body,
+                            mut else_body,
+                            ..
+                        } => {
+                            let mut merged = then_body;
+                            merged.append(&mut else_body);
+                            body.splice(i..=i, merged);
+                            true
+                        }
+                        Stmt::While {
+                            body: inner_body, ..
+                        } => {
+                            body.splice(i..=i, inner_body);
+                            true
+                        }
+                        _ => false,
+                    },
+                };
+            }
+            *n -= 1;
+            let descended = match &mut body[i] {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => walk(then_body, n, edit) || walk(else_body, n, edit),
+                Stmt::While { body: inner, .. } => walk(inner, n, edit),
+                _ => false,
+            };
+            if descended {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+    let mut n = site;
+    for f in &mut p.funcs {
+        if walk(&mut f.body, &mut n, edit) {
+            return true;
+        }
+    }
+    false
+}
+
+// --- expression traversal --------------------------------------------------
+
+enum ExprEdit {
+    /// Replace with the first child (Bin lhs, Neg/Not operand, Index
+    /// index, first call argument).
+    Lhs,
+    /// Replace with the second child (Bin rhs, second call argument).
+    Rhs,
+    /// Replace with literal `0`.
+    Zero,
+}
+
+fn total_exprs(p: &Program) -> usize {
+    let mut n = 0usize;
+    let mut count = |_: &mut Expr| {
+        n += 1;
+        false
+    };
+    let mut q = p.clone();
+    visit_exprs(&mut q, &mut count);
+    n
+}
+
+/// Applies `edit` to the `site`-th expression in program preorder.
+fn edit_expr(p: &mut Program, site: usize, edit: &ExprEdit) -> bool {
+    let mut n = site;
+    let mut changed = false;
+    let mut f = |e: &mut Expr| {
+        if n > 0 {
+            n -= 1;
+            return false;
+        }
+        let replacement = match (edit, &*e) {
+            (ExprEdit::Zero, Expr::Int(0, _)) => None, // already minimal
+            (ExprEdit::Zero, _) => Some(Expr::Int(0, Default::default())),
+            (ExprEdit::Lhs, Expr::Bin(_, l, _, _)) => Some((**l).clone()),
+            (ExprEdit::Lhs, Expr::Neg(x, _) | Expr::Not(x, _)) => Some((**x).clone()),
+            (ExprEdit::Lhs, Expr::Index(_, i, _)) => Some((**i).clone()),
+            (ExprEdit::Lhs, Expr::Call { args, .. }) if !args.is_empty() => Some(args[0].clone()),
+            (ExprEdit::Rhs, Expr::Bin(_, _, r, _)) => Some((**r).clone()),
+            (ExprEdit::Rhs, Expr::Call { args, .. }) if args.len() > 1 => Some(args[1].clone()),
+            _ => None,
+        };
+        if let Some(r) = replacement {
+            *e = r;
+            changed = true;
+        }
+        true // stop the walk either way: the site was reached
+    };
+    visit_exprs(p, &mut f);
+    changed
+}
+
+/// Preorder walk over every expression in the program. The callback
+/// returns `true` to stop the walk.
+fn visit_exprs(p: &mut Program, f: &mut impl FnMut(&mut Expr) -> bool) {
+    fn expr(e: &mut Expr, f: &mut impl FnMut(&mut Expr) -> bool) -> bool {
+        if f(e) {
+            return true;
+        }
+        match e {
+            Expr::Bin(_, l, r, _) => expr(l, f) || expr(r, f),
+            Expr::Neg(x, _) | Expr::Not(x, _) => expr(x, f),
+            Expr::Index(_, i, _) => expr(i, f),
+            Expr::Call { args, .. } => args.iter_mut().any(|a| expr(a, f)),
+            Expr::Int(..) | Expr::Name(..) | Expr::FuncAddr(..) => false,
+        }
+    }
+    fn stmts(body: &mut [Stmt], f: &mut impl FnMut(&mut Expr) -> bool) -> bool {
+        for s in body {
+            let hit = match s {
+                Stmt::Var { init: Some(e), .. } => expr(e, f),
+                Stmt::Var { init: None, .. } => false,
+                Stmt::Assign { target, value, .. } => {
+                    let t = match target {
+                        LValue::Index(_, i) => expr(i, f),
+                        LValue::Name(_) => false,
+                    };
+                    t || expr(value, f)
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => expr(cond, f) || stmts(then_body, f) || stmts(else_body, f),
+                Stmt::While { cond, body } => expr(cond, f) || stmts(body, f),
+                Stmt::Return(Some(e), _) => expr(e, f),
+                Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) => false,
+                Stmt::Print(e) | Stmt::ExprStmt(e) => expr(e, f),
+            };
+            if hit {
+                return true;
+            }
+        }
+        false
+    }
+    for func in &mut p.funcs {
+        if stmts(&mut func.body, f) {
+            return;
+        }
+    }
+}
+
+// --- pretty printer --------------------------------------------------------
+
+/// Renders a program back to Mini source. Sub-expressions are fully
+/// parenthesized, so operator precedence never changes a reduced
+/// candidate's meaning.
+pub fn render(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        match g.ty {
+            Ty::Int => {
+                if let Some(v) = g.init.first() {
+                    let _ = writeln!(out, "global {}: int = {v};", g.name);
+                } else {
+                    let _ = writeln!(out, "global {}: int;", g.name);
+                }
+            }
+            Ty::Array(n) => {
+                let _ = writeln!(out, "global {}: [int; {n}];", g.name);
+            }
+            Ty::FnPtr => {
+                // Unreachable today (the frontend rejects fnptr globals),
+                // but render something parseable rather than panic.
+                let _ = writeln!(out, "global {}: fnptr;", g.name);
+            }
+        }
+    }
+    for f in &p.funcs {
+        render_func(&mut out, f);
+    }
+    out
+}
+
+fn render_func(out: &mut String, f: &FuncDecl) {
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|(n, t)| match t {
+            Ty::FnPtr => format!("{n}: fnptr"),
+            _ => format!("{n}: int"),
+        })
+        .collect();
+    let ext = if f.is_extern { "extern " } else { "" };
+    let ret = if f.returns_value { " -> int" } else { "" };
+    let _ = writeln!(out, "{ext}fn {}({}){ret} {{", f.name, params.join(", "));
+    render_stmts(out, &f.body, 1);
+    let _ = writeln!(out, "}}");
+}
+
+fn render_stmts(out: &mut String, body: &[Stmt], indent: usize) {
+    let pad = "  ".repeat(indent);
+    for s in body {
+        match s {
+            Stmt::Var { name, ty, init, .. } => {
+                let tyname = match ty {
+                    Ty::Int => "int".to_string(),
+                    Ty::Array(n) => format!("[int; {n}]"),
+                    Ty::FnPtr => "fnptr".to_string(),
+                };
+                match init {
+                    Some(e) => {
+                        let _ = writeln!(out, "{pad}var {name}: {tyname} = {};", render_expr(e));
+                    }
+                    None => {
+                        let _ = writeln!(out, "{pad}var {name}: {tyname};");
+                    }
+                }
+            }
+            Stmt::Assign { target, value, .. } => match target {
+                LValue::Name(n) => {
+                    let _ = writeln!(out, "{pad}{n} = {};", render_expr(value));
+                }
+                LValue::Index(n, i) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}{n}[{}] = {};",
+                        render_expr(i),
+                        render_expr(value)
+                    );
+                }
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let _ = writeln!(out, "{pad}if {} {{", render_expr(cond));
+                render_stmts(out, then_body, indent + 1);
+                if else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    render_stmts(out, else_body, indent + 1);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            Stmt::While { cond, body } => {
+                let _ = writeln!(out, "{pad}while {} {{", render_expr(cond));
+                render_stmts(out, body, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Return(Some(e), _) => {
+                let _ = writeln!(out, "{pad}return {};", render_expr(e));
+            }
+            Stmt::Return(None, _) => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+            Stmt::Print(e) => {
+                let _ = writeln!(out, "{pad}print({});", render_expr(e));
+            }
+            Stmt::Break(_) => {
+                let _ = writeln!(out, "{pad}break;");
+            }
+            Stmt::Continue(_) => {
+                let _ = writeln!(out, "{pad}continue;");
+            }
+            Stmt::ExprStmt(e) => {
+                let _ = writeln!(out, "{pad}{};", render_expr(e));
+            }
+        }
+    }
+}
+
+fn bin_op_str(op: BinAst) -> &'static str {
+    match op {
+        BinAst::Add => "+",
+        BinAst::Sub => "-",
+        BinAst::Mul => "*",
+        BinAst::Div => "/",
+        BinAst::Rem => "%",
+        BinAst::Eq => "==",
+        BinAst::Ne => "!=",
+        BinAst::Lt => "<",
+        BinAst::Le => "<=",
+        BinAst::Gt => ">",
+        BinAst::Ge => ">=",
+        BinAst::And => "&&",
+        BinAst::Or => "||",
+        BinAst::BitAnd => "&",
+        BinAst::BitOr => "|",
+        BinAst::BitXor => "^",
+        BinAst::Shl => "<<",
+        BinAst::Shr => ">>",
+    }
+}
+
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v, _) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Name(n, _) => n.clone(),
+        Expr::Index(n, i, _) => format!("{n}[{}]", render_expr(i)),
+        Expr::FuncAddr(n, _) => format!("&{n}"),
+        Expr::Call { name, args, .. } => {
+            let args: Vec<String> = args.iter().map(render_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Bin(op, l, r, _) => {
+            format!(
+                "({} {} {})",
+                render_expr(l),
+                bin_op_str(*op),
+                render_expr(r)
+            )
+        }
+        Expr::Neg(x, _) => format!("(-{})", render_expr(x)),
+        Expr::Not(x, _) => format!("(!{})", render_expr(x)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rendering a parsed program must preserve its meaning: same interp
+    /// output before and after a parse → render → compile round trip.
+    #[test]
+    fn render_round_trips_semantics() {
+        for seed in 0..8u64 {
+            let src = crate::synth::random_source(seed, &crate::synth::SourceConfig::default());
+            let before = ipra_ir::interp::run_module(&ipra_frontend::compile(&src).unwrap());
+            let rendered = render(&parser::parse(&src).unwrap());
+            let after = ipra_ir::interp::run_module(
+                &ipra_frontend::compile(&rendered)
+                    .unwrap_or_else(|e| panic!("seed {seed}: render broke parse: {e}\n{rendered}")),
+            );
+            assert_eq!(
+                before.as_ref().map(|r| &r.output),
+                after.as_ref().map(|r| &r.output),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreproducible_failure_is_rejected() {
+        let err = reduce("fn main() { }", |_| false, &ReduceOptions::default());
+        assert_eq!(err.unwrap_err(), ReduceError::NotReproducible);
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let err = reduce("fn fn fn", |_| true, &ReduceOptions::default());
+        assert!(matches!(err, Err(ReduceError::OriginalDoesNotParse(_))));
+    }
+
+    /// A predicate keyed on one statement's behavior should strip nearly
+    /// everything else.
+    #[test]
+    fn reduces_to_the_interesting_kernel() {
+        let src = r#"
+            global g0: int = 5;
+            global g1: int = 7;
+            fn noise(a: int, b: int) -> int {
+                var t: int = a * b;
+                if t > 10 { t = t - 10; }
+                return t;
+            }
+            fn key(x: int) -> int { return x * 1000 + 729; }
+            fn main() {
+                var a: int = noise(3, 4);
+                var b: int = noise(a, g0);
+                print(a + b);
+                print(key(g1));
+                print(g0 - g1);
+            }
+        "#;
+        // "Fails" when the program still prints 7729 somewhere.
+        let failing = |s: &str| {
+            ipra_frontend::compile(s)
+                .ok()
+                .and_then(|m| ipra_ir::interp::run_module(&m).ok())
+                .is_some_and(|r| r.output.contains(&7729))
+        };
+        assert!(failing(src), "kernel must reproduce up front");
+        let (out, stats) = reduce(src, failing, &ReduceOptions::default()).unwrap();
+        assert!(failing(&out), "reduced program still reproduces");
+        // The minimal witness is `key` + a `main` that prints it: 7 lines.
+        assert!(
+            stats.final_lines <= 7,
+            "expected the minimal witness, got {} lines:\n{out}",
+            stats.final_lines
+        );
+        assert!(
+            !out.contains("noise"),
+            "unrelated function survived:\n{out}"
+        );
+        assert!(!out.contains("g0"), "unrelated global survived:\n{out}");
+    }
+}

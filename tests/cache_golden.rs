@@ -225,35 +225,58 @@ fn interface_change_invalidates_exactly_the_ancestor_set() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// A corrupted, truncated, version-skewed or otherwise unusable cache file
-/// must behave exactly like an empty cache: a cold compile that then
-/// repopulates the directory.
+/// Corrupted, truncated, or version-skewed shard files must behave
+/// exactly like an empty cache: a cold compile that then repopulates the
+/// directory. Entries live in per-key `<key>.ce.json` shards, so the test
+/// damages every shard the warm compile would read.
 #[test]
 fn damaged_cache_degrades_to_cold_compile() {
     let module = ipra_frontend::compile(DEMO).unwrap();
     let dir = cache_dir("damaged");
-    std::fs::create_dir_all(&dir).unwrap();
-    let file = dir.join("ipra-cache.json");
 
     let mut cfg = Config::c();
     cfg.opts.cache_dir = Some(dir.clone());
     let want = observe(&compile_only(&module, &Config::c()), &cfg);
 
+    /// The shard files currently in the cache directory.
+    fn shards(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+        let mut v: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.to_string_lossy().ends_with(".ce.json"))
+            .collect();
+        v.sort();
+        v
+    }
+
     for garbage in [
         "not json at all",
-        "{\"version\": 999, \"entries\": {}}",
-        "{\"version\": 1, \"entries\": {\"zz\": [17], \"0abc\": \"nope\"}}",
+        "{\"version\": 999, \"funcs\": []}",
+        "{\"version\": 1, \"funcs\": [17, \"nope\"]}",
         "",
     ] {
-        std::fs::write(&file, garbage).unwrap();
+        // Populate, then damage every shard.
+        compile_only(&module, &cfg);
+        let files = shards(&dir);
+        assert_eq!(files.len(), 2, "one shard per single-function component");
+        for f in &files {
+            std::fs::write(f, garbage).unwrap();
+        }
+
         let c = compile_only(&module, &cfg);
         assert_eq!(c.cache.hits, 0, "damaged cache yields no hits");
         assert_eq!(c.cache.misses, 2, "damaged cache compiles cold");
         assert_eq!(observe(&c, &cfg), want, "and the result is unharmed");
     }
 
-    // The cold compile rewrote the file; the next compile is warm again.
+    // The cold compile rewrote the shards; the next compile is warm again.
     let warm = compile_only(&module, &cfg);
     assert_eq!(warm.cache.hits, 2);
+
+    // A stray legacy monolithic cache file is ignored entirely.
+    std::fs::write(dir.join("ipra-cache.json"), "legacy").unwrap();
+    let still_warm = compile_only(&module, &cfg);
+    assert_eq!(still_warm.cache.hits, 2);
     let _ = std::fs::remove_dir_all(&dir);
 }

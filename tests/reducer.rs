@@ -1,0 +1,48 @@
+//! Acceptance test for the delta-debugging reducer: starting from a big
+//! generated program with one "interesting" statement planted in `main`,
+//! the reducer must strip the noise and keep the witness, landing at no
+//! more than 25% of the original line count.
+
+use ipra_ir::interp::{run_module_with, InterpOptions};
+use ipra_workloads::reduce::{reduce, ReduceOptions};
+use ipra_workloads::synth::{shaped_source, ShapeClass, ShapeConfig};
+
+/// The planted marker: a constant no generated program prints on its own.
+const MARKER: i64 = 424_242_787;
+
+fn prints_marker(src: &str) -> bool {
+    let Ok(module) = ipra_frontend::compile(src) else {
+        return false;
+    };
+    match run_module_with(&module, InterpOptions::default().with_fuel(5_000_000)) {
+        Ok(out) => out.output.contains(&MARKER),
+        Err(_) => false,
+    }
+}
+
+#[test]
+fn reducer_shrinks_a_generated_program_to_a_quarter_or_less() {
+    // A sizeable original: a generated acyclic program with the marker
+    // planted as the first statement of `main`.
+    let base = shaped_source(3, &ShapeConfig::new(ShapeClass::Acyclic));
+    let original = base.replace("fn main() {", &format!("fn main() {{\n  print({MARKER});"));
+    assert!(
+        prints_marker(&original),
+        "marker must be live before reducing"
+    );
+
+    let opts = ReduceOptions::default();
+    let (minimal, stats) = reduce(&original, prints_marker, &opts).expect("reduction succeeds");
+
+    assert!(prints_marker(&minimal), "reduction preserved the predicate");
+    assert!(
+        stats.final_lines * 4 <= stats.initial_lines,
+        "expected <= 25% of {} lines, got {}:\n{minimal}",
+        stats.initial_lines,
+        stats.final_lines
+    );
+    assert!(
+        minimal.contains(&MARKER.to_string()),
+        "the witness statement survives:\n{minimal}"
+    );
+}
