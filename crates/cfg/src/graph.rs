@@ -26,16 +26,30 @@ impl Cfg {
     pub fn new(func: &Function) -> Self {
         let n = func.num_blocks();
         let mut succs = vec![Vec::new(); n];
+        let mut rets = Vec::new();
         for (id, b) in func.blocks.iter() {
             b.term.for_each_succ(|s| succs[id.index()].push(s));
+            if b.term.is_ret() {
+                rets.push(id);
+            }
         }
+        Self::from_succs(func.entry, succs, &rets)
+    }
 
+    /// Builds a CFG from explicit edges: per-block successor lists plus the
+    /// `ret`-terminated blocks (in block order). This is how machine-level
+    /// consumers (the static verifier) analyze an `MFunction`, whose block
+    /// structure lives in `MTerminator`s rather than in an IR `Function`.
+    /// Unreachable `rets` entries are dropped from `exits`, mirroring
+    /// [`Cfg::new`].
+    pub fn from_succs(entry: BlockId, succs: Vec<Vec<BlockId>>, rets: &[BlockId]) -> Self {
+        let n = succs.len();
         // Iterative DFS computing postorder over reachable blocks.
         let mut post: Vec<BlockId> = Vec::with_capacity(n);
         let mut visited = vec![false; n];
         // Stack holds (block, next successor index to visit).
-        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
-        visited[func.entry.index()] = true;
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.index()] = true;
         while let Some(&mut (b, ref mut i)) = stack.last_mut() {
             if *i < succs[b.index()].len() {
                 let s = succs[b.index()][*i];
@@ -63,15 +77,14 @@ impl Cfg {
             }
         }
 
-        let exits = func
-            .blocks
+        let exits = rets
             .iter()
-            .filter(|(id, b)| visited[id.index()] && b.term.is_ret())
-            .map(|(id, _)| id)
+            .copied()
+            .filter(|b| visited[b.index()])
             .collect();
 
         Cfg {
-            entry: func.entry,
+            entry,
             succs,
             preds,
             exits,

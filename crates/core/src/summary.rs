@@ -1,94 +1,9 @@
 //! Register-usage summaries (paper §2–§4).
 //!
-//! The summary of a closed procedure is all a caller ever needs: one
-//! used/unused flag per register (including the whole call tree below it)
-//! plus, for §4, which register carries each parameter. Open procedures do
-//! not publish a summary; callers assume the default linkage protocol.
+//! The types themselves live in `ipra-machine` (see
+//! [`ipra_machine::summary`]) so machine-level consumers — the simulator's
+//! convention checker and the static verifier — can use them without
+//! depending on the allocator. This module re-exports them under their
+//! historical path.
 
-use ipra_machine::{PReg, RegFile, RegMask};
-
-/// Where a parameter travels at a call boundary.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ParamLoc {
-    /// In a specific register (the default convention's argument registers,
-    /// or any register at all under inter-procedural allocation, §4).
-    Reg(PReg),
-    /// In the `i`-th stack-argument cell.
-    Stack(u32),
-    /// The callee never reads this parameter's incoming value, so the
-    /// caller does not place it anywhere (only possible under the custom
-    /// convention, where the callee's liveness is known).
-    Ignored,
-}
-
-/// The register-usage summary of one procedure.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct FuncSummary {
-    /// Registers whose content may be destroyed by calling this procedure —
-    /// its own unsaved usage merged with all of its callees' (§2: "merge
-    /// the register usage in the current procedure with those of all its
-    /// callees").
-    pub clobbers: RegMask,
-    /// Where the procedure expects each parameter.
-    pub param_locs: Vec<ParamLoc>,
-    /// Whether this is the default summary of an open procedure.
-    pub is_default: bool,
-}
-
-impl FuncSummary {
-    /// The default-convention summary used for open procedures and unknown
-    /// callees: all caller-saved registers (plus argument and return-value
-    /// registers) clobbered, callee-saved registers preserved; the first
-    /// four parameters in the argument registers, the rest on the stack.
-    pub fn default_for(regs: &RegFile, num_params: usize) -> Self {
-        let param_locs = (0..num_params)
-            .map(|i| match regs.param_regs().get(i) {
-                Some(&r) => ParamLoc::Reg(r),
-                None => ParamLoc::Stack((i - regs.param_regs().len()) as u32),
-            })
-            .collect();
-        FuncSummary {
-            clobbers: regs.default_clobbers(),
-            param_locs,
-            is_default: true,
-        }
-    }
-
-    /// Number of stack-passed parameters.
-    pub fn num_stack_args(&self) -> u32 {
-        self.param_locs
-            .iter()
-            .map(|p| match p {
-                ParamLoc::Stack(i) => i + 1,
-                ParamLoc::Reg(_) | ParamLoc::Ignored => 0,
-            })
-            .max()
-            .unwrap_or(0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn default_summary_follows_abi() {
-        let regs = RegFile::mips_like();
-        let s = FuncSummary::default_for(&regs, 6);
-        assert_eq!(s.param_locs.len(), 6);
-        assert_eq!(s.param_locs[0], ParamLoc::Reg(regs.param_regs()[0]));
-        assert_eq!(s.param_locs[3], ParamLoc::Reg(regs.param_regs()[3]));
-        assert_eq!(s.param_locs[4], ParamLoc::Stack(0));
-        assert_eq!(s.param_locs[5], ParamLoc::Stack(1));
-        assert_eq!(s.num_stack_args(), 2);
-        assert!(s.is_default);
-        assert_eq!(s.clobbers, regs.default_clobbers());
-    }
-
-    #[test]
-    fn no_stack_args_for_few_params() {
-        let regs = RegFile::mips_like();
-        let s = FuncSummary::default_for(&regs, 2);
-        assert_eq!(s.num_stack_args(), 0);
-    }
-}
+pub use ipra_machine::{FuncSummary, ParamLoc};

@@ -11,6 +11,9 @@
 //!   --trace-json <path>    write the trace as JSON to <path>
 //!   --jobs <n>             wave-scheduler worker threads (0 = auto, 1 = serial)
 //!   --cache-dir <dir>      incremental allocation cache directory
+//!   --verify-mc            statically verify register contracts of the
+//!                          lowered code (default on in debug builds)
+//!   --no-verify-mc         skip the static verifier
 //!   --profile-out <file>   run, then write per-block execution counts as JSON
 //!   --profile-in <file>    recompile with a previously written profile
 //!   --workload <name>      compile a bundled benchmark instead of a file
@@ -31,6 +34,7 @@ struct Args {
     trace_json: Option<String>,
     profile_out: Option<String>,
     profile_in: Option<String>,
+    verify_mc: bool,
     input: Input,
 }
 
@@ -43,7 +47,7 @@ fn usage() -> &'static str {
     "usage: mini-cc [-O0|-O2|-O3] [--no-shrink-wrap] [--limit NC,NE] \
      [--emit ir|asm|summary] [--run] [--trace] [--trace-json PATH] \
      [--jobs N] [--cache-dir DIR] [--profile-out PATH] [--profile-in PATH] \
-     (<file.mini> | --workload <name>)"
+     [--verify-mc | --no-verify-mc] (<file.mini> | --workload <name>)"
 }
 
 fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -55,6 +59,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut trace_json = None;
     let mut profile_out = None;
     let mut profile_in = None;
+    // The static verifier is cheap relative to a compile, so debug builds
+    // run it by default; release builds opt in with --verify-mc.
+    let mut verify_mc = cfg!(debug_assertions);
     let mut input = None;
     // `-O2`/`-O3` replace the whole option set, so `--no-shrink-wrap`,
     // `--jobs` and `--cache-dir` are remembered separately and applied
@@ -88,6 +95,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                 jobs = Some(v.trim().parse::<usize>().map_err(|_| "bad --jobs count")?);
             }
             "--cache-dir" => cache_dir = Some(args.next().ok_or("--cache-dir needs a directory")?),
+            "--verify-mc" => verify_mc = true,
+            "--no-verify-mc" => verify_mc = false,
             "--profile-out" => profile_out = Some(args.next().ok_or("--profile-out needs a path")?),
             "--profile-in" => profile_in = Some(args.next().ok_or("--profile-in needs a path")?),
             "--workload" => {
@@ -119,6 +128,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         trace_json,
         profile_out,
         profile_in,
+        verify_mc,
         input,
     })
 }
@@ -180,6 +190,20 @@ fn real_main() -> Result<(), String> {
             "[cache] hits: {}  misses: {}  cutoffs: {}",
             compiled.cache.hits, compiled.cache.misses, compiled.cache.cutoffs
         );
+    }
+
+    if args.verify_mc {
+        let violations =
+            ipra_verify::verify_module(&compiled.mmodule, &config.target.regs, &compiled.summaries);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("verify-mc: {v}");
+            }
+            return Err(format!(
+                "verify-mc: {} register-contract violation(s)",
+                violations.len()
+            ));
+        }
     }
 
     match args.emit.as_deref() {
@@ -325,6 +349,22 @@ mod tests {
         let b = parse(&["--profile-in", "p.json", "--run", "x.mini"]);
         assert_eq!(b.profile_in.as_deref(), Some("p.json"));
         assert!(b.run);
+    }
+
+    #[test]
+    fn verify_mc_flags_parse() {
+        let a = parse(&["--verify-mc", "x.mini"]);
+        assert!(a.verify_mc);
+        let b = parse(&["--no-verify-mc", "x.mini"]);
+        assert!(!b.verify_mc);
+        // Last flag wins, in either order.
+        let c = parse(&["--verify-mc", "--no-verify-mc", "x.mini"]);
+        assert!(!c.verify_mc);
+        let d = parse(&["--no-verify-mc", "--verify-mc", "x.mini"]);
+        assert!(d.verify_mc);
+        // Default tracks the build profile.
+        let e = parse(&["x.mini"]);
+        assert_eq!(e.verify_mc, cfg!(debug_assertions));
     }
 
     #[test]

@@ -146,6 +146,16 @@ fn diff_outputs(got: &[i64], want: &[i64]) -> String {
 /// interpreter, a `jobs`-dependent compile, or a warm-cache compile that
 /// differs from the cold one.
 pub fn check_module(module: &Module, opts: &DiffOptions) -> Result<DiffVerdict, DiffFailure> {
+    // IR well-formedness first: breakage introduced before allocation is
+    // attributed to the frontend/IR stage, not to whichever configuration
+    // happens to trip over it downstream.
+    if let Err(errs) = ipra_ir::verify::verify_module(module) {
+        return Err(fail(
+            "ir-verify",
+            format!("IR verifier rejected the module: {}", errs[0]),
+        ));
+    }
+
     let oracle = match interp::run_module_with(module, opts.interp) {
         Ok(r) => r,
         Err(t) if t.is_resource_limit() => return Ok(DiffVerdict::Skipped(t)),
@@ -156,6 +166,17 @@ pub fn check_module(module: &Module, opts: &DiffOptions) -> Result<DiffVerdict, 
         let mut c1 = config.clone();
         c1.opts.jobs = opts.jobs_pair.0;
         let compiled = compile_only(module, &c1);
+        // Static oracle: prove the register contracts on every path before
+        // the dynamic run exercises one of them.
+        if let Some(v) =
+            ipra_verify::verify_module(&compiled.mmodule, &c1.target.regs, &compiled.summaries)
+                .first()
+        {
+            return Err(fail(
+                &format!("static-verify/{}", config.name),
+                format!("static verifier rejected the module: {v}"),
+            ));
+        }
         let m = run_compiled(&compiled, &c1)
             .map_err(|t| fail(&config.name, format!("simulator trapped: {t}")))?;
         if m.output != oracle.output {

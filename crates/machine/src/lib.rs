@@ -20,6 +20,7 @@ pub mod asm;
 pub mod code;
 pub mod cost;
 pub mod regs;
+pub mod summary;
 pub mod target;
 
 pub use code::{
@@ -28,4 +29,5 @@ pub use code::{
 };
 pub use cost::CostModel;
 pub use regs::{PReg, RegClass, RegFile, RegMask};
+pub use summary::{FuncSummary, ParamLoc};
 pub use target::Target;

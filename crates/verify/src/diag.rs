@@ -1,0 +1,69 @@
+//! Structured diagnostics.
+
+use ipra_ir::BlockId;
+use ipra_machine::PReg;
+
+/// Which contract a violation breaks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckKind {
+    /// A preserved register does not provably hold its entry value at a
+    /// `ret` (the simulator's dynamic check, proven over all paths).
+    Preservation,
+    /// Save/restore placement breaks the Fig. 2 path property: double
+    /// save, restore without save, write before save, or exit while saved.
+    SaveDiscipline,
+    /// A save or restore sits inside a natural loop (§5 constraint).
+    LoopPlacement,
+    /// A value live across a call sits in a register the callee's summary
+    /// allows it to clobber.
+    LiveAcrossCall,
+    /// An argument register or stack cell of a direct call's convention is
+    /// not definitely initialized, or the stack-argument count disagrees
+    /// with the callee's summary (§4 bindings).
+    ArgBinding,
+    /// Module-level metadata disagrees with the function it describes.
+    Contract,
+}
+
+/// One verified-contract violation, with enough structure for tooling:
+/// the function and block it was found in, the register involved and a
+/// shortest entry path witnessing reachability of the violating block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// Function the violation is in.
+    pub func: String,
+    /// Block the violation is in.
+    pub block: BlockId,
+    /// Instruction index inside the block, when the violation is tied to
+    /// one instruction (`None` for block-exit conditions).
+    pub inst: Option<usize>,
+    /// Register involved, when one is.
+    pub reg: Option<PReg>,
+    /// Which contract broke.
+    pub kind: CheckKind,
+    /// Human-readable description.
+    pub what: String,
+    /// Shortest entry → `block` path (a witness that the violating block
+    /// is reachable), ending at `block`.
+    pub path: Vec<BlockId>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.func, self.block)?;
+        if let Some(i) = self.inst {
+            write!(f, "#{i}")?;
+        }
+        write!(f, ": [{:?}] {}", self.kind, self.what)?;
+        if self.path.len() > 1 {
+            write!(f, " (path:")?;
+            for b in &self.path {
+                write!(f, " {b}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Violation {}

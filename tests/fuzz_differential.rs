@@ -1,9 +1,12 @@
 //! Differential fuzzing: random well-formed Mini programs must behave
 //! identically under the reference interpreter and under every compilation
-//! configuration, with the register-preservation checker on.
+//! configuration, with the register-preservation checker on — and every
+//! compile must additionally pass the static register-contract verifier
+//! (the fuzzer's second oracle, which covers the paths the dynamic run
+//! does not take).
 
-use ipra_driver::{compile_and_run, Config};
-use ipra_workloads::synth::{random_source, SourceConfig};
+use ipra_driver::{compile_and_run, compile_only, Config};
+use ipra_workloads::synth::{random_source, shaped_source, ShapeClass, ShapeConfig, SourceConfig};
 
 fn check_seed(seed: u64, cfg: &SourceConfig, configs: &[Config]) {
     let src = random_source(seed, cfg);
@@ -81,5 +84,58 @@ fn random_programs_under_register_starvation() {
     let configs = [tiny, tiny_intra];
     for seed in 300..340 {
         check_seed(seed, &SourceConfig::default(), &configs);
+    }
+}
+
+/// Proves a compile clean under the static verifier, panicking with the
+/// source on any violation — the all-paths counterpart of `check_seed`.
+fn check_static(what: &str, src: &str, configs: &[Config]) {
+    let module =
+        ipra_frontend::compile(src).unwrap_or_else(|e| panic!("{what}: front end {e}\n{src}"));
+    for c in configs {
+        let compiled = compile_only(&module, c);
+        let violations =
+            ipra_verify::verify_module(&compiled.mmodule, &c.target.regs, &compiled.summaries);
+        assert!(
+            violations.is_empty(),
+            "{what} config {}: {}\n{src}",
+            c.name,
+            violations[0]
+        );
+    }
+}
+
+#[test]
+fn shaped_programs_verify_statically_under_all_configs() {
+    // The shaped generator's five classes stress the verifier's corners:
+    // recursion (open callees), fan-out (many sites per summary), function
+    // pointers (indirect calls under the default convention) and wide
+    // arities (stack-argument bindings). Static checking needs no oracle
+    // run, so every seed is checked under every config, including ones the
+    // dynamic differential tests sample more sparsely.
+    let configs = ipra_driver::differential::all_configs();
+    for class in ShapeClass::ALL {
+        let cfg = ShapeConfig::new(class);
+        for seed in 0..20 {
+            let src = shaped_source(seed, &cfg);
+            check_static(&format!("shape {class} seed {seed}"), &src, &configs);
+        }
+    }
+}
+
+#[test]
+fn random_programs_verify_statically_under_register_starvation() {
+    // Heavy spilling and live-range splitting produce the densest
+    // save/restore traffic — the hardest input for the classifier.
+    let mut tiny = Config::c();
+    tiny.name = "tiny".into();
+    tiny.target = ipra_machine::Target::with_class_limits(2, 1);
+    let mut tiny_intra = Config::o2_base();
+    tiny_intra.name = "tiny-intra".into();
+    tiny_intra.target = ipra_machine::Target::with_class_limits(2, 1);
+    let configs = [tiny, tiny_intra];
+    for seed in 300..340 {
+        let src = random_source(seed, &SourceConfig::default());
+        check_static(&format!("seed {seed}"), &src, &configs);
     }
 }

@@ -1,0 +1,227 @@
+//! Mutation tests: the static verifier must have teeth. Each test takes a
+//! healthy compile, breaks one register contract in the lowered module (or
+//! lies in a published summary), and asserts the verifier rejects the
+//! mutant. A verifier that accepts any of these would also wave through
+//! the real bugs it exists to catch.
+
+use ipra_driver::{compile_only, Config};
+use ipra_ir::FuncId;
+use ipra_machine::{FuncSummary, MAddress, MInst, MModule, MOperand, PReg, ParamLoc, RegMask};
+use ipra_verify::{verify_module, CheckKind, Violation};
+
+/// Straight-line caller with several values live across one call: under the
+/// default convention they land in callee-saved registers, so `busy` gets
+/// shrink-wrap saves/restores; under configuration C they stay in
+/// caller-saved registers outside `leaf`'s narrow clobber mask.
+const SOURCE: &str = r#"
+fn leaf(a: int, b: int) -> int {
+    return a * 2 + b;
+}
+fn busy(a: int, b: int) -> int {
+    var x: int = a + b;
+    var y: int = a - b;
+    var z: int = a * b;
+    var w: int = a + 7;
+    var v: int = leaf(x, y);
+    return v + x + y + z + w;
+}
+fn main() {
+    print(busy(3, 4));
+}
+"#;
+
+struct Compiled {
+    mmodule: MModule,
+    summaries: Vec<FuncSummary>,
+    config: Config,
+}
+
+fn compile(config: Config) -> Compiled {
+    let module = ipra_frontend::compile(SOURCE).expect("fixture compiles");
+    let c = compile_only(&module, &config);
+    Compiled {
+        mmodule: c.mmodule,
+        summaries: c.summaries,
+        config,
+    }
+}
+
+fn verify(c: &Compiled) -> Vec<Violation> {
+    verify_module(&c.mmodule, &c.config.target.regs, &c.summaries)
+}
+
+fn assert_rejected(c: &Compiled, kinds: &[CheckKind], what: &str) {
+    let violations = verify(c);
+    assert!(!violations.is_empty(), "{what}: mutant accepted");
+    assert!(
+        violations.iter().any(|v| kinds.contains(&v.kind)),
+        "{what}: expected one of {kinds:?}, got: {}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+/// Is this a load from (or store to) a shrink-wrap/link save slot?
+fn save_slot_of(m: &MModule, fid: FuncId, addr: &MAddress) -> bool {
+    match addr {
+        MAddress::Frame { slot, .. } => m.funcs[fid].frame[*slot].label.starts_with("save"),
+        _ => false,
+    }
+}
+
+/// Does `inst` (over)write register `r`?
+fn writes(inst: &MInst, r: PReg, ra: PReg) -> bool {
+    match inst {
+        MInst::Copy { dst, .. }
+        | MInst::Bin { dst, .. }
+        | MInst::Un { dst, .. }
+        | MInst::Load { dst, .. }
+        | MInst::FuncAddr { dst, .. } => *dst == r,
+        // Every call clobbers the link register.
+        MInst::Call { .. } => r == ra,
+        MInst::Store { .. } | MInst::Print { .. } => false,
+    }
+}
+
+#[test]
+fn healthy_fixture_verifies_under_every_config() {
+    for config in ipra_driver::differential::all_configs() {
+        let c = compile(config);
+        let violations = verify(&c);
+        assert!(
+            violations.is_empty(),
+            "clean compile under {} rejected: {}",
+            c.config.name,
+            violations[0]
+        );
+    }
+}
+
+/// Mutant: delete one restore (a `SaveRestore` load from a `save_*` slot).
+/// The register never gets its entry value back, so preservation — or the
+/// exit-while-saved discipline — must trip.
+#[test]
+fn deleting_a_restore_is_rejected() {
+    let mut c = compile(Config::o2_base());
+    let mut deleted = false;
+    'outer: for fid in c.mmodule.funcs.ids().collect::<Vec<_>>() {
+        for b in c.mmodule.funcs[fid].blocks.ids().collect::<Vec<_>>() {
+            let pos = c.mmodule.funcs[fid].blocks[b].insts.iter().position(
+                |i| matches!(i, MInst::Load { addr, .. } if save_slot_of(&c.mmodule, fid, addr)),
+            );
+            if let Some(i) = pos {
+                c.mmodule.funcs[fid].blocks[b].insts.remove(i);
+                deleted = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(deleted, "fixture should contain a restore to delete");
+    assert_rejected(
+        &c,
+        &[CheckKind::Preservation, CheckKind::SaveDiscipline],
+        "deleted restore",
+    );
+}
+
+/// Mutant: move a save past the next write that clobbers the saved
+/// register. The slot then holds garbage instead of the entry value —
+/// write-before-save and failed preservation on every path through it.
+#[test]
+fn reordering_a_save_past_a_clobbering_write_is_rejected() {
+    let mut c = compile(Config::o2_base());
+    let ra = c.config.target.regs.ra();
+    let mut moved = false;
+    'outer: for fid in c.mmodule.funcs.ids().collect::<Vec<_>>() {
+        for b in c.mmodule.funcs[fid].blocks.ids().collect::<Vec<_>>() {
+            let insts = &c.mmodule.funcs[fid].blocks[b].insts;
+            let Some((i, r)) = insts.iter().enumerate().find_map(|(i, inst)| match inst {
+                MInst::Store {
+                    src: MOperand::Reg(r),
+                    addr,
+                    ..
+                } if save_slot_of(&c.mmodule, fid, addr) => Some((i, *r)),
+                _ => None,
+            }) else {
+                continue;
+            };
+            let Some(j) = (i + 1..insts.len()).find(|&j| writes(&insts[j], r, ra)) else {
+                continue;
+            };
+            let insts = &mut c.mmodule.funcs[fid].blocks[b].insts;
+            let save = insts.remove(i);
+            insts.insert(j, save);
+            moved = true;
+            break 'outer;
+        }
+    }
+    assert!(
+        moved,
+        "fixture should contain a save before a clobbering write"
+    );
+    assert_rejected(
+        &c,
+        &[CheckKind::Preservation, CheckKind::SaveDiscipline],
+        "reordered save",
+    );
+}
+
+/// Mutant: widen a callee's published clobber mask after allocation. The
+/// caller planned against the narrow mask, so values it left in registers
+/// across the call are now clobberable — the live-across-call check must
+/// trip in the caller.
+#[test]
+fn widening_a_clobber_mask_is_rejected() {
+    let mut c = compile(Config::c());
+    let leaf = func_named(&c.mmodule, "leaf");
+    let mut wide = c.config.target.regs.default_clobbers();
+    for r in c.config.target.regs.allocatable() {
+        wide.insert(*r);
+    }
+    c.summaries[leaf.index()].clobbers = c.summaries[leaf.index()].clobbers | wide;
+    assert_rejected(&c, &[CheckKind::LiveAcrossCall], "widened clobber mask");
+}
+
+/// Mutant: rebind a callee parameter to an outgoing stack cell the caller
+/// never writes. Both the stack-argument count and the definite-write
+/// check on the cell disagree with the staged call.
+#[test]
+fn rebinding_a_parameter_to_an_unwritten_stack_cell_is_rejected() {
+    let mut c = compile(Config::c());
+    let leaf = func_named(&c.mmodule, "leaf");
+    c.summaries[leaf.index()].param_locs[0] = ParamLoc::Stack(7);
+    assert_rejected(&c, &[CheckKind::ArgBinding], "rebound parameter");
+}
+
+/// Mutant: claim the caller preserves a register it actually destroys, by
+/// shrinking its own published clobber mask. The register's writes are no
+/// longer licensed, and it does not hold its entry value at return.
+#[test]
+fn shrinking_a_functions_own_clobber_mask_is_rejected() {
+    let mut c = compile(Config::o2_base());
+    let busy = func_named(&c.mmodule, "busy");
+    let regs = &c.config.target.regs;
+    // Keep only the registers the convention always allows: the exempt set.
+    let mut narrow = RegMask::single(regs.ret_reg());
+    narrow.insert(regs.ra());
+    for s in regs.scratch() {
+        narrow.insert(s);
+    }
+    c.summaries[busy.index()].clobbers = c.summaries[busy.index()].clobbers.intersect(narrow);
+    assert_rejected(
+        &c,
+        &[CheckKind::Preservation, CheckKind::SaveDiscipline],
+        "shrunk own clobber mask",
+    );
+}
+
+fn func_named(m: &MModule, name: &str) -> FuncId {
+    m.funcs
+        .iter()
+        .find(|(_, f)| f.name == name)
+        .map(|(id, _)| id)
+        .unwrap_or_else(|| panic!("no function named {name}"))
+}

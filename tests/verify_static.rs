@@ -1,0 +1,48 @@
+//! The static verifier must accept everything the compiler actually
+//! produces: the 13-program paper-analog suite and every reduced fuzz
+//! repro in `corpus/`, under all seven named configurations. A violation
+//! here is either a compiler bug or a verifier false positive — both are
+//! release blockers for the second oracle.
+
+use ipra_driver::compile_only;
+use ipra_driver::differential::all_configs;
+
+fn assert_verifies(name: &str, source: &str) {
+    let module =
+        ipra_frontend::compile(source).unwrap_or_else(|e| panic!("{name}: frontend rejected: {e}"));
+    for config in all_configs() {
+        let compiled = compile_only(&module, &config);
+        let violations =
+            ipra_verify::verify_module(&compiled.mmodule, &config.target.regs, &compiled.summaries);
+        assert!(
+            violations.is_empty(),
+            "{name} under {}: {} violation(s), first: {}",
+            config.name,
+            violations.len(),
+            violations[0]
+        );
+    }
+}
+
+#[test]
+fn paper_analog_suite_verifies_under_all_configs() {
+    for w in ipra_workloads::all() {
+        assert_verifies(w.name, w.source);
+    }
+}
+
+#[test]
+fn corpus_repros_verify_under_all_configs() {
+    let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/../../corpus");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(corpus).expect("corpus directory") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "mini") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).unwrap();
+        assert_verifies(&path.display().to_string(), &source);
+        checked += 1;
+    }
+    assert!(checked > 0, "corpus should hold at least one .mini repro");
+}
