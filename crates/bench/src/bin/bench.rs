@@ -1,0 +1,126 @@
+//! `bench` — performance-budget gate over the committed benchmark
+//! artifacts.
+//!
+//! ```text
+//! bench --check-budgets [--cache-file <p>] [--waves-file <p>]
+//!       [--history <p>] [--warm-floor <x>] [--wave-floor <x>]
+//!   --check-budgets   verify the artifacts against the budget floors
+//!   --cache-file <p>  cache results (default BENCH_cache.json)
+//!   --waves-file <p>  wave results (default BENCH_waves.json)
+//!   --history <p>     trajectory file whose lines must all parse
+//!                     (default BENCH_history.jsonl; `none` skips)
+//!   --warm-floor <x>  minimum warm-cache compile speedup (default 3.0)
+//!   --wave-floor <x>  minimum wave-scheduler speedup (default 0.0 —
+//!                     informational until hosts guarantee >1 cores)
+//! ```
+//!
+//! Exits nonzero when a budget is violated or an artifact is missing or
+//! malformed, so CI can run it as a hard gate after refreshing the
+//! artifacts with `cache_speedup --small` / `wave_speedup --small`.
+
+use std::process::ExitCode;
+
+use ipra_bench::read_history;
+use ipra_obs::json::{parse_bytes, Json};
+
+fn usage() -> &'static str {
+    "usage: bench --check-budgets [--cache-file P] [--waves-file P] \
+     [--history P|none] [--warm-floor X] [--wave-floor X]"
+}
+
+/// Loads an artifact and extracts `total.<key>` as a float.
+fn total_of(path: &str, key: &str) -> Result<f64, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    doc.get("total")
+        .and_then(|t| t.get(key))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: no `total.{key}` member"))
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let mut check = false;
+    let mut cache_file = "BENCH_cache.json".to_string();
+    let mut waves_file = "BENCH_waves.json".to_string();
+    let mut history = Some("BENCH_history.jsonl".to_string());
+    let mut warm_floor = 3.0f64;
+    let mut wave_floor = 0.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check-budgets" => check = true,
+            "--cache-file" => cache_file = args.next().ok_or_else(|| usage().to_string())?,
+            "--waves-file" => waves_file = args.next().ok_or_else(|| usage().to_string())?,
+            "--history" => {
+                let p = args.next().ok_or_else(|| usage().to_string())?;
+                history = (p != "none").then_some(p);
+            }
+            "--warm-floor" => {
+                warm_floor = args
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+                    .ok_or("--warm-floor needs a number")?
+            }
+            "--wave-floor" => {
+                wave_floor = args
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+                    .ok_or("--wave-floor needs a number")?
+            }
+            "-h" | "--help" => return Err(usage().to_string()),
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    if !check {
+        return Err(usage().to_string());
+    }
+
+    let mut violations = 0;
+    let mut gate = |what: &str, value: f64, floor: f64| {
+        let ok = value >= floor;
+        println!(
+            "{} {what}: {value:.2}x (floor {floor:.2}x)",
+            if ok { "ok  " } else { "FAIL" }
+        );
+        if !ok {
+            violations += 1;
+        }
+    };
+
+    gate(
+        "warm-cache speedup",
+        total_of(&cache_file, "warm_speedup")?,
+        warm_floor,
+    );
+    gate(
+        "wave-scheduler speedup",
+        total_of(&waves_file, "speedup")?,
+        wave_floor,
+    );
+
+    if let Some(path) = &history {
+        let entries = read_history(path.as_ref())?;
+        println!(
+            "ok   history: {} well-formed entries in {path}",
+            entries.len()
+        );
+    }
+
+    if violations > 0 {
+        eprintln!("{violations} budget violation(s)");
+        return Ok(ExitCode::FAILURE);
+    }
+    println!("all perf budgets hold");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

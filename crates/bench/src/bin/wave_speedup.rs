@@ -4,21 +4,28 @@
 //! each module exposes).
 //!
 //! ```text
-//! wave_speedup [--jobs <n>] [--reps <r>] [--small]
-//!   --jobs <n>   parallel worker count to compare against serial
-//!                (default: available parallelism)
-//!   --reps <r>   timed repetitions per configuration (default 5; the
-//!                minimum over reps is reported to suppress scheduling noise)
-//!   --small      three smallest workloads only
+//! wave_speedup [--jobs <n>] [--reps <r>] [--small] [--out <path>]
+//!              [--history <path>]
+//!   --jobs <n>      parallel worker count to compare against serial
+//!                   (default: available parallelism)
+//!   --reps <r>      timed repetitions per configuration (default 5; the
+//!                   minimum over reps is reported to suppress scheduling
+//!                   noise)
+//!   --small         three smallest workloads only
+//!   --out <p>       JSON results path (default BENCH_waves.json)
+//!   --history <p>   trajectory file to append one summary line to
+//!                   (default BENCH_history.jsonl; `--history none` skips)
 //! ```
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+use ipra_bench::{append_history, history_entry};
 use ipra_callgraph::{scc::SccInfo, CallGraph};
 use ipra_core::ipra::compile_module;
 use ipra_driver::Config;
 use ipra_ir::Module;
+use ipra_obs::json::Json;
 use ipra_workloads::synth;
 
 struct Row {
@@ -52,6 +59,8 @@ fn main() -> ExitCode {
     let mut jobs = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut reps = 5usize;
     let mut small = false;
+    let mut out_path = "BENCH_waves.json".to_string();
+    let mut history = Some("BENCH_history.jsonl".to_string());
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let ok = match a.as_str() {
@@ -73,10 +82,26 @@ fn main() -> ExitCode {
                 small = true;
                 true
             }
+            "--out" => match args.next() {
+                Some(p) => {
+                    out_path = p;
+                    true
+                }
+                None => false,
+            },
+            "--history" => match args.next() {
+                Some(p) => {
+                    history = (p != "none").then_some(p);
+                    true
+                }
+                None => false,
+            },
             _ => false,
         };
         if !ok {
-            eprintln!("usage: wave_speedup [--jobs N] [--reps R] [--small]");
+            eprintln!(
+                "usage: wave_speedup [--jobs N] [--reps R] [--small] [--out PATH] [--history PATH|none]"
+            );
             return ExitCode::FAILURE;
         }
     }
@@ -138,15 +163,61 @@ fn main() -> ExitCode {
     }
     let s: u128 = rows.iter().map(|r| r.serial_us).sum();
     let p: u128 = rows.iter().map(|r| r.parallel_us).sum();
+    let speedup = s as f64 / p.max(1) as f64;
     println!(
         "{:<10} {:>6} {:>6} {:>7} | {:>11} {:>11} {:>7.2}x",
-        "TOTAL",
-        "",
-        "",
-        "",
-        s,
-        p,
-        s as f64 / p.max(1) as f64
+        "TOTAL", "", "", "", s, p, speedup
     );
+
+    let total = Json::obj(vec![
+        ("serial_us", Json::Int(s as i64)),
+        ("parallel_us", Json::Int(p as i64)),
+        ("speedup", Json::Float(speedup)),
+    ]);
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("wave_speedup".into())),
+        ("reps", Json::Int(reps as i64)),
+        ("jobs", Json::Int(jobs as i64)),
+        ("total", total.clone()),
+        (
+            "programs",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::Str(r.name.clone())),
+                            ("funcs", Json::Int(r.funcs as i64)),
+                            ("waves", Json::Int(r.waves as i64)),
+                            ("widest", Json::Int(r.widest as i64)),
+                            ("serial_us", Json::Int(r.serial_us as i64)),
+                            ("parallel_us", Json::Int(r.parallel_us as i64)),
+                            (
+                                "speedup",
+                                Json::Float(r.serial_us as f64 / r.parallel_us.max(1) as f64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.render_pretty()) {
+        eprintln!("{out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if let Some(path) = history {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis());
+        if let Err(e) = append_history(
+            path.as_ref(),
+            &history_entry("wave_speedup", unix_ms, total),
+        ) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        println!("appended to {path}");
+    }
     ExitCode::SUCCESS
 }

@@ -290,6 +290,10 @@ pub fn allocate_function(
 
     let shrink_span = ipra_obs::span("shrink_wrap");
     let (locally_saved, save_plan, shrink_iterations);
+    // Registers whose local save landed at the entry and was therefore
+    // propagated up the call graph instead (§6) — fed to the penalty
+    // ledger below.
+    let mut propagated = RegMask::EMPTY;
     if opts.mode == AllocMode::NoAlloc {
         locally_saved = RegMask::EMPTY;
         save_plan = SavePlan::at_entry_exits(&cfg, RegMask::EMPTY);
@@ -323,6 +327,7 @@ pub fn allocate_function(
         let consider = RegMask(cs.0 & used.0 & !param_target_regs.0);
         let plan = shrink_wrap(&cfg, &loops, &app_for(consider));
         shrink_iterations = plan.iterations;
+        propagated = RegMask(consider.0 & plan.entry_spanning.0);
         let keep = RegMask(consider.0 & !plan.entry_spanning.0);
         // The analysis is bitwise-independent per register, so dropping the
         // propagated registers from every mask yields the plan for `keep`.
@@ -404,6 +409,52 @@ pub fn allocate_function(
                     call_plans[site].save_around.insert(r);
                 }
             }
+        }
+    }
+
+    // Static side of the per-edge penalty ledger: what this compile
+    // *planned* to pay at each call edge (caller-side saves around call
+    // sites) and at this function's own boundary (prologue saves, §6
+    // shrink-wrap placement). The labeled metrics merge additively across
+    // wave shards, so multiple sites calling the same callee accumulate
+    // into one (caller, callee) instance. Cache-replayed functions skip
+    // allocation entirely and record nothing — the ledger describes work
+    // performed by *this* compile.
+    if ipra_obs::is_enabled() {
+        for (si, site) in ranges.call_sites.iter().enumerate() {
+            let saved = call_plans[si].save_around.count() as u64;
+            if saved > 0 {
+                let callee = site
+                    .callee
+                    .map_or("<indirect>", |c| module.funcs[c].name.as_str());
+                ipra_obs::metric_counter(
+                    "penalty.callsite.saved_regs",
+                    &[("caller", &func.name), ("callee", callee)],
+                    saved,
+                );
+            }
+        }
+        if locally_saved.count() > 0 {
+            ipra_obs::metric_counter(
+                "penalty.prologue.saved_regs",
+                &[("func", &func.name)],
+                locally_saved.count() as u64,
+            );
+            let off_entry = RegMask(locally_saved.0 & !save_plan.save_at[cfg.entry.index()].0);
+            if off_entry.count() > 0 {
+                ipra_obs::metric_counter(
+                    "shrink_wrap.off_entry_regs",
+                    &[("func", &func.name)],
+                    off_entry.count() as u64,
+                );
+            }
+        }
+        if propagated.count() > 0 {
+            ipra_obs::metric_counter(
+                "shrink_wrap.propagated_regs",
+                &[("func", &func.name)],
+                propagated.count() as u64,
+            );
         }
     }
 

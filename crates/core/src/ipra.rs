@@ -118,6 +118,18 @@ pub fn compile_module_with_profile(
     scc.record_stats();
     openness.record_stats();
 
+    // Flight-recorder shape of the traversal. Recorded from the SCC
+    // structure itself (not from the scheduler) so serial and wave
+    // compilations produce identical metrics.
+    if ipra_obs::is_enabled() {
+        for comp in &scc.components {
+            ipra_obs::metric_observe("callgraph.scc_size", &[], comp.len() as u64);
+        }
+        for wave in scc.levels(&cg) {
+            ipra_obs::metric_observe("wave.width", &[], wave.len() as u64);
+        }
+    }
+
     let inter = opts.mode == AllocMode::Inter;
     let n = module.funcs.len();
     let jobs = opts.effective_jobs();
@@ -266,6 +278,7 @@ pub fn compile_module_with_profile(
                         cache_stats.recompiled.push(module.funcs[fid].name.clone());
                         let _obs = ipra_obs::scope(&module.funcs[fid].name);
                         ipra_obs::counter("cache.miss", 1);
+                        ipra_obs::metric_counter("cache.lookup", &[("result", "miss")], 1);
                     }
                     results[fid.index()] = Some(FuncResult::Fresh(Box::new(art)));
                 } else {
@@ -283,9 +296,11 @@ pub fn compile_module_with_profile(
                         let _obs = ipra_obs::scope(&module.funcs[fid].name);
                         let _t = ipra_obs::span("cache.hit");
                         ipra_obs::counter("cache.hit", 1);
+                        ipra_obs::metric_counter("cache.lookup", &[("result", "hit")], 1);
                         if cutoff {
                             cache_stats.cutoffs += 1;
                             ipra_obs::counter("cache.cutoff", 1);
+                            ipra_obs::metric_counter("cache.lookup", &[("result", "cutoff")], 1);
                         }
                     }
                     results[fid.index()] = Some(FuncResult::Cached(cf));

@@ -36,6 +36,18 @@ pub struct SavePlan {
 }
 
 impl SavePlan {
+    /// Number of `(block, register)` save placements in the plan.
+    pub fn save_points(&self) -> u32 {
+        self.save_at.iter().map(|m| m.count()).sum()
+    }
+
+    /// Number of `(block, register)` restore placements in the plan.
+    pub fn restore_points(&self) -> u32 {
+        self.restore_at.iter().map(|m| m.count()).sum()
+    }
+}
+
+impl SavePlan {
     /// A plan that saves everything at entry and restores at every exit —
     /// the classic convention, used when shrink-wrapping is disabled.
     pub fn at_entry_exits(cfg: &Cfg, regs: RegMask) -> SavePlan {
@@ -67,6 +79,28 @@ impl SavePlan {
 /// [`normalize_entries`](crate::normalize::normalize_entries) first): entry
 /// saves must execute exactly once per invocation.
 pub fn shrink_wrap(cfg: &Cfg, loops: &LoopInfo, app: &[RegMask]) -> SavePlan {
+    let plan = shrink_wrap_inner(cfg, loops, app);
+    // Flight-recorder distributions of plan shape: placement points per
+    // solve and range-extension rounds. Histograms merge bucket-wise
+    // across wave shards, so the module-level picture is scheduling-
+    // independent.
+    if ipra_obs::is_enabled() {
+        ipra_obs::metric_observe(
+            "shrink_wrap.save_points",
+            &[],
+            u64::from(plan.save_points()),
+        );
+        ipra_obs::metric_observe(
+            "shrink_wrap.restore_points",
+            &[],
+            u64::from(plan.restore_points()),
+        );
+        ipra_obs::metric_observe("shrink_wrap.rounds", &[], u64::from(plan.iterations));
+    }
+    plan
+}
+
+fn shrink_wrap_inner(cfg: &Cfg, loops: &LoopInfo, app: &[RegMask]) -> SavePlan {
     let nb = cfg.num_blocks();
     assert_eq!(app.len(), nb);
     assert!(

@@ -9,6 +9,7 @@
 //!   --run                  simulate and print output + statistics
 //!   --trace                print the compile/execution trace to stderr
 //!   --trace-json <path>    write the trace as JSON to <path>
+//!   --trace-chrome <path>  write a Chrome/Perfetto trace-event file to <path>
 //!   --jobs <n>             wave-scheduler worker threads (0 = auto, 1 = serial)
 //!   --cache-dir <dir>      incremental allocation cache directory
 //!   --verify-mc            statically verify register contracts of the
@@ -32,6 +33,7 @@ struct Args {
     run: bool,
     trace: bool,
     trace_json: Option<String>,
+    trace_chrome: Option<String>,
     profile_out: Option<String>,
     profile_in: Option<String>,
     verify_mc: bool,
@@ -46,7 +48,7 @@ enum Input {
 fn usage() -> &'static str {
     "usage: mini-cc [-O0|-O2|-O3] [--no-shrink-wrap] [--limit NC,NE] \
      [--emit ir|asm|summary] [--run] [--trace] [--trace-json PATH] \
-     [--jobs N] [--cache-dir DIR] [--profile-out PATH] [--profile-in PATH] \
+     [--trace-chrome PATH] [--jobs N] [--cache-dir DIR] [--profile-out PATH] [--profile-in PATH] \
      [--verify-mc | --no-verify-mc] (<file.mini> | --workload <name>)"
 }
 
@@ -57,6 +59,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut run = false;
     let mut trace = false;
     let mut trace_json = None;
+    let mut trace_chrome = None;
     let mut profile_out = None;
     let mut profile_in = None;
     // The static verifier is cheap relative to a compile, so debug builds
@@ -90,6 +93,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--run" => run = true,
             "--trace" => trace = true,
             "--trace-json" => trace_json = Some(args.next().ok_or("--trace-json needs a path")?),
+            "--trace-chrome" => {
+                trace_chrome = Some(args.next().ok_or("--trace-chrome needs a path")?)
+            }
             "--jobs" => {
                 let v = args.next().ok_or("--jobs needs a count")?;
                 jobs = Some(v.trim().parse::<usize>().map_err(|_| "bad --jobs count")?);
@@ -126,6 +132,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         run,
         trace,
         trace_json,
+        trace_chrome,
         profile_out,
         profile_in,
         verify_mc,
@@ -170,7 +177,7 @@ fn real_main() -> Result<(), String> {
 
     // Compile once (with tracing when requested) and reuse the result for
     // every emit kind and the run.
-    let tracing = args.trace || args.trace_json.is_some();
+    let tracing = args.trace || args.trace_json.is_some() || args.trace_chrome.is_some();
     if tracing {
         ipra_obs::enable();
     }
@@ -273,6 +280,12 @@ fn real_main() -> Result<(), String> {
     }
 
     if let Some(raw) = raw_trace {
+        // Chrome export works on the raw spans (it needs lanes and real
+        // timestamps), the structured trace on the digested view.
+        if let Some(path) = &args.trace_chrome {
+            let doc = ipra_obs::chrome::export(&raw, &config.name);
+            std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
+        }
         let trace = CompileTrace::build(&config.name, &raw, &compiled, stats.as_ref());
         if args.trace {
             eprint!("{}", trace.render_text());
@@ -373,6 +386,8 @@ mod tests {
         assert!(a.trace && a.run);
         assert_eq!(a.trace_json.as_deref(), Some("t.json"));
         let b = parse(&["x.mini"]);
-        assert!(!b.trace && b.trace_json.is_none());
+        assert!(!b.trace && b.trace_json.is_none() && b.trace_chrome.is_none());
+        let c = parse(&["--trace-chrome", "c.json", "x.mini"]);
+        assert_eq!(c.trace_chrome.as_deref(), Some("c.json"));
     }
 }

@@ -1,0 +1,124 @@
+//! `trace-tool` — analysis CLI for `mini-cc --trace-json` documents.
+//!
+//! ```text
+//! trace-tool top   <trace.json> [--by penalty|time] [--limit N]
+//! trace-tool diff  <old.json> <new.json> [--threshold PCT] [--min-abs N]
+//! trace-tool cache <trace.json>
+//! trace-tool flame <trace.json>
+//! ```
+//!
+//! `diff` exits 1 when any deterministic penalty quantity regressed past
+//! the threshold (default 10%), so CI can gate on it directly. Usage and
+//! I/O errors exit 2.
+
+use std::process::ExitCode;
+
+use ipra_driver::tracetool::{self, DiffOptions, TopBy, TraceDoc};
+
+fn usage() -> &'static str {
+    "usage: trace-tool <subcommand>\n\
+     \x20 top   <trace.json> [--by penalty|time] [--limit N]\n\
+     \x20 diff  <old.json> <new.json> [--threshold PCT] [--min-abs N]\n\
+     \x20 cache <trace.json>\n\
+     \x20 flame <trace.json>"
+}
+
+fn load(path: &str) -> Result<TraceDoc, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = ipra_obs::json::parse_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    tracetool::load(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn real_main(args: &[String]) -> Result<ExitCode, String> {
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| usage().to_string())?;
+    let rest = &args[1..];
+    match sub {
+        "top" => {
+            let mut path = None;
+            let mut by = TopBy::Penalty;
+            let mut limit = 10usize;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--by" => {
+                        by = match it.next().map(String::as_str) {
+                            Some("penalty") => TopBy::Penalty,
+                            Some("time") => TopBy::Time,
+                            _ => return Err("--by needs penalty|time".into()),
+                        }
+                    }
+                    "--limit" => {
+                        limit = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--limit needs a count")?
+                    }
+                    p if !p.starts_with('-') => path = Some(p.to_string()),
+                    other => return Err(format!("unknown option `{other}`\n{}", usage())),
+                }
+            }
+            let path = path.ok_or_else(|| usage().to_string())?;
+            print!("{}", tracetool::top_report(&load(&path)?, by, limit));
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let mut paths = Vec::new();
+            let mut opts = DiffOptions::default();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--threshold" => {
+                        opts.threshold_pct = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--threshold needs a percentage")?
+                    }
+                    "--min-abs" => {
+                        opts.min_abs = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--min-abs needs a count")?
+                    }
+                    p if !p.starts_with('-') => paths.push(p.to_string()),
+                    other => return Err(format!("unknown option `{other}`\n{}", usage())),
+                }
+            }
+            let [old, new] = paths.as_slice() else {
+                return Err(usage().into());
+            };
+            let report = tracetool::diff(&load(old)?, &load(new)?, &opts);
+            print!("{}", report.text);
+            Ok(if report.regressions.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "cache" => {
+            let path = rest.first().ok_or_else(|| usage().to_string())?;
+            print!("{}", tracetool::cache_report(&load(path)?)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "flame" => {
+            let path = rest.first().ok_or_else(|| usage().to_string())?;
+            print!("{}", tracetool::flame(&load(path)?));
+            Ok(ExitCode::SUCCESS)
+        }
+        "-h" | "--help" => Err(usage().into()),
+        other => Err(format!("unknown subcommand `{other}`\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match real_main(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -6,7 +6,10 @@
 //! prints — and additionally the compile is deterministic across worker
 //! counts (`jobs = 1` vs `jobs = 4` render byte-identical assembly) and
 //! across cache temperature (a warm `--cache-dir` compile replays to the
-//! same assembly as the cold one that populated it).
+//! same assembly as the cold one that populated it). A final trace oracle
+//! re-compiles under tracing and demands that the `--trace-json` document
+//! re-parses, that its span tree is well formed, and that the per-edge
+//! penalty ledger reconciles exactly with the aggregate statistics.
 //!
 //! Seeds whose oracle run exhausts a resource budget (fuel or call depth)
 //! are *skipped*, not failed: a generated program too expensive to execute
@@ -200,7 +203,84 @@ pub fn check_module(module: &Module, opts: &DiffOptions) -> Result<DiffVerdict, 
     if let Some(root) = &opts.cache_root {
         check_cache_roundtrip(module, root)?;
     }
+    check_trace(module)?;
     Ok(DiffVerdict::Pass)
+}
+
+/// Trace oracle: a traced compile+run of configuration C must produce a
+/// `--trace-json` document that (a) round-trips through our own JSON
+/// parser, (b) carries a well-formed span tree — unique ids, every parent
+/// recorded before its children — and (c) has a per-edge penalty ledger
+/// that reconciles *exactly* with the aggregate simulator statistics.
+fn check_trace(module: &Module) -> Result<(), DiffFailure> {
+    let config = Config::c();
+    ipra_obs::enable();
+    let compiled = compile_only(module, &config);
+    let raw = ipra_obs::disable();
+
+    // Span-tree well-formedness on the raw trace.
+    let mut seen = std::collections::HashSet::new();
+    for sp in &raw.spans {
+        if !seen.insert(sp.id) {
+            return Err(fail("trace", format!("duplicate span id {}", sp.id)));
+        }
+        if let Some(parent) = sp.parent_id {
+            if parent >= sp.id {
+                return Err(fail(
+                    "trace",
+                    format!("span {} has non-preceding parent {parent}", sp.id),
+                ));
+            }
+        }
+    }
+
+    let m = run_compiled(&compiled, &config)
+        .map_err(|t| fail("trace", format!("simulator trapped: {t}")))?;
+    let trace = crate::CompileTrace::build(&config.name, &raw, &compiled, Some(&m.stats));
+
+    // JSON round trip through our own parser.
+    let rendered = trace.to_json().render_pretty();
+    let doc = ipra_obs::json::parse(&rendered)
+        .map_err(|e| fail("trace", format!("trace JSON does not re-parse: {e}")))?;
+    if doc
+        .get("penalty_by_edge")
+        .and_then(|j| j.as_arr())
+        .is_none()
+    {
+        return Err(fail("trace", "re-parsed trace lost `penalty_by_edge`"));
+    }
+
+    // Exact ledger-vs-aggregate reconciliation.
+    let stats = &m.stats;
+    let cls = ipra_machine::MemClass::SaveRestore;
+    let spill = ipra_machine::MemClass::Spill;
+    let cost = &ipra_sim::SimOptions::for_target(&config.target.regs).cost;
+    let sums = trace.penalty_by_edge.iter().fold([0u64; 5], |mut a, e| {
+        a[0] += e.sr_loads;
+        a[1] += e.sr_stores;
+        a[2] += e.spill_loads;
+        a[3] += e.spill_stores;
+        a[4] += e.penalty_cycles;
+        a
+    });
+    let want = [
+        stats.loads(cls),
+        stats.stores(cls),
+        stats.loads(spill),
+        stats.stores(spill),
+        stats.penalty_cycles(cost),
+    ];
+    if sums != want {
+        return Err(fail(
+            "trace",
+            format!(
+                "penalty ledger does not reconcile with aggregate stats: \
+                 edge sums {sums:?} != aggregates {want:?} \
+                 (sr loads/stores, spill loads/stores, penalty cycles)"
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// Cold compile populates a fresh cache directory; the warm compile must

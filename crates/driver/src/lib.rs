@@ -21,6 +21,7 @@
 pub mod differential;
 pub mod profile;
 pub mod trace;
+pub mod tracetool;
 
 use ipra_core::config::AllocOptions;
 use ipra_core::ipra::{compile_module, compile_module_with_profile, CompiledModule};

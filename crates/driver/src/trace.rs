@@ -9,7 +9,9 @@
 use ipra_core::cache::CacheStats;
 use ipra_core::ipra::CompiledModule;
 use ipra_obs::json::Json;
+use ipra_obs::metrics::{Log2Histogram, Metrics};
 use ipra_obs::Trace;
+use ipra_sim::stats::ROOT_CALLER;
 use ipra_sim::Stats;
 
 /// Wall-clock time of one pipeline phase of one function. Phases nest:
@@ -88,6 +90,42 @@ pub struct CallEdge {
     pub count: u64,
 }
 
+/// Register-usage penalty attributed to one caller→callee edge — the
+/// per-edge ledger combining the simulator's dynamic accounting (every
+/// save/restore and spill memory operation charged to the edge that
+/// created the executing activation) with the allocator's static plan
+/// (caller-side saves around call sites on this edge).
+///
+/// Field-wise sums of the dynamic columns over all edges reconcile
+/// *exactly* with the aggregate [`SimTrace`] save/restore and spill
+/// totals; the synthetic `<entry>` caller carries `main`'s own prologue
+/// traffic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PenaltyEdge {
+    /// Calling function, or `"<entry>"` for the program-entry edge.
+    pub caller: String,
+    /// Called function.
+    pub callee: String,
+    /// Times the edge was taken (0 for the entry edge and for edges the
+    /// run never executed).
+    pub calls: u64,
+    /// Save/restore loads executed by activations this edge created.
+    pub sr_loads: u64,
+    /// Save/restore stores executed by activations this edge created.
+    pub sr_stores: u64,
+    /// Spill loads executed by activations this edge created.
+    pub spill_loads: u64,
+    /// Spill stores executed by activations this edge created.
+    pub spill_stores: u64,
+    /// Cycles spent on the save/restore traffic above (the edge's share of
+    /// the paper's Eq 3.5/3.6 penalty under the run's cost model).
+    pub penalty_cycles: u64,
+    /// Registers the allocator planned to save around this edge's call
+    /// sites (static; 0 when the caller replayed from the incremental
+    /// cache and recorded no allocation metrics).
+    pub static_save_regs: u64,
+}
+
 /// Whole-program simulator summary.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimTrace {
@@ -99,8 +137,20 @@ pub struct SimTrace {
     pub calls: u64,
     /// Deepest call stack observed.
     pub max_depth: usize,
-    /// `depth_hist[d]` = activations entered at stack depth `d`.
-    pub depth_hist: Vec<u64>,
+    /// Save/restore loads (aggregate).
+    pub save_restore_loads: u64,
+    /// Save/restore stores (aggregate).
+    pub save_restore_stores: u64,
+    /// Spill loads (aggregate).
+    pub spill_loads: u64,
+    /// Spill stores (aggregate).
+    pub spill_stores: u64,
+    /// Total cycles spent on save/restore traffic — the aggregate penalty
+    /// the per-edge ledger decomposes.
+    pub penalty_cycles: u64,
+    /// Activations entered, bucketed by stack depth (log₂ buckets; exact
+    /// count and max).
+    pub depth_hist: Log2Histogram,
     /// Dynamic call-edge counts, sorted by caller then callee id.
     pub call_edges: Vec<CallEdge>,
 }
@@ -119,6 +169,13 @@ pub struct CompileTrace {
     pub sim: Option<SimTrace>,
     /// Incremental-cache outcome, when a cache directory was configured.
     pub cache: Option<CacheStats>,
+    /// Per-call-edge penalty ledger: executed edges first (in function-id
+    /// order, the `<entry>` edge last), then statically-planned edges the
+    /// run never took, in name order.
+    pub penalty_by_edge: Vec<PenaltyEdge>,
+    /// Labeled metrics recorded during the compile (registry snapshot;
+    /// serialized sorted by `(name, labels)`).
+    pub metrics: Metrics,
 }
 
 /// Nests one function's spans into phase trees via the span parent ids.
@@ -246,30 +303,96 @@ impl CompileTrace {
             })
             .collect();
 
-        let sim = stats.map(|s| {
-            let fname = |i: u32| {
-                compiled
-                    .reports
-                    .get(i as usize)
-                    .map_or_else(|| format!("#{i}"), |r| r.name.clone())
-            };
-            SimTrace {
-                cycles: s.cycles,
-                insts: s.insts,
-                calls: s.calls,
-                max_depth: s.max_depth(),
-                depth_hist: s.depth_hist.clone(),
-                call_edges: s
-                    .call_edges
-                    .iter()
-                    .map(|&(a, b, n)| CallEdge {
-                        caller: fname(a),
-                        callee: fname(b),
-                        count: n,
-                    })
-                    .collect(),
+        let fname = |i: u32| {
+            if i == ROOT_CALLER {
+                return "<entry>".to_string();
             }
+            compiled
+                .reports
+                .get(i as usize)
+                .map_or_else(|| format!("#{i}"), |r| r.name.clone())
+        };
+
+        let sim = stats.map(|s| SimTrace {
+            cycles: s.cycles,
+            insts: s.insts,
+            calls: s.calls,
+            max_depth: s.max_depth(),
+            save_restore_loads: s.loads(ipra_machine::MemClass::SaveRestore),
+            save_restore_stores: s.stores(ipra_machine::MemClass::SaveRestore),
+            spill_loads: s.loads(ipra_machine::MemClass::Spill),
+            spill_stores: s.stores(ipra_machine::MemClass::Spill),
+            penalty_cycles: s.edge_penalty.iter().map(|e| e.penalty_cycles).sum(),
+            depth_hist: s.depth_hist.clone(),
+            call_edges: s
+                .call_edges
+                .iter()
+                .map(|&(a, b, n)| CallEdge {
+                    caller: fname(a),
+                    callee: fname(b),
+                    count: n,
+                })
+                .collect(),
         });
+
+        // Penalty ledger: dynamic edges from the simulator, static
+        // caller-side save plans from the allocator's labeled metrics,
+        // joined by (caller, callee) name.
+        let mut penalty_by_edge: Vec<PenaltyEdge> = stats
+            .map(|s| {
+                s.edge_penalty
+                    .iter()
+                    .map(|e| PenaltyEdge {
+                        caller: fname(e.caller),
+                        callee: fname(e.callee),
+                        calls: e.calls,
+                        sr_loads: e.sr_loads,
+                        sr_stores: e.sr_stores,
+                        spill_loads: e.spill_loads,
+                        spill_stores: e.spill_stores,
+                        penalty_cycles: e.penalty_cycles,
+                        static_save_regs: 0,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut static_edges: Vec<(String, String, u64)> = raw
+            .metrics
+            .counters_named("penalty.callsite.saved_regs")
+            .map(|m| {
+                let label = |k: &str| {
+                    m.labels
+                        .iter()
+                        .find(|(n, _)| n == k)
+                        .map_or("?", |(_, v)| v.as_str())
+                };
+                (
+                    label("caller").to_string(),
+                    label("callee").to_string(),
+                    m.value,
+                )
+            })
+            .collect();
+        static_edges.sort();
+        for (caller, callee, regs) in static_edges {
+            match penalty_by_edge
+                .iter_mut()
+                .find(|e| e.caller == caller && e.callee == callee)
+            {
+                Some(e) => e.static_save_regs += regs,
+                None => penalty_by_edge.push(PenaltyEdge {
+                    caller,
+                    callee,
+                    calls: 0,
+                    sr_loads: 0,
+                    sr_stores: 0,
+                    spill_loads: 0,
+                    spill_stores: 0,
+                    penalty_cycles: 0,
+                    static_save_regs: regs,
+                }),
+            }
+        }
 
         CompileTrace {
             config: config.to_string(),
@@ -277,6 +400,8 @@ impl CompileTrace {
             funcs,
             sim,
             cache: compiled.cache.enabled.then(|| compiled.cache.clone()),
+            penalty_by_edge,
+            metrics: raw.metrics.clone(),
         }
     }
 
@@ -333,9 +458,33 @@ impl CompileTrace {
                 "sim total: {} cycles, {} insts, {} calls, max depth {}",
                 s.cycles, s.insts, s.calls, s.max_depth
             );
-            let _ = writeln!(out, "  depth histogram: {:?}", s.depth_hist);
+            let _ = writeln!(
+                out,
+                "  penalty: {} cycles ({} sr loads, {} sr stores, {} spill ops)",
+                s.penalty_cycles,
+                s.save_restore_loads,
+                s.save_restore_stores,
+                s.spill_loads + s.spill_stores
+            );
+            let _ = writeln!(out, "  depth histogram: {}", s.depth_hist);
             for e in &s.call_edges {
                 let _ = writeln!(out, "  call {} -> {}: {}", e.caller, e.callee, e.count);
+            }
+        }
+        if !self.penalty_by_edge.is_empty() {
+            let _ = writeln!(out, "penalty by edge:");
+            for e in &self.penalty_by_edge {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {}: {} cycles ({} sr ops, {} spill ops, {} calls, {} planned save regs)",
+                    e.caller,
+                    e.callee,
+                    e.penalty_cycles,
+                    e.sr_loads + e.sr_stores,
+                    e.spill_loads + e.spill_stores,
+                    e.calls,
+                    e.static_save_regs
+                );
             }
         }
         out
@@ -432,10 +581,15 @@ impl CompileTrace {
                     ("insts", Json::Int(s.insts as i64)),
                     ("calls", Json::Int(s.calls as i64)),
                     ("max_depth", Json::Int(s.max_depth as i64)),
+                    ("save_restore_loads", Json::Int(s.save_restore_loads as i64)),
                     (
-                        "depth_hist",
-                        Json::Arr(s.depth_hist.iter().map(|&c| Json::Int(c as i64)).collect()),
+                        "save_restore_stores",
+                        Json::Int(s.save_restore_stores as i64),
                     ),
+                    ("spill_loads", Json::Int(s.spill_loads as i64)),
+                    ("spill_stores", Json::Int(s.spill_stores as i64)),
+                    ("penalty_cycles", Json::Int(s.penalty_cycles as i64)),
+                    ("depth_hist", s.depth_hist.to_json()),
                     (
                         "call_edges",
                         Json::Arr(
@@ -454,6 +608,28 @@ impl CompileTrace {
                 ]),
             ));
         }
+        root.push((
+            "penalty_by_edge",
+            Json::Arr(
+                self.penalty_by_edge
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("caller", Json::Str(e.caller.clone())),
+                            ("callee", Json::Str(e.callee.clone())),
+                            ("calls", Json::Int(e.calls as i64)),
+                            ("sr_loads", Json::Int(e.sr_loads as i64)),
+                            ("sr_stores", Json::Int(e.sr_stores as i64)),
+                            ("spill_loads", Json::Int(e.spill_loads as i64)),
+                            ("spill_stores", Json::Int(e.spill_stores as i64)),
+                            ("penalty_cycles", Json::Int(e.penalty_cycles as i64)),
+                            ("static_save_regs", Json::Int(e.static_save_regs as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        root.push(("metrics", self.metrics.to_json()));
         Json::Obj(root.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 }

@@ -1,0 +1,601 @@
+//! Analysis of `--trace-json` documents: the library behind `trace-tool`.
+//!
+//! Every subcommand works on the [`CompileTrace`](crate::CompileTrace)
+//! JSON schema: [`load`] lifts a parsed document into a [`TraceDoc`]
+//! (functions, penalty edges, cache outcome, totals), and the report
+//! builders are pure string-producing functions, so everything here is
+//! unit-testable without touching the filesystem.
+//!
+//! The regression gate ([`diff`]) deliberately compares only the
+//! *deterministic* simulator quantities — penalty cycles, save/restore
+//! traffic, total cycles — never wall-clock phase times: diffing a trace
+//! against itself is exactly zero regressions, and CI can gate on it
+//! without flakiness.
+
+use ipra_obs::json::Json;
+
+/// One pipeline phase of one function (tree; durations in ns).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    /// Phase name.
+    pub name: String,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nested sub-phases.
+    pub children: Vec<Phase>,
+}
+
+impl Phase {
+    /// Self time: duration minus children (clamped at 0 — children are
+    /// wall-clock sub-intervals, but guard against clock skew anyway).
+    pub fn self_ns(&self) -> u64 {
+        self.dur_ns
+            .saturating_sub(self.children.iter().map(|c| c.dur_ns).sum())
+    }
+}
+
+/// Per-function view of a trace document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncRow {
+    /// Function name.
+    pub name: String,
+    /// Top-level pipeline phases.
+    pub phases: Vec<Phase>,
+    /// Total compile time (sum of top-level phase durations), ns.
+    pub compile_ns: u64,
+    /// Dynamic save/restore memory operations this function executed.
+    pub sr_mem: u64,
+    /// Dynamic cycles charged to this function.
+    pub cycles: u64,
+}
+
+/// Per-edge view of the penalty ledger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeRow {
+    /// Calling function (`<entry>` for the program-entry edge).
+    pub caller: String,
+    /// Called function.
+    pub callee: String,
+    /// Times the edge was taken.
+    pub calls: u64,
+    /// Save/restore loads + stores on this edge.
+    pub sr_mem: u64,
+    /// Spill loads + stores on this edge.
+    pub spill_mem: u64,
+    /// Penalty cycles on this edge.
+    pub penalty_cycles: u64,
+    /// Statically planned caller-side save registers.
+    pub static_save_regs: u64,
+}
+
+impl EdgeRow {
+    /// `caller -> callee`, the key used in reports and diffs.
+    pub fn key(&self) -> String {
+        format!("{} -> {}", self.caller, self.callee)
+    }
+}
+
+/// Incremental-cache outcome of the compile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheRow {
+    /// Components replayed from the cache.
+    pub hits: u64,
+    /// Components compiled fresh.
+    pub misses: u64,
+    /// Hits whose direct callee was recompiled (early cutoffs).
+    pub cutoffs: u64,
+    /// Names of recompiled functions.
+    pub recompiled: Vec<String>,
+}
+
+/// Aggregate totals of a trace document.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Simulated cycles (0 when the program was not run).
+    pub cycles: u64,
+    /// Aggregate penalty cycles.
+    pub penalty_cycles: u64,
+    /// Aggregate save/restore memory operations.
+    pub sr_mem: u64,
+    /// Total compile time across functions, ns.
+    pub compile_ns: u64,
+}
+
+/// A loaded trace document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceDoc {
+    /// Configuration label.
+    pub config: String,
+    /// Per-function rows, in document order.
+    pub funcs: Vec<FuncRow>,
+    /// Penalty ledger rows, in document order.
+    pub edges: Vec<EdgeRow>,
+    /// Cache outcome, when the compile used a cache.
+    pub cache: Option<CacheRow>,
+    /// Aggregates.
+    pub totals: Totals,
+}
+
+fn get_u64(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_i64).unwrap_or(0).max(0) as u64
+}
+
+fn get_str(j: &Json, key: &str) -> String {
+    j.get(key).and_then(Json::as_str).unwrap_or("?").to_string()
+}
+
+fn parse_phase(j: &Json) -> Phase {
+    Phase {
+        name: get_str(j, "name"),
+        dur_ns: get_u64(j, "dur_ns"),
+        children: j
+            .get("children")
+            .and_then(Json::as_arr)
+            .map(|cs| cs.iter().map(parse_phase).collect())
+            .unwrap_or_default(),
+    }
+}
+
+/// Lifts a parsed `--trace-json` document into a [`TraceDoc`].
+///
+/// # Errors
+///
+/// Returns a message when the document lacks the schema's required
+/// members (`config`, `functions`).
+pub fn load(doc: &Json) -> Result<TraceDoc, String> {
+    let config = doc
+        .get("config")
+        .and_then(Json::as_str)
+        .ok_or("not a trace document: no `config` member")?
+        .to_string();
+    let funcs_json = doc
+        .get("functions")
+        .and_then(Json::as_arr)
+        .ok_or("not a trace document: no `functions` array")?;
+
+    let funcs: Vec<FuncRow> = funcs_json
+        .iter()
+        .map(|f| {
+            let phases: Vec<Phase> = f
+                .get("phases")
+                .and_then(Json::as_arr)
+                .map(|ps| ps.iter().map(parse_phase).collect())
+                .unwrap_or_default();
+            let compile_ns = phases.iter().map(|p| p.dur_ns).sum();
+            let (sr_mem, cycles) = f
+                .get("sim")
+                .map(|s| (get_u64(s, "save_restore_mem"), get_u64(s, "cycles")))
+                .unwrap_or((0, 0));
+            FuncRow {
+                name: get_str(f, "name"),
+                phases,
+                compile_ns,
+                sr_mem,
+                cycles,
+            }
+        })
+        .collect();
+
+    let edges: Vec<EdgeRow> = doc
+        .get("penalty_by_edge")
+        .and_then(Json::as_arr)
+        .map(|es| {
+            es.iter()
+                .map(|e| EdgeRow {
+                    caller: get_str(e, "caller"),
+                    callee: get_str(e, "callee"),
+                    calls: get_u64(e, "calls"),
+                    sr_mem: get_u64(e, "sr_loads") + get_u64(e, "sr_stores"),
+                    spill_mem: get_u64(e, "spill_loads") + get_u64(e, "spill_stores"),
+                    penalty_cycles: get_u64(e, "penalty_cycles"),
+                    static_save_regs: get_u64(e, "static_save_regs"),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let cache = doc.get("cache").map(|c| CacheRow {
+        hits: get_u64(c, "hits"),
+        misses: get_u64(c, "misses"),
+        cutoffs: get_u64(c, "cutoffs"),
+        recompiled: c
+            .get("recompiled")
+            .and_then(Json::as_arr)
+            .map(|r| {
+                r.iter()
+                    .filter_map(|n| n.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    });
+
+    let totals = Totals {
+        cycles: doc.get("sim").map_or(0, |s| get_u64(s, "cycles")),
+        penalty_cycles: doc.get("sim").map_or(0, |s| get_u64(s, "penalty_cycles")),
+        sr_mem: doc.get("sim").map_or(0, |s| {
+            get_u64(s, "save_restore_loads") + get_u64(s, "save_restore_stores")
+        }),
+        compile_ns: funcs.iter().map(|f| f.compile_ns).sum(),
+    };
+
+    Ok(TraceDoc {
+        config,
+        funcs,
+        edges,
+        cache,
+        totals,
+    })
+}
+
+/// Ranking key for [`top_report`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopBy {
+    /// Hottest by register-usage penalty (save/restore traffic).
+    Penalty,
+    /// Hottest by compile wall-clock time.
+    Time,
+}
+
+/// The `top` report: hottest functions and call edges under `by`,
+/// limited to `n` rows each.
+pub fn top_report(doc: &TraceDoc, by: TopBy, n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== trace-tool top [{}] ==", doc.config);
+    let _ = writeln!(
+        out,
+        "totals: {} cycles, {} penalty cycles, {} sr mem ops, {} µs compile",
+        doc.totals.cycles,
+        doc.totals.penalty_cycles,
+        doc.totals.sr_mem,
+        doc.totals.compile_ns / 1000
+    );
+
+    let mut funcs: Vec<&FuncRow> = doc.funcs.iter().collect();
+    match by {
+        TopBy::Penalty => {
+            funcs.sort_by(|a, b| (b.sr_mem, b.cycles, &a.name).cmp(&(a.sr_mem, a.cycles, &b.name)))
+        }
+        TopBy::Time => funcs.sort_by(|a, b| (b.compile_ns, &a.name).cmp(&(a.compile_ns, &b.name))),
+    }
+    let _ = writeln!(out, "functions:");
+    for f in funcs.iter().take(n) {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>10} sr mem  {:>12} cycles  {:>9} ns compile",
+            f.name, f.sr_mem, f.cycles, f.compile_ns
+        );
+    }
+
+    if !doc.edges.is_empty() {
+        let mut edges: Vec<&EdgeRow> = doc.edges.iter().collect();
+        edges.sort_by(|a, b| {
+            (b.penalty_cycles, b.sr_mem, a.key()).cmp(&(a.penalty_cycles, a.sr_mem, b.key()))
+        });
+        let _ = writeln!(out, "edges:");
+        for e in edges.iter().take(n) {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>8} penalty cycles  {:>8} sr  {:>6} spill  {:>8} calls",
+                e.key(),
+                e.penalty_cycles,
+                e.sr_mem,
+                e.spill_mem,
+                e.calls
+            );
+        }
+    }
+    out
+}
+
+/// Options for [`diff`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// A quantity regresses when it grows by more than this percentage.
+    pub threshold_pct: f64,
+    /// ...and by at least this many absolute units (filters noise on tiny
+    /// baselines, where one extra op is a huge percentage).
+    pub min_abs: u64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            threshold_pct: 10.0,
+            min_abs: 1,
+        }
+    }
+}
+
+/// The outcome of comparing two traces.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Human-readable report.
+    pub text: String,
+    /// Quantities that regressed past the threshold.
+    pub regressions: Vec<String>,
+}
+
+fn pct_change(old: u64, new: u64) -> f64 {
+    if old == 0 {
+        if new == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new as f64 - old as f64) / old as f64 * 100.0
+    }
+}
+
+/// Compares two traces on their deterministic penalty quantities.
+///
+/// Checked: total penalty cycles / save-restore traffic / cycles,
+/// per-function save/restore traffic, per-edge penalty cycles (edges
+/// present only in `new` count with an old value of 0). Wall-clock phase
+/// times are reported for context but never gate — so a trace diffed
+/// against itself always yields zero regressions.
+pub fn diff(old: &TraceDoc, new: &TraceDoc, opts: &DiffOptions) -> DiffReport {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let mut regressions = Vec::new();
+    let _ = writeln!(
+        text,
+        "== trace-tool diff [{} -> {}] (threshold {:.1}%) ==",
+        old.config, new.config, opts.threshold_pct
+    );
+
+    let check = |what: &str, o: u64, n: u64, regs: &mut Vec<String>, text: &mut String| {
+        let delta = pct_change(o, n);
+        let regressed = n > o && n - o >= opts.min_abs && delta > opts.threshold_pct;
+        if regressed {
+            regs.push(what.to_string());
+        }
+        if o != n || regressed {
+            let _ = writeln!(
+                text,
+                "  {} {what}: {o} -> {n} ({:+.1}%)",
+                if regressed { "REGRESSED" } else { "changed " },
+                delta
+            );
+        }
+    };
+
+    check(
+        "total penalty_cycles",
+        old.totals.penalty_cycles,
+        new.totals.penalty_cycles,
+        &mut regressions,
+        &mut text,
+    );
+    check(
+        "total save_restore_mem",
+        old.totals.sr_mem,
+        new.totals.sr_mem,
+        &mut regressions,
+        &mut text,
+    );
+    check(
+        "total cycles",
+        old.totals.cycles,
+        new.totals.cycles,
+        &mut regressions,
+        &mut text,
+    );
+
+    for nf in &new.funcs {
+        let of = old.funcs.iter().find(|f| f.name == nf.name);
+        check(
+            &format!("fn {} save_restore_mem", nf.name),
+            of.map_or(0, |f| f.sr_mem),
+            nf.sr_mem,
+            &mut regressions,
+            &mut text,
+        );
+    }
+    for ne in &new.edges {
+        let oe = old
+            .edges
+            .iter()
+            .find(|e| e.caller == ne.caller && e.callee == ne.callee);
+        check(
+            &format!("edge {} penalty_cycles", ne.key()),
+            oe.map_or(0, |e| e.penalty_cycles),
+            ne.penalty_cycles,
+            &mut regressions,
+            &mut text,
+        );
+    }
+
+    // Context only — compile time is wall clock and never gates.
+    let _ = writeln!(
+        text,
+        "  (info) compile time: {} µs -> {} µs",
+        old.totals.compile_ns / 1000,
+        new.totals.compile_ns / 1000
+    );
+    let _ = writeln!(text, "{} regression(s) past threshold", regressions.len());
+    DiffReport { text, regressions }
+}
+
+/// The `cache` report: hit/miss/cutoff breakdown.
+///
+/// # Errors
+///
+/// Returns a message when the trace was compiled without a cache.
+pub fn cache_report(doc: &TraceDoc) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let c = doc
+        .cache
+        .as_ref()
+        .ok_or("trace has no cache section (compile ran without --cache-dir)")?;
+    let mut out = String::new();
+    let total = c.hits + c.misses;
+    let _ = writeln!(out, "== trace-tool cache [{}] ==", doc.config);
+    let _ = writeln!(out, "  lookups: {total}");
+    let rate = |n: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64 * 100.0
+        }
+    };
+    let _ = writeln!(out, "  hits:    {:>6}  ({:.1}%)", c.hits, rate(c.hits));
+    let _ = writeln!(out, "  misses:  {:>6}  ({:.1}%)", c.misses, rate(c.misses));
+    let _ = writeln!(
+        out,
+        "  cutoffs: {:>6}  (early cutoffs among hits)",
+        c.cutoffs
+    );
+    if !c.recompiled.is_empty() {
+        let _ = writeln!(out, "  recompiled: {}", c.recompiled.join(", "));
+    }
+    Ok(out)
+}
+
+/// Collapsed-stack output for `flamegraph.pl`: one line per phase-tree
+/// node, `func;phase;subphase <self-time-ns>`.
+pub fn flame(doc: &TraceDoc) -> String {
+    fn walk(out: &mut String, stack: &mut Vec<String>, p: &Phase) {
+        stack.push(p.name.clone());
+        out.push_str(&stack.join(";"));
+        out.push(' ');
+        out.push_str(&p.self_ns().to_string());
+        out.push('\n');
+        for c in &p.children {
+            walk(out, stack, c);
+        }
+        stack.pop();
+    }
+    let mut out = String::new();
+    for f in &doc.funcs {
+        let mut stack = vec![f.name.clone()];
+        for p in &f.phases {
+            walk(&mut out, &mut stack, p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipra_obs::json::parse;
+
+    fn doc(penalty: u64, helper_sr: u64) -> TraceDoc {
+        let text = format!(
+            r#"{{
+              "config": "C",
+              "functions": [
+                {{"name": "helper",
+                  "phases": [{{"name": "ranges", "dur_ns": 300, "children": [
+                      {{"name": "ranges.live", "dur_ns": 100, "children": []}}]}},
+                    {{"name": "color", "dur_ns": 700, "children": []}}],
+                  "sim": {{"cycles": 900, "save_restore_mem": {helper_sr}}}}},
+                {{"name": "main",
+                  "phases": [{{"name": "ranges", "dur_ns": 4000, "children": []}}],
+                  "sim": {{"cycles": 2000, "save_restore_mem": 2}}}}
+              ],
+              "sim": {{"cycles": 2900, "penalty_cycles": {penalty},
+                      "save_restore_loads": 3, "save_restore_stores": 3}},
+              "penalty_by_edge": [
+                {{"caller": "main", "callee": "helper", "calls": 20,
+                  "sr_loads": 2, "sr_stores": 2, "spill_loads": 0, "spill_stores": 1,
+                  "penalty_cycles": {penalty}, "static_save_regs": 1}},
+                {{"caller": "<entry>", "callee": "main", "calls": 0,
+                  "sr_loads": 1, "sr_stores": 1, "spill_loads": 0, "spill_stores": 0,
+                  "penalty_cycles": 3, "static_save_regs": 0}}
+              ],
+              "cache": {{"hits": 3, "misses": 1, "cutoffs": 1, "recompiled": ["helper"]}}
+            }}"#
+        );
+        load(&parse(&text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn load_extracts_rows_and_totals() {
+        let d = doc(10, 4);
+        assert_eq!(d.config, "C");
+        assert_eq!(d.funcs.len(), 2);
+        assert_eq!(d.funcs[0].compile_ns, 1000, "top-level phases only");
+        assert_eq!(d.edges.len(), 2);
+        assert_eq!(d.edges[0].sr_mem, 4);
+        assert_eq!(d.edges[0].spill_mem, 1);
+        assert_eq!(d.totals.sr_mem, 6);
+        assert_eq!(d.totals.compile_ns, 5000);
+        assert_eq!(d.cache.as_ref().unwrap().hits, 3);
+        assert!(load(&parse("{\"x\": 1}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn top_ranks_by_penalty_and_time() {
+        let d = doc(10, 4);
+        let by_pen = top_report(&d, TopBy::Penalty, 10);
+        let helper_pos = by_pen.find("  helper").unwrap();
+        let main_pos = by_pen.find("  main").unwrap();
+        assert!(helper_pos < main_pos, "helper pays more penalty");
+        assert!(by_pen.contains("main -> helper"));
+
+        // `main` compiles slower, so ranking by time reverses the order.
+        let by_time = top_report(&d, TopBy::Time, 10);
+        let helper_pos = by_time.find("  helper").unwrap();
+        let main_pos = by_time.find("  main").unwrap();
+        assert!(main_pos < helper_pos, "main compiles slower");
+    }
+
+    #[test]
+    fn self_identical_diff_has_zero_regressions() {
+        let d = doc(10, 4);
+        let r = diff(&d, &d, &DiffOptions::default());
+        assert!(r.regressions.is_empty(), "{}", r.text);
+    }
+
+    #[test]
+    fn planted_ten_percent_regression_is_flagged() {
+        let old = doc(100, 4);
+        let new = doc(112, 4); // +12% penalty cycles
+        let r = diff(&old, &new, &DiffOptions::default());
+        assert!(
+            r.regressions.iter().any(|s| s.contains("penalty_cycles")),
+            "{}",
+            r.text
+        );
+        // Below threshold: not flagged.
+        let small = doc(105, 4); // +5%
+        let r = diff(&old, &small, &DiffOptions::default());
+        assert!(r.regressions.is_empty(), "{}", r.text);
+    }
+
+    #[test]
+    fn new_function_regression_counts_from_zero_baseline() {
+        let old = doc(10, 0);
+        let new = doc(10, 4);
+        let r = diff(&old, &new, &DiffOptions::default());
+        assert!(
+            r.regressions.iter().any(|s| s.contains("fn helper")),
+            "{}",
+            r.text
+        );
+    }
+
+    #[test]
+    fn cache_report_breaks_down_lookups() {
+        let d = doc(10, 4);
+        let r = cache_report(&d).unwrap();
+        assert!(r.contains("hits:"));
+        assert!(r.contains("75.0%"));
+        let mut no_cache = d.clone();
+        no_cache.cache = None;
+        assert!(cache_report(&no_cache).is_err());
+    }
+
+    #[test]
+    fn flame_emits_collapsed_stacks_with_self_time() {
+        let d = doc(10, 4);
+        let f = flame(&d);
+        assert!(f.contains("helper;ranges 200\n"), "{f}");
+        assert!(f.contains("helper;ranges;ranges.live 100\n"));
+        assert!(f.contains("helper;color 700\n"));
+        assert!(f.contains("main;ranges 4000\n"));
+    }
+}

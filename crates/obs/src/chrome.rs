@@ -1,0 +1,218 @@
+//! Chrome `trace_event` export.
+//!
+//! Converts a [`crate::Trace`] span tree into the JSON object format
+//! understood by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! a `{"traceEvents": [...]}` document of complete (`"X"`) events plus
+//! `"M"` metadata naming the process and one thread per span lane.
+//!
+//! Two things to know when reading the result:
+//!
+//! - **Times are virtual.** [`crate::absorb`] rebases worker shards onto a
+//!   serial virtual clock so merged traces are deterministic; the exported
+//!   timeline therefore shows logical ordering and per-span durations, not
+//!   wall-clock overlap.
+//! - **Threads are lanes.** Each tid is a [`crate::SpanRec::lane`] — one
+//!   logical unit of parallel work (e.g. one function's allocation in a
+//!   wave), numbered in shard-absorption order, not an OS thread id.
+
+use crate::json::Json;
+use crate::{SpanRec, Trace};
+
+/// Process id used for all exported events (the trace is one process).
+const PID: i64 = 1;
+
+fn micros(ns: u64) -> Json {
+    // trace_event timestamps are microseconds; keep sub-µs precision as a
+    // fraction so short phases don't collapse to zero-width slices.
+    Json::Float(ns as f64 / 1000.0)
+}
+
+fn metadata(name: &'static str, tid: i64, value: &str) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("ph", Json::Str("M".to_string())),
+        ("ts", Json::Int(0)),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(tid)),
+        (
+            "args",
+            Json::obj(vec![("name", Json::Str(value.to_string()))]),
+        ),
+    ])
+}
+
+fn complete_event(sp: &SpanRec) -> Json {
+    let mut args = vec![("span_id", Json::Int(sp.id as i64))];
+    if !sp.scope.is_empty() {
+        args.push(("scope", Json::Str(sp.scope.clone())));
+    }
+    if let Some(p) = sp.parent_id {
+        args.push(("parent_id", Json::Int(p as i64)));
+    }
+    Json::obj(vec![
+        ("name", Json::Str(sp.name.to_string())),
+        (
+            "cat",
+            Json::Str(if sp.scope.is_empty() {
+                "module".to_string()
+            } else {
+                "function".to_string()
+            }),
+        ),
+        ("ph", Json::Str("X".to_string())),
+        ("ts", micros(sp.start_ns)),
+        ("dur", micros(sp.dur_ns)),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(sp.lane as i64)),
+        ("args", Json::obj(args)),
+    ])
+}
+
+/// Builds a `{"traceEvents": [...]}` document from a trace's spans.
+///
+/// `process_name` labels the single exported process (callers typically
+/// pass the compile configuration name). Every event carries the keys the
+/// format requires — `name`, `ph`, `ts`, `pid`, `tid` — and `"X"` events
+/// additionally carry `dur`; span scope and tree structure ride along in
+/// `args`.
+pub fn export(trace: &Trace, process_name: &str) -> Json {
+    let mut events = Vec::with_capacity(trace.spans.len() + 8);
+    events.push(metadata(
+        "process_name",
+        0,
+        &format!("mini-cc ({process_name})"),
+    ));
+
+    let mut lanes: Vec<u32> = trace.spans.iter().map(|s| s.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for &lane in &lanes {
+        let label = if lane == 0 {
+            "driver".to_string()
+        } else {
+            format!("lane-{lane}")
+        };
+        events.push(metadata("thread_name", lane as i64, &label));
+    }
+
+    // Spans are recorded in completion order; export in start order so the
+    // document reads chronologically (viewers do not require it, humans
+    // paging through the JSON do).
+    let mut spans: Vec<&SpanRec> = trace.spans.iter().collect();
+    spans.sort_by_key(|s| (s.start_ns, s.id));
+    events.extend(spans.into_iter().map(complete_event));
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        name: &'static str,
+        id: u64,
+        parent: Option<u64>,
+        start: u64,
+        dur: u64,
+        lane: u32,
+    ) -> SpanRec {
+        SpanRec {
+            scope: if lane == 0 {
+                String::new()
+            } else {
+                format!("f{lane}")
+            },
+            name,
+            id,
+            parent_id: parent,
+            start_ns: start,
+            dur_ns: dur,
+            lane,
+        }
+    }
+
+    #[test]
+    fn every_event_has_the_required_keys() {
+        let trace = Trace {
+            spans: vec![
+                span("compile", 0, None, 0, 5000, 0),
+                span("color", 1, Some(0), 500, 1500, 1),
+                span("lower", 2, Some(0), 2500, 1000, 2),
+            ],
+            ..Trace::default()
+        };
+        let doc = export(&trace, "C");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        for ev in events {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(
+                    ev.get(key).is_some(),
+                    "event missing `{key}`: {}",
+                    ev.render()
+                );
+            }
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            match ph {
+                "X" => assert!(ev.get("dur").is_some(), "complete event needs dur"),
+                "M" => assert!(ev.get("args").unwrap().get("name").is_some()),
+                other => panic!("unexpected phase `{other}`"),
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_become_named_threads() {
+        let trace = Trace {
+            spans: vec![
+                span("compile", 0, None, 0, 5000, 0),
+                span("color", 1, None, 0, 100, 3),
+            ],
+            ..Trace::default()
+        };
+        let doc = export(&trace, "C");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let thread_names: Vec<(i64, String)> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .map(|e| {
+                (
+                    e.get("tid").unwrap().as_i64().unwrap(),
+                    e.get("args")
+                        .unwrap()
+                        .get("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            thread_names,
+            vec![(0, "driver".to_string()), (3, "lane-3".to_string())]
+        );
+        let color = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("color"))
+            .unwrap();
+        assert_eq!(color.get("tid").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let trace = Trace {
+            spans: vec![span("phase", 0, None, 2500, 1500, 0)],
+            ..Trace::default()
+        };
+        let doc = export(&trace, "C");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let ev = events.last().unwrap();
+        assert_eq!(ev.get("ts").unwrap().as_f64(), Some(2.5));
+        assert_eq!(ev.get("dur").unwrap().as_f64(), Some(1.5));
+    }
+}

@@ -212,6 +212,23 @@ pub fn parse(s: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// Parses a JSON document from raw bytes.
+///
+/// JSON documents must be UTF-8; byte streams that are not valid UTF-8 are
+/// rejected before parsing starts. (The [`parse`] entry point cannot even
+/// be handed such input — `&str` is UTF-8 by construction — so callers
+/// holding untrusted bytes should come through here.)
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first invalid UTF-8
+/// sequence or syntax error.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Json, String> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| format!("invalid utf-8 at byte {}", e.valid_up_to()))?;
+    parse(s)
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,

@@ -13,7 +13,9 @@ use ipra_machine::{
     RegMask,
 };
 
-use crate::stats::{FuncStats, Stats};
+use ipra_machine::MemClass;
+
+use crate::stats::{EdgePenalty, FuncStats, Stats, ROOT_CALLER};
 
 /// Why simulation stopped abnormally.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -153,6 +155,10 @@ struct Activation {
     /// Register values the returning function must reproduce (convention
     /// checking only).
     preserved: Option<Vec<(PReg, i64)>>,
+    /// The call edge `(caller, callee)` that created this activation;
+    /// `(ROOT_CALLER, main)` for the program entry. Save/restore and spill
+    /// traffic executed by this activation is charged to this edge.
+    edge: (u32, u32),
 }
 
 /// Runs `main` of a lowered module.
@@ -180,7 +186,9 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
         per_func: vec![FuncStats::default(); module.funcs.len()],
         ..Stats::default()
     };
-    let mut edge_counts: std::collections::HashMap<(u32, u32), u64> =
+    // One ledger entry per dynamic call edge: call counts and the
+    // save/restore + spill traffic charged to activations the edge created.
+    let mut edge_pen: std::collections::HashMap<(u32, u32), EdgePenalty> =
         std::collections::HashMap::new();
 
     let new_activation = |module: &MModule, func: FuncId, incoming: Vec<i64>| -> Activation {
@@ -197,6 +205,7 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
             incoming,
             outgoing: vec![0i64; f.max_outgoing as usize],
             preserved: None,
+            edge: (ROOT_CALLER, func.0),
         }
     };
 
@@ -281,6 +290,17 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
                     charge!(opts.cost.load);
                     stats.count_load(*class);
                     stats.per_func[cur.func.index()].count_load(*class);
+                    match class {
+                        MemClass::SaveRestore => {
+                            let e = edge_pen.entry(cur.edge).or_default();
+                            e.sr_loads += 1;
+                            e.penalty_cycles += opts.cost.load;
+                        }
+                        MemClass::Spill => {
+                            edge_pen.entry(cur.edge).or_default().spill_loads += 1;
+                        }
+                        _ => {}
+                    }
                     let v = read_mem(module, &globals, &cur, &reg_file, *addr)?;
                     reg_file[dst.index()] = v;
                 }
@@ -288,6 +308,17 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
                     charge!(opts.cost.store);
                     stats.count_store(*class);
                     stats.per_func[cur.func.index()].count_store(*class);
+                    match class {
+                        MemClass::SaveRestore => {
+                            let e = edge_pen.entry(cur.edge).or_default();
+                            e.sr_stores += 1;
+                            e.penalty_cycles += opts.cost.store;
+                        }
+                        MemClass::Spill => {
+                            edge_pen.entry(cur.edge).or_default().spill_stores += 1;
+                        }
+                        _ => {}
+                    }
                     let v = read(&reg_file, *src);
                     write_mem(module, &mut globals, &mut cur, &reg_file, *addr, v)?;
                 }
@@ -322,8 +353,9 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
                     if stack.len() + 1 >= opts.max_depth {
                         return Err(SimTrap::StackOverflow);
                     }
-                    *edge_counts.entry((cur.func.0, target.0)).or_insert(0) += 1;
+                    edge_pen.entry((cur.func.0, target.0)).or_default().calls += 1;
                     let mut callee_act = new_activation(module, target, incoming);
+                    callee_act.edge = (cur.func.0, target.0);
                     callee_act.preserved = snapshot(opts, target, &reg_file);
                     stack.push(std::mem::replace(&mut cur, callee_act));
                     stats.record_depth(stack.len() + 1);
@@ -362,12 +394,23 @@ pub fn run(module: &MModule, regs: &RegFile, opts: &SimOptions) -> Result<SimRes
                     match stack.pop() {
                         Some(parent) => cur = parent,
                         None => {
-                            let mut edges: Vec<(u32, u32, u64)> = edge_counts
+                            let mut ledger: Vec<EdgePenalty> = edge_pen
                                 .into_iter()
-                                .map(|((a, b), n)| (a, b, n))
+                                .map(|((a, b), e)| EdgePenalty {
+                                    caller: a,
+                                    callee: b,
+                                    ..e
+                                })
                                 .collect();
-                            edges.sort_unstable();
-                            stats.call_edges = edges;
+                            // ROOT_CALLER is u32::MAX, so plain (caller,
+                            // callee) order puts the entry edge last.
+                            ledger.sort_unstable_by_key(|e| (e.caller, e.callee));
+                            stats.call_edges = ledger
+                                .iter()
+                                .filter(|e| e.calls > 0)
+                                .map(|e| (e.caller, e.callee, e.calls))
+                                .collect();
+                            stats.edge_penalty = ledger;
                             return Ok(SimResult {
                                 output,
                                 return_value: reg_file[regs.ret_reg().index()],

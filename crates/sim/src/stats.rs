@@ -1,6 +1,58 @@
 //! Execution statistics — the quantities Table 1 and Table 2 report.
 
-use ipra_machine::MemClass;
+use ipra_machine::{CostModel, MemClass};
+use ipra_obs::metrics::Log2Histogram;
+
+/// Synthetic caller id for the program-entry edge `<entry> -> main`:
+/// `main`'s activation is not created by a call instruction, but its
+/// prologue save/restore traffic still needs an edge to land on.
+pub const ROOT_CALLER: u32 = u32::MAX;
+
+/// Penalty traffic attributed to one caller→callee edge of the dynamic
+/// call graph — the per-edge decomposition of the paper's register usage
+/// penalty (Eqs 3.5/3.6). Every save/restore and spill memory operation an
+/// activation executes is charged to the edge that *created* the
+/// activation, so summing any field over all edges reproduces the
+/// corresponding aggregate in [`Stats`] exactly.
+///
+/// Caller-side saves around a call site (the allocator's `save_around`
+/// plan) execute inside the *caller's* activation and therefore land on
+/// the caller's own incoming edge; the static side of the ledger (the
+/// allocator's `penalty.callsite.saved_regs` metric) breaks those out per
+/// call site.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct EdgePenalty {
+    /// Calling function (`FuncId` index), or [`ROOT_CALLER`] for the
+    /// program-entry edge.
+    pub caller: u32,
+    /// Called function (`FuncId` index).
+    pub callee: u32,
+    /// Times this edge was taken (0 for the program-entry edge).
+    pub calls: u64,
+    /// Save/restore-class loads executed by activations created here.
+    pub sr_loads: u64,
+    /// Save/restore-class stores executed by activations created here.
+    pub sr_stores: u64,
+    /// Spill-class loads executed by activations created here.
+    pub spill_loads: u64,
+    /// Spill-class stores executed by activations created here.
+    pub spill_stores: u64,
+    /// Cycles spent on the save/restore traffic above, priced by the run's
+    /// [`CostModel`] — the edge's share of the paper's penalty.
+    pub penalty_cycles: u64,
+}
+
+impl EdgePenalty {
+    /// Save/restore loads + stores on this edge.
+    pub fn save_restore_mem(&self) -> u64 {
+        self.sr_loads + self.sr_stores
+    }
+
+    /// Spill loads + stores on this edge.
+    pub fn spill_mem(&self) -> u64 {
+        self.spill_loads + self.spill_stores
+    }
+}
 
 /// Dynamic counts attributed to a single function (cycles, instructions and
 /// memory traffic charged while that function's activation was current;
@@ -52,16 +104,23 @@ pub struct Stats {
     pub loads_by_class: [u64; 4],
     /// Stores executed, by accounting class.
     pub stores_by_class: [u64; 4],
-    /// Call-stack depth histogram: `depth_hist[d]` counts activations
-    /// *entered* at depth `d` (`main` enters at depth 1; index 0 is
-    /// unused). The deepest stack observed is [`Stats::max_depth`].
-    pub depth_hist: Vec<u64>,
+    /// Call-stack depth histogram: activations *entered*, bucketed by
+    /// stack depth (`main` enters at depth 1). Exact count/max survive the
+    /// log₂ bucketing, so [`Stats::max_depth`] is still precise — and the
+    /// histogram stays bounded even at the simulator's 100 000-frame depth
+    /// limit, where the old dense vector grew one slot per depth.
+    pub depth_hist: Log2Histogram,
     /// Per-function attribution, indexed by `FuncId` (empty unless the
     /// simulator filled it in).
     pub per_func: Vec<FuncStats>,
     /// Dynamic call-edge counts `(caller, callee, count)` as `FuncId`
     /// indices, sorted by `(caller, callee)`.
     pub call_edges: Vec<(u32, u32, u64)>,
+    /// Per-call-edge penalty ledger, sorted by `(caller, callee)` with the
+    /// program-entry edge ([`ROOT_CALLER`]) last. Field-wise sums over
+    /// this vector reconcile exactly with the aggregate save/restore and
+    /// spill counts above.
+    pub edge_penalty: Vec<EdgePenalty>,
 }
 
 fn class_index(c: MemClass) -> usize {
@@ -86,15 +145,13 @@ impl Stats {
 
     /// Records an activation entering at stack depth `d` (`main` is 1).
     pub fn record_depth(&mut self, d: usize) {
-        if self.depth_hist.len() <= d {
-            self.depth_hist.resize(d + 1, 0);
-        }
-        self.depth_hist[d] += 1;
+        self.depth_hist.observe(d as u64);
     }
 
-    /// Deepest call stack observed, derived from the depth histogram.
+    /// Deepest call stack observed (exact: the histogram tracks its max
+    /// on the side).
     pub fn max_depth(&self) -> usize {
-        self.depth_hist.iter().rposition(|&c| c > 0).unwrap_or(0)
+        self.depth_hist.max as usize
     }
 
     /// Loads of a given class.
@@ -127,6 +184,15 @@ impl Stats {
     /// Save/restore loads + stores only.
     pub fn save_restore_mem(&self) -> u64 {
         self.loads(MemClass::SaveRestore) + self.stores(MemClass::SaveRestore)
+    }
+
+    /// Total cycles spent on save/restore traffic under `cost` — the
+    /// aggregate register usage penalty (Eqs 3.5/3.6 summed over all
+    /// edges). Equals the sum of [`EdgePenalty::penalty_cycles`] over
+    /// [`Stats::edge_penalty`] by construction.
+    pub fn penalty_cycles(&self, cost: &CostModel) -> u64 {
+        self.loads(MemClass::SaveRestore) * cost.load
+            + self.stores(MemClass::SaveRestore) * cost.store
     }
 
     /// Average cycles per call — the paper's `cycles/call` column.
@@ -184,10 +250,32 @@ mod tests {
         s.record_depth(2);
         s.record_depth(2);
         s.record_depth(4);
-        assert_eq!(s.depth_hist, vec![0, 1, 2, 0, 1]);
+        assert_eq!(s.depth_hist.count, 4, "one sample per activation");
+        assert_eq!(s.depth_hist.count_for(1), 1);
+        assert_eq!(s.depth_hist.count_for(2), 2);
         assert_eq!(s.max_depth(), 4);
         s.record_depth(3);
         assert_eq!(s.max_depth(), 4, "shallower entries keep the max");
+        // Extreme depths stay bounded: the old dense vector allocated one
+        // slot per depth, the log₂ histogram at most 65 buckets.
+        s.record_depth(99_999);
+        assert_eq!(s.max_depth(), 99_999);
+    }
+
+    #[test]
+    fn edge_penalty_sums() {
+        let e = EdgePenalty {
+            caller: 0,
+            callee: 1,
+            calls: 3,
+            sr_loads: 4,
+            sr_stores: 5,
+            spill_loads: 1,
+            spill_stores: 2,
+            penalty_cycles: 13,
+        };
+        assert_eq!(e.save_restore_mem(), 9);
+        assert_eq!(e.spill_mem(), 3);
     }
 
     #[test]

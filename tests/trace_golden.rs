@@ -109,13 +109,47 @@ fn traced_json_has_every_phase_once_per_function() {
     let sim = doc.get("sim").unwrap();
     assert!(sim.get("cycles").unwrap().as_i64().unwrap() > 0);
     assert_eq!(sim.get("max_depth").unwrap().as_i64(), Some(2));
-    let hist = sim.get("depth_hist").unwrap().as_arr().unwrap();
-    assert_eq!(hist[0].as_i64(), Some(0), "depth 0 unused");
-    assert_eq!(hist[1].as_i64(), Some(1), "main enters once at depth 1");
+    // The depth histogram is a log₂ histogram object: 21 activations in
+    // total, `main` once at depth 1 (bucket [1,2)), `helper` 20 times at
+    // depth 2 (bucket [2,4)), exact max on the side.
+    let hist = sim.get("depth_hist").unwrap();
+    assert_eq!(hist.get("count").unwrap().as_i64(), Some(21));
+    assert_eq!(hist.get("max").unwrap().as_i64(), Some(2));
+    let buckets = hist.get("buckets").unwrap().as_arr().unwrap();
+    let bucket_count = |lo: i64| {
+        buckets
+            .iter()
+            .find(|b| b.get("lo").unwrap().as_i64() == Some(lo))
+            .map(|b| b.get("count").unwrap().as_i64().unwrap())
+            .unwrap_or(0)
+    };
+    assert_eq!(bucket_count(1), 1, "main enters once at depth 1");
+    assert_eq!(bucket_count(2), 20, "helper enters 20 times at depth 2");
+
+    // The penalty ledger attributes the save/restore traffic to edges and
+    // sums exactly to the aggregate counts.
+    let ledger = doc.get("penalty_by_edge").unwrap().as_arr().unwrap();
+    assert!(!ledger.is_empty());
+    let sum = |key: &str| -> i64 {
+        ledger
+            .iter()
+            .map(|e| e.get(key).unwrap().as_i64().unwrap())
+            .sum()
+    };
     assert_eq!(
-        hist[2].as_i64(),
-        Some(20),
-        "helper enters 20 times at depth 2"
+        sum("sr_loads"),
+        sim.get("save_restore_loads").unwrap().as_i64().unwrap(),
+        "ledger reconciles with aggregate loads"
+    );
+    assert_eq!(
+        sum("sr_stores"),
+        sim.get("save_restore_stores").unwrap().as_i64().unwrap(),
+        "ledger reconciles with aggregate stores"
+    );
+    assert_eq!(
+        sum("penalty_cycles"),
+        sim.get("penalty_cycles").unwrap().as_i64().unwrap(),
+        "ledger reconciles with aggregate penalty cycles"
     );
     let edges = sim.get("call_edges").unwrap().as_arr().unwrap();
     assert_eq!(edges.len(), 1);
