@@ -3,20 +3,26 @@
 //!
 //! ```text
 //! bench --check-budgets [--cache-file <p>] [--waves-file <p>]
-//!       [--history <p>] [--warm-floor <x>] [--wave-floor <x>]
-//!   --check-budgets   verify the artifacts against the budget floors
-//!   --cache-file <p>  cache results (default BENCH_cache.json)
-//!   --waves-file <p>  wave results (default BENCH_waves.json)
-//!   --history <p>     trajectory file whose lines must all parse
-//!                     (default BENCH_history.jsonl; `none` skips)
-//!   --warm-floor <x>  minimum warm-cache compile speedup (default 3.0)
-//!   --wave-floor <x>  minimum wave-scheduler speedup (default 0.0 —
-//!                     informational until hosts guarantee >1 cores)
+//!       [--allocs-file <p>] [--history <p>] [--warm-floor <x>]
+//!       [--wave-floor <x>] [--allocs-floor <x>]
+//!   --check-budgets    verify the artifacts against the budget floors
+//!   --cache-file <p>   cache results (default BENCH_cache.json)
+//!   --waves-file <p>   wave results (default BENCH_waves.json)
+//!   --allocs-file <p>  allocation results (default BENCH_allocs.json;
+//!                      `none` skips the allocation budget)
+//!   --history <p>      trajectory file whose lines must all parse
+//!                      (default BENCH_history.jsonl; `none` skips)
+//!   --warm-floor <x>   minimum warm-cache compile speedup (default 3.0)
+//!   --wave-floor <x>   minimum wave-scheduler speedup (default 0.0 —
+//!                      informational until hosts guarantee >1 cores)
+//!   --allocs-floor <x> minimum warm-recompile allocation reduction as a
+//!                      fraction (default 0.5)
 //! ```
 //!
 //! Exits nonzero when a budget is violated or an artifact is missing or
 //! malformed, so CI can run it as a hard gate after refreshing the
-//! artifacts with `cache_speedup --small` / `wave_speedup --small`.
+//! artifacts with `cache_speedup --small` / `wave_speedup --small` /
+//! `recompile_allocs --small`.
 
 use std::process::ExitCode;
 
@@ -25,7 +31,8 @@ use ipra_obs::json::{parse_bytes, Json};
 
 fn usage() -> &'static str {
     "usage: bench --check-budgets [--cache-file P] [--waves-file P] \
-     [--history P|none] [--warm-floor X] [--wave-floor X]"
+     [--allocs-file P|none] [--history P|none] [--warm-floor X] \
+     [--wave-floor X] [--allocs-floor X]"
 }
 
 /// Loads an artifact and extracts `total.<key>` as a float.
@@ -42,9 +49,11 @@ fn real_main() -> Result<ExitCode, String> {
     let mut check = false;
     let mut cache_file = "BENCH_cache.json".to_string();
     let mut waves_file = "BENCH_waves.json".to_string();
+    let mut allocs_file = Some("BENCH_allocs.json".to_string());
     let mut history = Some("BENCH_history.jsonl".to_string());
     let mut warm_floor = 3.0f64;
     let mut wave_floor = 0.0f64;
+    let mut allocs_floor = 0.5f64;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -52,6 +61,10 @@ fn real_main() -> Result<ExitCode, String> {
             "--check-budgets" => check = true,
             "--cache-file" => cache_file = args.next().ok_or_else(|| usage().to_string())?,
             "--waves-file" => waves_file = args.next().ok_or_else(|| usage().to_string())?,
+            "--allocs-file" => {
+                let p = args.next().ok_or_else(|| usage().to_string())?;
+                allocs_file = (p != "none").then_some(p);
+            }
             "--history" => {
                 let p = args.next().ok_or_else(|| usage().to_string())?;
                 history = (p != "none").then_some(p);
@@ -68,6 +81,12 @@ fn real_main() -> Result<ExitCode, String> {
                     .and_then(|v| v.trim().parse().ok())
                     .ok_or("--wave-floor needs a number")?
             }
+            "--allocs-floor" => {
+                allocs_floor = args
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+                    .ok_or("--allocs-floor needs a number")?
+            }
             "-h" | "--help" => return Err(usage().to_string()),
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
@@ -77,10 +96,10 @@ fn real_main() -> Result<ExitCode, String> {
     }
 
     let mut violations = 0;
-    let mut gate = |what: &str, value: f64, floor: f64| {
+    let mut gate = |what: &str, value: f64, floor: f64, unit: &str| {
         let ok = value >= floor;
         println!(
-            "{} {what}: {value:.2}x (floor {floor:.2}x)",
+            "{} {what}: {value:.2}{unit} (floor {floor:.2}{unit})",
             if ok { "ok  " } else { "FAIL" }
         );
         if !ok {
@@ -92,12 +111,22 @@ fn real_main() -> Result<ExitCode, String> {
         "warm-cache speedup",
         total_of(&cache_file, "warm_speedup")?,
         warm_floor,
+        "x",
     );
     gate(
         "wave-scheduler speedup",
         total_of(&waves_file, "speedup")?,
         wave_floor,
+        "x",
     );
+    if let Some(path) = &allocs_file {
+        gate(
+            "warm-recompile allocation reduction",
+            total_of(path, "reduction")?,
+            allocs_floor,
+            "",
+        );
+    }
 
     if let Some(path) = &history {
         let entries = read_history(path.as_ref())?;

@@ -11,6 +11,8 @@
 //!   --jobs <n>          wave-scheduler worker threads (0 = auto, 1 = serial)
 //! ```
 
+pub mod alloc_meter;
+
 use std::path::{Path, PathBuf};
 
 use ipra_driver::{compile_and_run_traced, Config};

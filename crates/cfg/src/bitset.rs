@@ -4,7 +4,7 @@
 ///
 /// Used for block sets, liveness sets and interference rows. All binary
 /// operations require both operands to have the same capacity.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitSet {
     words: Vec<u64>,
     capacity: usize,
@@ -70,6 +70,16 @@ impl BitSet {
     /// Removes every element.
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the existing word
+    /// buffer. Unlike `*self = other.clone()`, a set recycled across many
+    /// `copy_from` calls only allocates when it grows past its largest
+    /// capacity so far.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.words.resize(other.words.len(), 0);
+        self.words.copy_from_slice(&other.words);
+        self.capacity = other.capacity;
     }
 
     /// Inserts every index in `0..capacity`.
@@ -300,6 +310,26 @@ mod tests {
         let s: BitSet = [5usize, 1, 9].into_iter().collect();
         assert_eq!(s.capacity(), 10);
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn copy_from_matches_clone_across_capacities() {
+        let mut scratch = BitSet::new(0);
+        for cap in [3usize, 130, 64, 0, 65] {
+            let mut src = BitSet::new(cap);
+            for i in (0..cap).step_by(3) {
+                src.insert(i);
+            }
+            scratch.copy_from(&src);
+            assert_eq!(scratch, src, "cap {cap}");
+            assert_eq!(scratch.capacity(), cap);
+        }
+        // The recycled set is fully functional after shrinking.
+        let mut small = BitSet::new(2);
+        small.insert(1);
+        scratch.copy_from(&small);
+        assert!(scratch.insert(0));
+        assert_eq!(scratch.iter().collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]

@@ -6,16 +6,19 @@
 //! placement of §5 and the propagation rule of §6.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use ipra_cfg::{Cfg, Dominators, Liveness, LoopInfo};
-use ipra_ir::{FuncId, InstLoc, Module, Operand};
+use ipra_cfg::{Cfg, Liveness, LoopInfo};
+use ipra_ir::{hash_function, FuncId, InstLoc, Module, Operand};
 use ipra_machine::{PReg, RegMask, Target};
 
-use crate::color::{color, Assignment, VregLoc};
+use crate::analysis::{AnalysisCache, FuncAnalyses};
+use crate::color::{color_with, Assignment, VregLoc};
 use crate::config::{AllocMode, AllocOptions};
 use crate::priority::PriorityCtx;
 use crate::ranges::{BlockWeights, RangeData};
-use crate::shrinkwrap::{shrink_wrap, SavePlan};
+use crate::scratch::{CompileScratch, MaskPool};
+use crate::shrinkwrap::{shrink_wrap_with, SavePlan};
 use crate::summary::{FuncSummary, ParamLoc};
 
 /// What the caller must do at one call site.
@@ -63,16 +66,30 @@ pub struct FuncAllocation {
 /// Allocation plus the analyses lowering needs.
 #[derive(Clone, Debug)]
 pub struct FuncArtifacts {
-    /// Control-flow graph.
-    pub cfg: Cfg,
-    /// Loop nesting.
-    pub loops: LoopInfo,
-    /// Per-block liveness.
-    pub liveness: Liveness,
+    /// The function's memoized analyses (shared with the
+    /// [`AnalysisCache`], so cloning artifacts never copies them).
+    pub analyses: Arc<FuncAnalyses>,
     /// Ranges and call sites.
     pub ranges: RangeData,
     /// The allocation.
     pub alloc: FuncAllocation,
+}
+
+impl FuncArtifacts {
+    /// Control-flow graph.
+    pub fn cfg(&self) -> &Cfg {
+        &self.analyses.cfg
+    }
+
+    /// Loop nesting.
+    pub fn loops(&self) -> &LoopInfo {
+        &self.analyses.loops
+    }
+
+    /// Per-block liveness.
+    pub fn liveness(&self) -> &Liveness {
+        &self.analyses.liveness
+    }
 }
 
 /// Per-callee information the allocator consumes: summaries of processed
@@ -98,17 +115,59 @@ pub fn allocate_function(
     env: &SummaryEnv,
     profile: Option<&[u64]>,
 ) -> FuncArtifacts {
+    allocate_function_with(
+        module,
+        fid,
+        target,
+        opts,
+        is_open,
+        env,
+        profile,
+        &AnalysisCache::default(),
+        hash_function(module, fid),
+        &mut CompileScratch::default(),
+    )
+}
+
+/// [`allocate_function`] drawing the function's analyses from a shared
+/// [`AnalysisCache`] memo (keyed by `body_hash`, see
+/// [`ipra_ir::hash_function`]) and its transient buffers from the
+/// caller's [`CompileScratch`]. The pipeline driver threads both through
+/// every job; the plain entry point above supplies one-shot instances.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_function_with(
+    module: &Module,
+    fid: FuncId,
+    target: &Target,
+    opts: &AllocOptions,
+    is_open: bool,
+    env: &SummaryEnv,
+    profile: Option<&[u64]>,
+    analyses: &AnalysisCache,
+    body_hash: u64,
+    scratch: &mut CompileScratch,
+) -> FuncArtifacts {
     let func = &module.funcs[fid];
     let ranges_span = ipra_obs::span("ranges");
-    let cfg = Cfg::new(func);
-    let dom = Dominators::compute(&cfg);
-    let loops = LoopInfo::compute(&cfg, &dom);
-    let liveness = Liveness::compute(func, &cfg);
+    let (analyses, memo_hit) = analyses.get_or_compute(body_hash, func);
+    let result = if memo_hit { "hit" } else { "miss" };
+    ipra_obs::counter(
+        if memo_hit {
+            "analysis.hit"
+        } else {
+            "analysis.miss"
+        },
+        1,
+    );
+    ipra_obs::metric_counter("analysis.lookup", &[("result", result)], 1);
+    let cfg = &analyses.cfg;
+    let loops = &analyses.loops;
+    let liveness = &analyses.liveness;
     let weights = match profile {
-        Some(counts) => BlockWeights::from_profile(&cfg, &loops, counts),
-        None => BlockWeights::from_loops(&cfg, &loops),
+        Some(counts) => BlockWeights::from_profile(cfg, loops, counts),
+        None => BlockWeights::from_loops(cfg, loops),
     };
-    let ranges = RangeData::build(func, &cfg, &liveness, &weights);
+    let ranges = RangeData::build_with(func, cfg, liveness, &weights, scratch);
     drop(ranges_span);
 
     let inter = opts.mode == AllocMode::Inter;
@@ -211,7 +270,7 @@ pub fn allocate_function(
             hints: &hints,
             weights: &weights,
         };
-        color(&ctx, &cfg, &liveness, opts.split_ranges)
+        color_with(&ctx, cfg, liveness, opts.split_ranges, scratch)
     };
     drop(color_span);
 
@@ -258,7 +317,7 @@ pub fn allocate_function(
     // save region must span those calls to actually protect the original
     // value).
     let nb = func.num_blocks();
-    let mut occupancy = vec![RegMask::EMPTY; nb];
+    let mut occupancy = scratch.masks.take(nb, RegMask::EMPTY);
     for lr in &ranges.ranges {
         match &assignment.split[lr.vreg.index()] {
             Some(map) => {
@@ -279,8 +338,11 @@ pub fn allocate_function(
         }
     }
 
-    let app_for = |regs: RegMask| -> Vec<RegMask> {
-        let mut app: Vec<RegMask> = occupancy.iter().map(|m| m.intersect(regs)).collect();
+    let app_for = |regs: RegMask, masks: &mut MaskPool| -> Vec<RegMask> {
+        let mut app = masks.take(occupancy.len(), RegMask::EMPTY);
+        for (a, m) in app.iter_mut().zip(occupancy.iter()) {
+            *a = m.intersect(regs);
+        }
         for (si, site) in ranges.call_sites.iter().enumerate() {
             let m = site_clobbers[si].intersect(regs);
             app[site.loc.block.index()] |= m;
@@ -296,7 +358,7 @@ pub fn allocate_function(
     let mut propagated = RegMask::EMPTY;
     if opts.mode == AllocMode::NoAlloc {
         locally_saved = RegMask::EMPTY;
-        save_plan = SavePlan::at_entry_exits(&cfg, RegMask::EMPTY);
+        save_plan = SavePlan::at_entry_exits(cfg, RegMask::EMPTY);
         shrink_iterations = 0;
     } else if !inter || is_open {
         // Intra-procedural or open: every callee-saved register used here —
@@ -306,11 +368,13 @@ pub fn allocate_function(
         // exit").
         let candidates = RegMask(cs.0 & (used | clobber_union).0 & !param_target_regs.0);
         if opts.shrink_wrap {
-            let plan = shrink_wrap(&cfg, &loops, &app_for(candidates));
+            let app = app_for(candidates, &mut scratch.masks);
+            let plan = shrink_wrap_with(cfg, loops, &app, &mut scratch.masks);
+            scratch.masks.give(app);
             shrink_iterations = plan.iterations;
             save_plan = plan;
         } else {
-            save_plan = SavePlan::at_entry_exits(&cfg, candidates);
+            save_plan = SavePlan::at_entry_exits(cfg, candidates);
             shrink_iterations = 0;
         }
         locally_saved = candidates;
@@ -318,14 +382,16 @@ pub fn allocate_function(
         // Closed, inter-procedural, no shrink-wrap (configuration B): every
         // save propagates to the ancestors (§3).
         locally_saved = RegMask::EMPTY;
-        save_plan = SavePlan::at_entry_exits(&cfg, RegMask::EMPTY);
+        save_plan = SavePlan::at_entry_exits(cfg, RegMask::EMPTY);
         shrink_iterations = 0;
     } else {
         // Closed + shrink-wrap: the §6 rule. Consider locally protecting
         // each callee-saved register used here; keep the protection only if
         // its save does NOT land at the entry, otherwise propagate up.
         let consider = RegMask(cs.0 & used.0 & !param_target_regs.0);
-        let plan = shrink_wrap(&cfg, &loops, &app_for(consider));
+        let app = app_for(consider, &mut scratch.masks);
+        let plan = shrink_wrap_with(cfg, loops, &app, &mut scratch.masks);
+        scratch.masks.give(app);
         shrink_iterations = plan.iterations;
         propagated = RegMask(consider.0 & plan.entry_spanning.0);
         let keep = RegMask(consider.0 & !plan.entry_spanning.0);
@@ -342,6 +408,7 @@ pub fn allocate_function(
         locally_saved = keep;
     }
     drop(shrink_span);
+    scratch.masks.give(occupancy);
     ipra_obs::counter("shrink_wrap.iterations", shrink_iterations as u64);
 
     // Summary.
@@ -459,9 +526,7 @@ pub fn allocate_function(
     }
 
     FuncArtifacts {
-        cfg,
-        loops,
-        liveness,
+        analyses: Arc::clone(&analyses),
         ranges,
         alloc: FuncAllocation {
             assignment,

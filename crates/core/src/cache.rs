@@ -30,9 +30,7 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use ipra_ir::{
-    hash_function, BinOp, BlockId, Callee, EntityVec, Fnv64, FuncId, Inst, Module, UnOp,
-};
+use ipra_ir::{BinOp, BlockId, Callee, EntityVec, Fnv64, FuncId, Inst, Module, UnOp};
 use ipra_machine::{
     FrameSlot, MAddress, MBlock, MCallee, MFunction, MInst, MOperand, MTerminator, MemClass, PReg,
     RegClass, RegMask, SlotPurpose, Target,
@@ -163,8 +161,10 @@ pub fn config_fingerprint(target: &Target, opts: &AllocOptions) -> u64 {
 /// tree-usage mask for a callee below this component. Because summaries
 /// are compared by value, a recompiled callee with unchanged summary
 /// yields an unchanged key here: the early cutoff.
+#[allow(clippy::too_many_arguments)]
 pub fn component_key(
     module: &Module,
+    body_hashes: &[u64],
     comp: &[FuncId],
     is_open: impl Fn(FuncId) -> bool,
     fingerprint: u64,
@@ -177,7 +177,7 @@ pub fn component_key(
     h.write_usize(comp.len());
     for &fid in comp {
         let func = &module.funcs[fid];
-        h.write_u64(hash_function(module, fid));
+        h.write_u64(body_hashes[fid.index()]);
         h.write_u8(is_open(fid) as u8);
         match profile.map(|p| &p[fid.index()]) {
             Some(counts) => {
@@ -1053,12 +1053,13 @@ mod tests {
         let top = module.func_by_name("top").unwrap();
         let fp = config_fingerprint(&Target::mips_like(), &AllocOptions::o3());
         let open = |_| false;
+        let hashes = ipra_ir::hash_all_functions(&module);
 
         let mut env = SummaryEnv::default();
-        let base = component_key(&module, &[top], open, fp, true, &env, None);
+        let base = component_key(&module, &hashes, &[top], open, fp, true, &env, None);
         assert_eq!(
             base,
-            component_key(&module, &[top], open, fp, true, &env, None),
+            component_key(&module, &hashes, &[top], open, fp, true, &env, None),
             "key is deterministic"
         );
 
@@ -1067,7 +1068,7 @@ mod tests {
         env.summaries
             .insert(leaf, FuncSummary::default_for(&regs, 1));
         env.tree_used.insert(leaf, RegMask(0b1010));
-        let with_summary = component_key(&module, &[top], open, fp, true, &env, None);
+        let with_summary = component_key(&module, &hashes, &[top], open, fp, true, &env, None);
         assert_ne!(base, with_summary);
 
         // ...but re-publishing byte-identical values does not (early cutoff).
@@ -1077,21 +1078,30 @@ mod tests {
         env2.tree_used.insert(leaf, RegMask(0b1010));
         assert_eq!(
             with_summary,
-            component_key(&module, &[top], open, fp, true, &env2, None)
+            component_key(&module, &hashes, &[top], open, fp, true, &env2, None)
         );
 
         // A different clobber mask changes the key.
         env2.summaries.get_mut(&leaf).unwrap().clobbers = RegMask(0b1);
         assert_ne!(
             with_summary,
-            component_key(&module, &[top], open, fp, true, &env2, None)
+            component_key(&module, &hashes, &[top], open, fp, true, &env2, None)
         );
 
         // A profile is part of the key.
         let profile: Vec<Vec<u64>> = vec![vec![1], vec![5, 5]];
         assert_ne!(
             with_summary,
-            component_key(&module, &[top], open, fp, true, &env, Some(&profile))
+            component_key(
+                &module,
+                &hashes,
+                &[top],
+                open,
+                fp,
+                true,
+                &env,
+                Some(&profile)
+            )
         );
     }
 }

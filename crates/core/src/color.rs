@@ -14,6 +14,7 @@ use ipra_ir::{BlockId, Vreg};
 use ipra_machine::{PReg, RegClass, RegMask};
 
 use crate::priority::{PriorityCache, PriorityCtx};
+use crate::scratch::CompileScratch;
 
 /// Where a virtual register lives (over its whole range, or per block for
 /// split ranges).
@@ -73,24 +74,44 @@ pub fn color(
     liveness: &Liveness,
     split_enabled: bool,
 ) -> Assignment {
+    color_with(
+        ctx,
+        cfg,
+        liveness,
+        split_enabled,
+        &mut CompileScratch::default(),
+    )
+}
+
+/// [`color`] running its transient tables (forbid masks, occupancy,
+/// block-index rows, done flags) out of the caller's [`CompileScratch`].
+/// The returned [`Assignment`] owns only what escapes; everything pooled
+/// is handed back before returning.
+pub fn color_with(
+    ctx: &PriorityCtx<'_>,
+    cfg: &Cfg,
+    liveness: &Liveness,
+    split_enabled: bool,
+    scratch: &mut CompileScratch,
+) -> Assignment {
     let nv = ctx.ranges.ranges.len();
     let nb = cfg.num_blocks();
     let mut whole = vec![VregLoc::Mem; nv];
     let mut split: Vec<Option<HashMap<usize, PReg>>> = vec![None; nv];
     let mut used = RegMask::EMPTY;
     // Precise interference forbiddance for whole-range assignments.
-    let mut forbidden = vec![RegMask::EMPTY; nv];
+    let mut forbidden = scratch.masks.take(nv, RegMask::EMPTY);
     // Block-granular occupancy: registers taken in a block by whole-range
     // assignments / by split regions.
-    let mut occ_whole = vec![RegMask::EMPTY; nb];
-    let mut occ_split = vec![RegMask::EMPTY; nb];
+    let mut occ_whole = scratch.masks.take(nb, RegMask::EMPTY);
+    let mut occ_split = scratch.masks.take(nb, RegMask::EMPTY);
 
     // Incremental per-range forbid masks from split occupancy. A split
     // touches a handful of blocks; only ranges containing those blocks can
     // be affected, so the block -> candidate-ranges index lets a split
     // update exactly those masks instead of every heap pop re-ORing
     // `occ_split` over its whole range.
-    let mut ranges_in_block: Vec<Vec<u32>> = vec![Vec::new(); nb];
+    let mut ranges_in_block: Vec<Vec<u32>> = scratch.take_index_rows(nb);
     for lr in &ctx.ranges.ranges {
         if !lr.is_candidate() {
             continue;
@@ -99,7 +120,7 @@ pub fn color(
             ranges_in_block[b].push(lr.vreg.index() as u32);
         }
     }
-    let mut split_forbid = vec![RegMask::EMPTY; nv];
+    let mut split_forbid = scratch.masks.take(nv, RegMask::EMPTY);
 
     // Memoized static priority terms (see `PriorityCache`).
     let mut cache = PriorityCache::new(ctx);
@@ -118,7 +139,9 @@ pub fn color(
         }
     }
 
-    let mut done = vec![false; nv];
+    let mut done = std::mem::take(&mut scratch.flags);
+    done.clear();
+    done.resize(nv, false);
     while let Some((Score(d), vi)) = heap.pop() {
         if done[vi] {
             continue;
@@ -196,6 +219,13 @@ pub fn color(
             emit_decision(ctx, lr.vreg.index(), &split, None, f64::NEG_INFINITY);
         }
     }
+
+    scratch.flags = done;
+    scratch.masks.give(forbidden);
+    scratch.masks.give(occ_whole);
+    scratch.masks.give(occ_split);
+    scratch.masks.give(split_forbid);
+    scratch.give_index_rows(ranges_in_block);
 
     Assignment { whole, split, used }
 }

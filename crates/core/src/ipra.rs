@@ -22,17 +22,21 @@
 //! traces independent of thread scheduling — bit-identical to `jobs = 1`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use ipra_callgraph::{CallGraph, OpenReason, Openness, SccInfo};
-use ipra_ir::{EntityVec, FuncId, Module};
+use ipra_ir::{hash_all_functions, EntityVec, FuncId, Module};
 use ipra_machine::{MFunction, MModule, RegMask, Target};
 
-use crate::alloc::{allocate_function, FuncArtifacts, SummaryEnv};
+use crate::alloc::{allocate_function_with, FuncArtifacts, SummaryEnv};
+use crate::analysis::{AnalysisCache, AnalysisStats};
 use crate::cache::{component_key, config_fingerprint, AllocCache, CacheStats, CachedFunc};
 use crate::config::{AllocMode, AllocOptions};
-use crate::lower::lower_function;
+use crate::lower::lower_function_with;
 use crate::normalize::normalize_entries;
+use crate::pipeline::{Pipeline, PreparedModule};
 use crate::promote::{promote_globals, PromotionStats};
+use crate::scratch::{CompileScratch, ScratchPool};
 use crate::summary::FuncSummary;
 
 /// Per-function diagnostics of one compilation.
@@ -73,13 +77,18 @@ pub struct CompiledModule {
     pub promotion: PromotionStats,
     /// Incremental-cache outcome (default when no cache was configured).
     pub cache: CacheStats,
+    /// Analysis-memo hits/misses within this compile (all misses for a
+    /// one-shot compile; mostly hits on a warm [`Pipeline`] recompile).
+    pub analysis: AnalysisStats,
 }
 
 /// How one function's result was obtained: allocated in this compile, or
-/// replayed from the incremental cache.
+/// replayed from the incremental cache. Cached results point into a
+/// shared component entry (`Arc` + member index) so replay never clones
+/// the decoded entry per function.
 enum FuncResult {
     Fresh(Box<FuncArtifacts>),
-    Cached(CachedFunc),
+    Cached(Arc<Vec<CachedFunc>>, usize),
 }
 
 /// Compiles a module under the given options.
@@ -97,6 +106,17 @@ pub fn compile_module_with_profile(
     opts: &AllocOptions,
     profile: Option<&[Vec<u64>]>,
 ) -> CompiledModule {
+    // One-shot compile: a throwaway pipeline (empty memo, empty pools).
+    compile_module_impl(module, target, opts, profile, &Pipeline::new())
+}
+
+/// The module-level front half of one compile: clone and transform the
+/// input (entry normalization, optional global promotion), hash the
+/// transformed bodies, and build the call graph, its SCC condensation and
+/// the openness classification. Deterministic in the input, so
+/// [`Pipeline`] memoizes the whole bundle by module hash.
+pub(crate) fn prepare_module(module: &Module, opts: &AllocOptions) -> PreparedModule {
+    let input = module.clone();
     let mut module = module.clone();
     // Prologue code must run once per invocation, so entries may not be
     // branch targets (front ends guarantee this; generated IR may not).
@@ -106,15 +126,52 @@ pub fn compile_module_with_profile(
     } else {
         PromotionStats::default()
     };
+
+    // Structural hashes of the *transformed* bodies: both the incremental
+    // cache and the analysis memo key on what the allocator actually sees.
+    let body_hashes = hash_all_functions(&module);
+
+    let cg = CallGraph::build(&module);
+    let scc = SccInfo::compute(&cg);
+    let openness = Openness::compute(&module, &cg, &scc);
+    PreparedModule {
+        input,
+        promote: opts.promote_globals,
+        module,
+        promotion,
+        body_hashes,
+        cg,
+        scc,
+        openness,
+    }
+}
+
+/// The driver body behind both the one-shot entry points above and
+/// [`Pipeline::compile`]. All memoized state (prepared module, analysis
+/// memo, scratch pool, decoded cache entries) lives in `pipe`, so its
+/// lifetime decides what a recompile can reuse.
+pub(crate) fn compile_module_impl(
+    module: &Module,
+    target: &Target,
+    opts: &AllocOptions,
+    profile: Option<&[Vec<u64>]>,
+    pipe: &Pipeline,
+) -> CompiledModule {
+    let prep = pipe.prepared(module, opts);
+    let module = &prep.module;
+    let promotion = prep.promotion;
+    let body_hashes = &prep.body_hashes;
+    let (cg, scc, openness) = (&prep.cg, &prep.scc, &prep.openness);
+    let analysis0 = pipe.analyses.stats();
+
+    // Observability is re-emitted per compile even when the preparation
+    // replayed from the memo, so traces stay identical across pipeline
+    // temperature.
     ipra_obs::counter("promote.promoted", promotion.promoted as u64);
     ipra_obs::counter(
         "promote.accesses_rewritten",
         promotion.accesses_rewritten as u64,
     );
-
-    let cg = CallGraph::build(&module);
-    let scc = SccInfo::compute(&cg);
-    let openness = Openness::compute(&module, &cg, &scc);
     scc.record_stats();
     openness.record_stats();
 
@@ -125,7 +182,7 @@ pub fn compile_module_with_profile(
         for comp in &scc.components {
             ipra_obs::metric_observe("callgraph.scc_size", &[], comp.len() as u64);
         }
-        for wave in scc.levels(&cg) {
+        for wave in scc.levels(cg) {
             ipra_obs::metric_observe("wave.width", &[], wave.len() as u64);
         }
     }
@@ -155,19 +212,24 @@ pub fn compile_module_with_profile(
     let mut results: Vec<Option<FuncResult>> = (0..n).map(|_| None).collect();
 
     if jobs <= 1 && cache.is_none() {
-        // Serial path: one pass over the flat bottom-up order.
+        // Serial path: one pass over the flat bottom-up order, one
+        // scratch checked out for the whole pass.
+        let mut scratch = pipe.scratch.acquire();
         for fid in scc.bottom_up_order() {
             let _obs = ipra_obs::scope(&module.funcs[fid].name);
             let forced = opts.forced_open.contains(&module.funcs[fid].name);
             let is_open = !inter || forced || openness.is_open(fid);
-            let art = allocate_function(
-                &module,
+            let art = allocate_function_with(
+                module,
                 fid,
                 target,
                 opts,
                 is_open,
                 &env,
                 profile.map(|p| p[fid.index()].as_slice()),
+                &pipe.analyses,
+                body_hashes[fid.index()],
+                &mut scratch,
             );
             if inter && !is_open {
                 env.summaries.insert(fid, art.alloc.summary.clone());
@@ -175,13 +237,14 @@ pub fn compile_module_with_profile(
             env.tree_used.insert(fid, art.alloc.tree_used);
             results[fid.index()] = Some(FuncResult::Fresh(Box::new(art)));
         }
+        pipe.scratch.release(scratch);
     } else {
         // Wave scheduler: every component of a level has all its callees
         // summarized, so a whole level fans out at once. `env` is frozen
         // (shared read-only) while a wave runs and updated between waves
         // in FuncId order, so results match the serial path bit for bit.
         let tracing = ipra_obs::is_enabled();
-        for wave in scc.levels(&cg) {
+        for wave in scc.levels(cg) {
             let comps: Vec<&[FuncId]> = wave
                 .iter()
                 .map(|&ci| scc.components[ci].as_slice())
@@ -189,12 +252,18 @@ pub fn compile_module_with_profile(
 
             // Cache lookup, serial and deterministic, against the frozen
             // environment (every external callee lives in a lower wave).
+            // The pipeline's in-memory entry image is consulted first; a
+            // disk hit is decoded once and promoted into it, so a warm
+            // recompile through a persistent [`Pipeline`] never rereads
+            // or reparses the cache directory.
             let mut comp_keys = vec![0u64; comps.len()];
-            let mut hits: Vec<Option<Vec<CachedFunc>>> = (0..comps.len()).map(|_| None).collect();
+            let mut hits: Vec<Option<Arc<Vec<CachedFunc>>>> =
+                (0..comps.len()).map(|_| None).collect();
             if let Some(c) = &cache {
                 for (i, comp) in comps.iter().enumerate() {
                     let key = component_key(
-                        &module,
+                        module,
+                        body_hashes,
                         comp,
                         |fid| {
                             let forced = opts.forced_open.contains(&module.funcs[fid].name);
@@ -206,15 +275,26 @@ pub fn compile_module_with_profile(
                         profile,
                     );
                     comp_keys[i] = key;
-                    if let Some(funcs) = c.lookup(key, &module) {
-                        // The names guard against FNV collisions and stale
-                        // entries; a mismatch is just a miss.
-                        let matches = funcs.len() == comp.len()
+                    // The names guard against FNV collisions and stale
+                    // entries; a mismatch is just a miss.
+                    let matches = |funcs: &[CachedFunc]| {
+                        funcs.len() == comp.len()
                             && funcs
                                 .iter()
                                 .zip(comp.iter())
-                                .all(|(cf, &fid)| cf.name == module.funcs[fid].name);
-                        if matches {
+                                .all(|(cf, &fid)| cf.name == module.funcs[fid].name)
+                    };
+                    let memo = pipe.entries.lock().unwrap().get(&key).cloned();
+                    if let Some(funcs) = memo {
+                        if matches(&funcs) {
+                            hits[i] = Some(funcs);
+                            continue;
+                        }
+                    }
+                    if let Some(funcs) = c.lookup(key, module) {
+                        if matches(&funcs) {
+                            let funcs = Arc::new(funcs);
+                            pipe.entries.lock().unwrap().insert(key, Arc::clone(&funcs));
                             hits[i] = Some(funcs);
                         }
                     }
@@ -223,17 +303,20 @@ pub fn compile_module_with_profile(
 
             // Fan the misses out across the workers.
             let miss_idx: Vec<usize> = (0..comps.len()).filter(|&i| hits[i].is_none()).collect();
-            let mut fresh = run_tasks(jobs, miss_idx.len(), |out, t| {
+            let mut fresh = run_tasks(jobs, miss_idx.len(), &pipe.scratch, |out, scratch, t| {
                 alloc_component(
-                    &module,
+                    module,
                     comps[miss_idx[t]],
                     target,
                     opts,
                     inter,
-                    &openness,
+                    openness,
                     &env,
                     profile,
                     tracing,
+                    &pipe.analyses,
+                    body_hashes,
+                    scratch,
                     out,
                 );
             });
@@ -247,20 +330,20 @@ pub fn compile_module_with_profile(
             // Deterministic merge: interleave the hit and miss streams in
             // FuncId order so the environment, observability records and
             // counters come out independent of thread scheduling.
-            let mut hit_funcs: Vec<(FuncId, CachedFunc)> = Vec::new();
+            let mut hit_funcs: Vec<(FuncId, Arc<Vec<CachedFunc>>, usize)> = Vec::new();
             for (i, h) in hits.into_iter().enumerate() {
                 if let Some(funcs) = h {
-                    for (cf, &fid) in funcs.into_iter().zip(comps[i].iter()) {
-                        hit_funcs.push((fid, cf));
+                    for (m, &fid) in comps[i].iter().enumerate() {
+                        hit_funcs.push((fid, Arc::clone(&funcs), m));
                     }
                 }
             }
-            hit_funcs.sort_by_key(|(fid, _)| fid.index());
+            hit_funcs.sort_by_key(|(fid, _, _)| fid.index());
             let mut fresh_it = fresh.into_iter().peekable();
             let mut hit_it = hit_funcs.into_iter().peekable();
             loop {
                 let take_fresh = match (fresh_it.peek(), hit_it.peek()) {
-                    (Some((f, _, _)), Some((h, _))) => f.index() < h.index(),
+                    (Some((f, _, _)), Some((h, _, _))) => f.index() < h.index(),
                     (Some(_), None) => true,
                     (None, Some(_)) => false,
                     (None, None) => break,
@@ -282,7 +365,8 @@ pub fn compile_module_with_profile(
                     }
                     results[fid.index()] = Some(FuncResult::Fresh(Box::new(art)));
                 } else {
-                    let (fid, cf) = hit_it.next().expect("peeked");
+                    let (fid, entry, idx) = hit_it.next().expect("peeked");
+                    let cf = &entry[idx];
                     if inter && !cf.is_open {
                         env.summaries.insert(fid, cf.summary.clone());
                     }
@@ -303,7 +387,7 @@ pub fn compile_module_with_profile(
                             ipra_obs::metric_counter("cache.lookup", &[("result", "cutoff")], 1);
                         }
                     }
-                    results[fid.index()] = Some(FuncResult::Cached(cf));
+                    results[fid.index()] = Some(FuncResult::Cached(entry, idx));
                 }
             }
         }
@@ -315,7 +399,7 @@ pub fn compile_module_with_profile(
         .filter(|&i| matches!(results[i], Some(FuncResult::Fresh(_))))
         .collect();
     let tracing = ipra_obs::is_enabled();
-    let mut lowered_parts = run_tasks(jobs, fresh_ids.len(), |out, t| {
+    let mut lowered_parts = run_tasks(jobs, fresh_ids.len(), &pipe.scratch, |out, scratch, t| {
         let fi = fresh_ids[t];
         let fid = FuncId(fi as u32);
         let func = &module.funcs[fid];
@@ -332,7 +416,7 @@ pub fn compile_module_with_profile(
         let mf = {
             let _obs = ipra_obs::scope(&func.name);
             let _t = ipra_obs::span("lower");
-            lower_function(&module, func, target, art)
+            lower_function_with(module, func, target, art, scratch)
         };
         let shard = if capture {
             ipra_obs::disable()
@@ -392,7 +476,8 @@ pub fn compile_module_with_profile(
                     candidate_vregs: candidates,
                 });
             }
-            FuncResult::Cached(c) => {
+            FuncResult::Cached(entry, idx) => {
+                let c = &entry[*idx];
                 funcs.push(c.code.clone());
                 summaries.push(c.summary.clone());
                 clobber_masks.push(if inter && !c.is_open {
@@ -440,7 +525,10 @@ pub fn compile_module_with_profile(
                     }
                 })
                 .collect();
-            cache.insert(*key, &entry, &module);
+            cache.insert(*key, &entry, module);
+            // Mirror the store into the pipeline's entry image so the
+            // next recompile through the same pipeline hits in memory.
+            pipe.entries.lock().unwrap().insert(*key, Arc::new(entry));
         }
         if !miss_records.is_empty() {
             cache.save();
@@ -458,25 +546,31 @@ pub fn compile_module_with_profile(
         reports,
         promotion,
         cache: cache_stats,
+        analysis: pipe.analyses.stats_since(analysis0),
     }
 }
 
 /// Fans `tasks` indices out across at most `jobs` scoped worker threads.
 /// Workers pull indices from a shared counter and append results into
 /// their own vector; the concatenation is returned in arbitrary order
-/// (callers sort by `FuncId` before consuming).
+/// (callers sort by `FuncId` before consuming). Each worker checks one
+/// [`CompileScratch`] out of the pool for its whole run, so per-task
+/// buffers are recycled instead of reallocated.
 fn run_tasks<T: Send>(
     jobs: usize,
     tasks: usize,
-    work: impl Fn(&mut Vec<T>, usize) + Sync,
+    pool: &ScratchPool,
+    work: impl Fn(&mut Vec<T>, &mut CompileScratch, usize) + Sync,
 ) -> Vec<T> {
     let workers = jobs.min(tasks).max(1);
     if workers == 1 {
         // Narrow wave (or serial request): run inline, no thread overhead.
         let mut out = Vec::new();
+        let mut scratch = pool.acquire();
         for t in 0..tasks {
-            work(&mut out, t);
+            work(&mut out, &mut scratch, t);
         }
+        pool.release(scratch);
         return out;
     }
     let next = AtomicUsize::new(0);
@@ -485,13 +579,15 @@ fn run_tasks<T: Send>(
             .map(|_| {
                 s.spawn(|| {
                     let mut out = Vec::new();
+                    let mut scratch = pool.acquire();
                     loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         if t >= tasks {
                             break;
                         }
-                        work(&mut out, t);
+                        work(&mut out, &mut scratch, t);
                     }
+                    pool.release(scratch);
                     out
                 })
             })
@@ -524,6 +620,9 @@ fn alloc_component(
     env: &SummaryEnv,
     profile: Option<&[Vec<u64>]>,
     tracing: bool,
+    analyses: &AnalysisCache,
+    body_hashes: &[u64],
+    scratch: &mut CompileScratch,
     out: &mut Vec<(FuncId, FuncArtifacts, ipra_obs::Trace)>,
 ) {
     let mut overlay: Option<SummaryEnv> = if comp.len() > 1 {
@@ -545,7 +644,7 @@ fn alloc_component(
             let _obs = ipra_obs::scope(&module.funcs[fid].name);
             let forced = opts.forced_open.contains(&module.funcs[fid].name);
             let is_open = !inter || forced || openness.is_open(fid);
-            allocate_function(
+            allocate_function_with(
                 module,
                 fid,
                 target,
@@ -553,6 +652,9 @@ fn alloc_component(
                 is_open,
                 overlay.as_ref().unwrap_or(env),
                 profile.map(|p| p[fid.index()].as_slice()),
+                analyses,
+                body_hashes[fid.index()],
+                scratch,
             )
         };
         let shard = if capture {

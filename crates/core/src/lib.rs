@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod analysis;
 pub mod cache;
 pub mod color;
 pub mod config;
@@ -25,21 +26,26 @@ pub mod ipra;
 pub mod lower;
 pub mod normalize;
 pub mod parmove;
+pub mod pipeline;
 pub mod priority;
 pub mod promote;
 pub mod ranges;
+pub mod scratch;
 pub mod shrinkwrap;
 pub mod summary;
 
 pub use alloc::{allocate_function, CallPlan, FuncAllocation, FuncArtifacts, SummaryEnv};
+pub use analysis::{AnalysisCache, AnalysisStats, FuncAnalyses};
 pub use cache::{AllocCache, CacheStats, CachedFunc};
 pub use color::{Assignment, VregLoc};
 pub use config::{AllocMode, AllocOptions};
 pub use ipra::{compile_module, compile_module_with_profile, CompiledModule, FuncReport};
 pub use lower::lower_function;
 pub use normalize::normalize_entries;
+pub use pipeline::Pipeline;
 pub use priority::PriorityCtx;
 pub use promote::{promote_globals, PromotionStats};
 pub use ranges::{BlockWeights, CallSiteInfo, LiveRange, RangeData};
+pub use scratch::{CompileScratch, MaskPool, MoveScratch, ScratchPool};
 pub use shrinkwrap::{shrink_wrap, verify_plan, SavePlan};
 pub use summary::{FuncSummary, ParamLoc};

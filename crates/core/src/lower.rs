@@ -19,7 +19,8 @@ use ipra_machine::{
 
 use crate::alloc::FuncArtifacts;
 use crate::color::VregLoc;
-use crate::parmove::{resolve_parallel_moves, MoveSrc};
+use crate::parmove::{resolve_parallel_moves_into, MoveSrc};
+use crate::scratch::{CompileScratch, MoveScratch};
 use crate::summary::ParamLoc;
 
 struct Lowerer<'a> {
@@ -47,9 +48,21 @@ pub fn lower_function(
     target: &Target,
     art: &FuncArtifacts,
 ) -> MFunction {
+    lower_function_with(module, func, target, art, &mut CompileScratch::default())
+}
+
+/// [`lower_function`] resolving its parallel moves out of the caller's
+/// [`CompileScratch`] worklists.
+pub fn lower_function_with(
+    module: &Module,
+    func: &Function,
+    target: &Target,
+    art: &FuncArtifacts,
+    scratch: &mut CompileScratch,
+) -> MFunction {
     let mut lw = Lowerer::new(module, func, target, art);
     lw.plan_boundaries();
-    lw.run()
+    lw.run(&mut scratch.moves)
 }
 
 impl<'a> Lowerer<'a> {
@@ -175,8 +188,8 @@ impl<'a> Lowerer<'a> {
     /// elsewhere; it stores at exit when a successor will read the home
     /// slot (directly or through its own boundary load).
     fn plan_boundaries(&mut self) {
-        let cfg = &self.art.cfg;
-        let live = &self.art.liveness;
+        let cfg = self.art.cfg();
+        let live = self.art.liveness();
         for v in 0..self.func.num_vregs() {
             let vr = Vreg(v as u32);
             if !self.art.alloc.assignment.is_split(vr) {
@@ -281,7 +294,7 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn prologue(&self, out: &mut Vec<MInst>) {
+    fn prologue(&self, out: &mut Vec<MInst>, ms: &mut MoveScratch) {
         let [s0, _s1] = self.target.regs.scratch();
         let entry = self.func.entry;
         // 1. Planned saves at the entry block are emitted by the caller of
@@ -302,7 +315,7 @@ impl<'a> Lowerer<'a> {
             // Dead-on-arrival parameters (unreferenced, or overwritten
             // before any read) need no placement under any convention.
             if self.art.ranges.ranges[p.index()].num_refs == 0
-                || !self.art.liveness.live_in[entry.index()].contains(p.index())
+                || !self.art.liveness().live_in[entry.index()].contains(p.index())
             {
                 continue;
             }
@@ -354,7 +367,7 @@ impl<'a> Lowerer<'a> {
                 }
             }
         }
-        out.extend(resolve_parallel_moves(&reg_moves, s0));
+        resolve_parallel_moves_into(&reg_moves, s0, ms, out);
         out.extend(incoming_loads);
         out.extend(split_fixups);
     }
@@ -366,6 +379,7 @@ impl<'a> Lowerer<'a> {
         args: &[Operand],
         dst: Option<Vreg>,
         out: &mut Vec<MInst>,
+        ms: &mut MoveScratch,
     ) {
         let [s0, s1] = self.target.regs.scratch();
         let b = loc.block;
@@ -422,7 +436,7 @@ impl<'a> Lowerer<'a> {
                 moves.push((*r, src));
             }
         }
-        out.extend(resolve_parallel_moves(&moves, s0));
+        resolve_parallel_moves_into(&moves, s0, ms, out);
 
         // 5. The call itself.
         out.push(MInst::Call {
@@ -462,7 +476,7 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_inst(&self, loc: InstLoc, inst: &Inst, out: &mut Vec<MInst>) {
+    fn lower_inst(&self, loc: InstLoc, inst: &Inst, out: &mut Vec<MInst>, ms: &mut MoveScratch) {
         let [s0, s1] = self.target.regs.scratch();
         let b = loc.block;
         match inst {
@@ -518,7 +532,7 @@ impl<'a> Lowerer<'a> {
                     class,
                 });
             }
-            Inst::Call { callee, args, dst } => self.lower_call(loc, callee, args, *dst, out),
+            Inst::Call { callee, args, dst } => self.lower_call(loc, callee, args, *dst, out, ms),
             Inst::FuncAddr { dst, func } => {
                 let (t, post) = self.def_target(*dst, b, s0);
                 out.push(MInst::FuncAddr {
@@ -534,7 +548,7 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn run(self) -> MFunction {
+    fn run(self, ms: &mut MoveScratch) -> MFunction {
         let [s0, _s1] = self.target.regs.scratch();
         let rv = self.target.regs.ret_reg();
         let nb = self.func.num_blocks();
@@ -553,7 +567,7 @@ impl<'a> Lowerer<'a> {
                 });
             }
             if bid == self.func.entry {
-                self.prologue(&mut out);
+                self.prologue(&mut out, ms);
             }
             // Split boundary loads.
             for &(v, r) in &self.boundary_loads[bi] {
@@ -572,6 +586,7 @@ impl<'a> Lowerer<'a> {
                     },
                     inst,
                     &mut out,
+                    ms,
                 );
             }
 

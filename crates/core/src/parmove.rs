@@ -8,6 +8,8 @@
 
 use ipra_machine::{MAddress, MInst, MOperand, MemClass, PReg};
 
+use crate::scratch::MoveScratch;
+
 /// A source of a parallel move.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MoveSrc {
@@ -32,31 +34,41 @@ pub enum MoveSrc {
 /// Panics if two moves share a destination, or if `scratch` appears as a
 /// destination or register source.
 pub fn resolve_parallel_moves(moves: &[(PReg, MoveSrc)], scratch: PReg) -> Vec<MInst> {
+    let mut ms = MoveScratch::default();
+    let mut out = Vec::new();
+    resolve_parallel_moves_into(moves, scratch, &mut ms, &mut out);
+    out
+}
+
+/// [`resolve_parallel_moves`] appending into `out` and working out of the
+/// caller's [`MoveScratch`] worklists, so a lowering pass resolving one
+/// move set per call site reuses the same buffers throughout.
+pub fn resolve_parallel_moves_into(
+    moves: &[(PReg, MoveSrc)],
+    scratch: PReg,
+    ms: &mut MoveScratch,
+    out: &mut Vec<MInst>,
+) {
     // Validate preconditions.
-    {
-        let mut seen = std::collections::HashSet::new();
-        for (dst, src) in moves {
-            assert!(
-                seen.insert(*dst),
-                "duplicate destination {dst} in parallel move"
-            );
-            assert_ne!(*dst, scratch, "scratch register used as destination");
-            if let MoveSrc::Reg(s) = src {
-                assert_ne!(*s, scratch, "scratch register used as source");
-            }
+    ms.seen.clear();
+    for (dst, src) in moves {
+        assert!(
+            ms.seen.insert(*dst),
+            "duplicate destination {dst} in parallel move"
+        );
+        assert_ne!(*dst, scratch, "scratch register used as destination");
+        if let MoveSrc::Reg(s) = src {
+            assert_ne!(*s, scratch, "scratch register used as source");
         }
     }
 
-    let mut out = Vec::new();
-
     // Pending register-to-register moves as (dst, src).
-    let mut pending: Vec<(PReg, PReg)> = moves
-        .iter()
-        .filter_map(|(d, s)| match s {
-            MoveSrc::Reg(s) if s != d => Some((*d, *s)),
-            _ => None,
-        })
-        .collect();
+    let pending = &mut ms.pending;
+    pending.clear();
+    pending.extend(moves.iter().filter_map(|(d, s)| match s {
+        MoveSrc::Reg(s) if s != d => Some((*d, *s)),
+        _ => None,
+    }));
 
     while !pending.is_empty() {
         // A move is safe when its destination is not a pending source.
@@ -104,8 +116,6 @@ pub fn resolve_parallel_moves(moves: &[(PReg, MoveSrc)], scratch: PReg) -> Vec<M
             MoveSrc::Reg(_) => {}
         }
     }
-
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,125 @@
+//! A reusable compilation pipeline.
+//!
+//! [`crate::compile_module`] builds all of its working state from scratch
+//! and drops it on return — fine for one-shot batch compiles, wasteful
+//! for the recompile loops the incremental cache exists for (daemons,
+//! convention sweeps, watch modes). [`Pipeline`] is the long-lived
+//! counterpart: it owns the memoized per-function analyses
+//! ([`AnalysisCache`]), the per-worker scratch buffers ([`ScratchPool`]),
+//! and an in-memory image of decoded incremental-cache entries, all of
+//! which survive from one [`Pipeline::compile`] call to the next.
+//!
+//! On a warm recompile a cache hit is then answered from the in-memory
+//! entry (no file read, no JSON parse, no machine-code re-decode), an
+//! unchanged function's analyses come back as a shared `Arc`, and the
+//! allocator phases run inside recycled scratch — which is what drives
+//! the `recompile_allocs` bench's heap-allocation reduction.
+//!
+//! Output is bit-identical to the one-shot entry points for every
+//! jobs/cache/scratch combination; the differential oracle compiles the
+//! same seed through a reused pipeline and a fresh one and compares the
+//! rendered machine code byte for byte.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ipra_callgraph::{CallGraph, Openness, SccInfo};
+use ipra_ir::{hash_module, Module};
+use ipra_machine::Target;
+
+use crate::analysis::{AnalysisCache, AnalysisStats};
+use crate::cache::CachedFunc;
+use crate::config::AllocOptions;
+use crate::ipra::{compile_module_impl, prepare_module, CompiledModule};
+use crate::promote::PromotionStats;
+use crate::scratch::ScratchPool;
+
+/// The module-level front half of a compile, memoized whole: the cloned
+/// and transformed (entry-normalized, global-promoted) module together
+/// with everything derived from it that every compile of the same input
+/// recomputes verbatim — per-function body hashes, the call graph, its
+/// SCC condensation and the openness classification.
+#[derive(Debug)]
+pub(crate) struct PreparedModule {
+    /// The untransformed input, kept to guard the memo against hash
+    /// collisions with an exact equality check.
+    pub(crate) input: Module,
+    /// Whether global promotion ran (it changes the transformed body).
+    pub(crate) promote: bool,
+    /// The transformed module all downstream passes read.
+    pub(crate) module: Module,
+    /// What global promotion did (zeros when the pass is off).
+    pub(crate) promotion: PromotionStats,
+    /// Structural hash of each transformed function body, by `FuncId`.
+    pub(crate) body_hashes: Vec<u64>,
+    /// Call graph of the transformed module.
+    pub(crate) cg: CallGraph,
+    /// SCC condensation of the call graph.
+    pub(crate) scc: SccInfo,
+    /// Open/closed classification (paper §3).
+    pub(crate) openness: Openness,
+}
+
+/// Long-lived compilation state: analysis memo, scratch pool, and the
+/// in-memory incremental-cache image. Create one per daemon/JIT/bench
+/// process and push every compile through it.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    /// Per-function analyses memoized across compiles by body hash.
+    pub(crate) analyses: AnalysisCache,
+    /// Recycled per-worker scratch buffers.
+    pub(crate) scratch: ScratchPool,
+    /// Decoded incremental-cache entries by component key, so a warm
+    /// recompile never touches the cache directory again.
+    pub(crate) entries: Mutex<HashMap<u64, Arc<Vec<CachedFunc>>>>,
+    /// Prepared (transformed + module-level-analyzed) modules by
+    /// whole-module hash, so a warm recompile of an unchanged module
+    /// skips the clone, the normalization/promotion passes and the
+    /// call-graph work entirely.
+    pub(crate) prepared: Mutex<HashMap<(u64, bool), Arc<PreparedModule>>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Compiles a module, reusing any state earlier compiles left behind.
+    pub fn compile(&self, module: &Module, target: &Target, opts: &AllocOptions) -> CompiledModule {
+        self.compile_with_profile(module, target, opts, None)
+    }
+
+    /// [`Pipeline::compile`] with profile feedback (see
+    /// [`crate::compile_module_with_profile`]).
+    pub fn compile_with_profile(
+        &self,
+        module: &Module,
+        target: &Target,
+        opts: &AllocOptions,
+        profile: Option<&[Vec<u64>]>,
+    ) -> CompiledModule {
+        compile_module_impl(module, target, opts, profile, self)
+    }
+
+    /// Lifetime hit/miss totals of the analysis memo (each
+    /// [`CompiledModule::analysis`] carries the per-compile window).
+    pub fn analysis_stats(&self) -> AnalysisStats {
+        self.analyses.stats()
+    }
+
+    /// The prepared form of `module` under `opts`, from the memo when the
+    /// exact same input was prepared before. A colliding hash is caught by
+    /// the stored input's equality check and recomputed (last write wins).
+    pub(crate) fn prepared(&self, module: &Module, opts: &AllocOptions) -> Arc<PreparedModule> {
+        let key = (hash_module(module), opts.promote_globals);
+        if let Some(p) = self.prepared.lock().unwrap().get(&key) {
+            if p.promote == opts.promote_globals && p.input == *module {
+                return Arc::clone(p);
+            }
+        }
+        let p = Arc::new(prepare_module(module, opts));
+        self.prepared.lock().unwrap().insert(key, Arc::clone(&p));
+        p
+    }
+}

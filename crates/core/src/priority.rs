@@ -225,17 +225,17 @@ impl PriorityCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipra_cfg::{Cfg, Dominators, Liveness, LoopInfo};
+    use crate::analysis::FuncAnalyses;
     use ipra_ir::builder::FunctionBuilder;
     use ipra_ir::{BinOp, Function, Module};
 
     fn range_data(f: &Function) -> (RangeData, BlockWeights) {
-        let cfg = Cfg::new(f);
-        let dom = Dominators::compute(&cfg);
-        let loops = LoopInfo::compute(&cfg, &dom);
-        let live = Liveness::compute(f, &cfg);
-        let weights = BlockWeights::from_loops(&cfg, &loops);
-        (RangeData::build(f, &cfg, &live, &weights), weights)
+        let an = FuncAnalyses::compute(f);
+        let weights = BlockWeights::from_loops(&an.cfg, &an.loops);
+        (
+            RangeData::build(f, &an.cfg, &an.liveness, &weights),
+            weights,
+        )
     }
 
     /// x is live across one call; t is a short temp.

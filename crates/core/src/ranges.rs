@@ -11,6 +11,8 @@
 use ipra_cfg::{BitSet, Cfg, Liveness, LoopInfo};
 use ipra_ir::{BlockId, Callee, FuncId, Function, Inst, InstLoc, Vreg};
 
+use crate::scratch::CompileScratch;
+
 /// Execution-frequency weight per block, from static loop nesting or from a
 /// measured profile (the paper's planned profile feedback).
 #[derive(Clone, Debug)]
@@ -109,6 +111,19 @@ pub struct RangeData {
 impl RangeData {
     /// Builds ranges and interference for `func`.
     pub fn build(func: &Function, cfg: &Cfg, live: &Liveness, weights: &BlockWeights) -> Self {
+        Self::build_with(func, cfg, live, weights, &mut CompileScratch::default())
+    }
+
+    /// [`RangeData::build`] running its backward scan out of the caller's
+    /// [`CompileScratch`] (the per-block working liveness set is the one
+    /// transient buffer here; everything else escapes into the result).
+    pub fn build_with(
+        func: &Function,
+        cfg: &Cfg,
+        live: &Liveness,
+        weights: &BlockWeights,
+        scratch: &mut CompileScratch,
+    ) -> Self {
         let nv = func.num_vregs();
         let nb = func.num_blocks();
 
@@ -182,7 +197,8 @@ impl RangeData {
             }
             let bi = id.index();
             let w = weights.weight(id);
-            let mut live_now = live.live_out[bi].clone();
+            scratch.live_now.copy_from(&live.live_out[bi]);
+            let live_now = &mut scratch.live_now;
 
             b.term.for_each_use(|v| {
                 let r = &mut ranges[v.index()];
@@ -204,7 +220,7 @@ impl RangeData {
                 }
                 if let Some(d) = inst.def() {
                     let di = d.index();
-                    adj[di].union_with(&live_now);
+                    adj[di].union_with(live_now);
                     live_now.remove(di);
                     ranges[di].weighted_defs += w;
                     ranges[di].num_refs += 1;
@@ -281,17 +297,19 @@ impl RangeData {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipra_cfg::Dominators;
+    use crate::analysis::FuncAnalyses;
     use ipra_ir::builder::FunctionBuilder;
     use ipra_ir::{BinOp, Module};
 
     fn analyze(func: &Function) -> (Cfg, RangeData) {
-        let cfg = Cfg::new(func);
-        let dom = Dominators::compute(&cfg);
-        let loops = LoopInfo::compute(&cfg, &dom);
-        let live = Liveness::compute(func, &cfg);
+        let FuncAnalyses {
+            cfg,
+            loops,
+            liveness,
+            ..
+        } = FuncAnalyses::compute(func);
         let weights = BlockWeights::from_loops(&cfg, &loops);
-        let rd = RangeData::build(func, &cfg, &live, &weights);
+        let rd = RangeData::build(func, &cfg, &liveness, &weights);
         (cfg, rd)
     }
 

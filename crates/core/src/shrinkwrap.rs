@@ -20,6 +20,8 @@ use ipra_cfg::{Cfg, LoopInfo};
 use ipra_ir::BlockId;
 use ipra_machine::RegMask;
 
+use crate::scratch::MaskPool;
+
 /// Save/restore placement for one function.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SavePlan {
@@ -79,7 +81,20 @@ impl SavePlan {
 /// [`normalize_entries`](crate::normalize::normalize_entries) first): entry
 /// saves must execute exactly once per invocation.
 pub fn shrink_wrap(cfg: &Cfg, loops: &LoopInfo, app: &[RegMask]) -> SavePlan {
-    let plan = shrink_wrap_inner(cfg, loops, app);
+    shrink_wrap_with(cfg, loops, app, &mut MaskPool::default())
+}
+
+/// [`shrink_wrap`] running its dataflow vectors (extended `APP` copies,
+/// `ANT`/`AV`, saved-state) out of the caller's [`MaskPool`]. Only the
+/// returned plan's own `save_at`/`restore_at` vectors are freshly
+/// allocated; every intermediate is recycled.
+pub fn shrink_wrap_with(
+    cfg: &Cfg,
+    loops: &LoopInfo,
+    app: &[RegMask],
+    masks: &mut MaskPool,
+) -> SavePlan {
+    let plan = shrink_wrap_inner(cfg, loops, app, masks);
     // Flight-recorder distributions of plan shape: placement points per
     // solve and range-extension rounds. Histograms merge bucket-wise
     // across wave shards, so the module-level picture is scheduling-
@@ -100,33 +115,37 @@ pub fn shrink_wrap(cfg: &Cfg, loops: &LoopInfo, app: &[RegMask]) -> SavePlan {
     plan
 }
 
-fn shrink_wrap_inner(cfg: &Cfg, loops: &LoopInfo, app: &[RegMask]) -> SavePlan {
+fn shrink_wrap_inner(
+    cfg: &Cfg,
+    loops: &LoopInfo,
+    app_in: &[RegMask],
+    masks: &mut MaskPool,
+) -> SavePlan {
     let nb = cfg.num_blocks();
-    assert_eq!(app.len(), nb);
+    assert_eq!(app_in.len(), nb);
     assert!(
         cfg.preds(cfg.entry).is_empty(),
         "entry block must not be a branch target (normalize_entries)"
     );
-    let mut app: Vec<RegMask> = app.to_vec();
-    let app_orig = app.clone();
+    let mut app = masks.take(nb, RegMask::EMPTY);
+    app.copy_from_slice(app_in);
+    let mut app_orig = masks.take(nb, RegMask::EMPTY);
+    app_orig.copy_from_slice(app_in);
 
     // Loop constraint: propagate APP over entire loops.
     apply_loop_constraint(loops, &mut app);
 
     let mut iterations = 0u32;
-    loop {
+    let plan = loop {
         // One span per range-extension round, nested under the phase span,
         // so rounds can be costed individually in the trace.
         let _round = ipra_obs::span("shrink_wrap.round");
         iterations += 1;
-        let sol = solve_placement(cfg, &app);
+        let sol = solve_placement(cfg, &app, masks);
         let problems = find_problems(cfg, &app_orig, &sol);
         if problems.is_empty() {
             debug_assert_eq!(verify_plan(cfg, &app_orig, &sol.plan), Ok(()));
-            return SavePlan {
-                iterations,
-                ..sol.plan
-            };
+            break retire(sol, masks);
         }
         let mut changed = false;
         for (block, mask) in problems {
@@ -137,39 +156,56 @@ fn shrink_wrap_inner(cfg: &Cfg, loops: &LoopInfo, app: &[RegMask]) -> SavePlan {
                 changed = true;
             }
         }
+        retire_all(sol, masks);
         if !changed || iterations > (nb as u32 + 2) {
             // Escape hatch: place the still-problematic registers with the
             // classic convention. In practice extension converges in one or
             // two iterations (§5); this bound only protects termination.
-            let sol = solve_placement(cfg, &app);
+            let sol = solve_placement(cfg, &app, masks);
             let mut bad = RegMask::EMPTY;
             for (_, mask) in find_problems(cfg, &app_orig, &sol) {
                 bad |= mask;
             }
             if bad.is_empty() {
-                return SavePlan {
-                    iterations,
-                    ..sol.plan
+                break retire(sol, masks);
+            }
+            retire_all(sol, masks);
+            let mut reachable_app = masks.take(nb, RegMask::EMPTY);
+            for (i, r) in reachable_app.iter_mut().enumerate() {
+                *r = if cfg.is_reachable(BlockId(i as u32)) {
+                    RegMask(app[i].0 | bad.0)
+                } else {
+                    app[i]
                 };
             }
-            let reachable_app: Vec<RegMask> = (0..nb)
-                .map(|i| {
-                    if cfg.is_reachable(BlockId(i as u32)) {
-                        RegMask(app[i].0 | bad.0)
-                    } else {
-                        app[i]
-                    }
-                })
-                .collect();
-            let sol = solve_placement(cfg, &reachable_app);
+            let sol = solve_placement(cfg, &reachable_app, masks);
+            masks.give(reachable_app);
             debug_assert_eq!(verify_plan(cfg, &app_orig, &sol.plan), Ok(()));
-            return SavePlan {
-                iterations,
-                ..sol.plan
-            };
+            break retire(sol, masks);
         }
         apply_loop_constraint(loops, &mut app);
-    }
+    };
+    masks.give(app);
+    masks.give(app_orig);
+    SavePlan { iterations, ..plan }
+}
+
+/// Hands a solution's pooled saved-state vectors back and surfaces the
+/// plan (whose `save_at`/`restore_at` escape to the caller).
+fn retire(sol: Solution, masks: &mut MaskPool) -> SavePlan {
+    masks.give(sol.must_in);
+    masks.give(sol.may_in);
+    masks.give(sol.must_out);
+    masks.give(sol.may_out);
+    sol.plan
+}
+
+/// [`retire`] for a solution being discarded: the plan's vectors are
+/// recycled too instead of dropped.
+fn retire_all(sol: Solution, masks: &mut MaskPool) {
+    let plan = retire(sol, masks);
+    masks.give(plan.save_at);
+    masks.give(plan.restore_at);
 }
 
 fn apply_loop_constraint(loops: &LoopInfo, app: &mut [RegMask]) {
@@ -206,7 +242,7 @@ struct Solution {
 /// One round of the paper's equations: ANT/AV (intersection problems), then
 /// SAVE (3.5) and RESTORE (3.6), then the saved-state data flow used by the
 /// problem detector.
-fn solve_placement(cfg: &Cfg, app: &[RegMask]) -> Solution {
+fn solve_placement(cfg: &Cfg, app: &[RegMask], masks: &mut MaskPool) -> Solution {
     let nb = cfg.num_blocks();
     let full = {
         let mut m = RegMask::EMPTY;
@@ -217,11 +253,11 @@ fn solve_placement(cfg: &Cfg, app: &[RegMask]) -> Solution {
     };
 
     // Backward: ANTOUT = ∏ succ ANTIN (false at exits); ANTIN = APP + ANTOUT.
-    let mut antin = vec![RegMask::EMPTY; nb];
-    let mut antout = vec![RegMask::EMPTY; nb];
+    let mut antin = masks.take(nb, RegMask::EMPTY);
+    let mut antout = masks.take(nb, RegMask::EMPTY);
     // Forward: AVIN = ∏ pred AVOUT (false at entry); AVOUT = APP + AVIN.
-    let mut avin = vec![RegMask::EMPTY; nb];
-    let mut avout = vec![RegMask::EMPTY; nb];
+    let mut avin = masks.take(nb, RegMask::EMPTY);
+    let mut avout = masks.take(nb, RegMask::EMPTY);
     // Initialize interior to ⊤ for the intersections.
     for &b in &cfg.rpo {
         let i = b.index();
@@ -280,8 +316,8 @@ fn solve_placement(cfg: &Cfg, app: &[RegMask]) -> Solution {
 
     // SAVE_i = ANTIN_i · ¬AVIN_i · ∏_{j∈pred} ¬ANTIN_j            (3.5)
     // RESTORE_i = AVOUT_i · ¬ANTOUT_i · ∏_{j∈succ} ¬AVOUT_j       (3.6)
-    let mut save_at = vec![RegMask::EMPTY; nb];
-    let mut restore_at = vec![RegMask::EMPTY; nb];
+    let mut save_at = masks.take(nb, RegMask::EMPTY);
+    let mut restore_at = masks.take(nb, RegMask::EMPTY);
     for &b in &cfg.rpo {
         let i = b.index();
         let mut s = antin[i].intersect(RegMask(!avin[i].0));
@@ -299,8 +335,14 @@ fn solve_placement(cfg: &Cfg, app: &[RegMask]) -> Solution {
 
     let entry_spanning = save_at[cfg.entry.index()];
 
+    masks.give(antin);
+    masks.give(antout);
+    masks.give(avin);
+    masks.give(avout);
+
     // Saved-state data flow for the problem detector.
-    let (must_in, may_in, must_out, may_out) = saved_state(cfg, &save_at, &restore_at, full);
+    let (must_in, may_in, must_out, may_out) =
+        saved_state_with(cfg, &save_at, &restore_at, full, masks);
 
     Solution {
         plan: SavePlan {
@@ -324,11 +366,21 @@ fn saved_state(
     restore_at: &[RegMask],
     full: RegMask,
 ) -> (Vec<RegMask>, Vec<RegMask>, Vec<RegMask>, Vec<RegMask>) {
+    saved_state_with(cfg, save_at, restore_at, full, &mut MaskPool::default())
+}
+
+fn saved_state_with(
+    cfg: &Cfg,
+    save_at: &[RegMask],
+    restore_at: &[RegMask],
+    full: RegMask,
+    masks: &mut MaskPool,
+) -> (Vec<RegMask>, Vec<RegMask>, Vec<RegMask>, Vec<RegMask>) {
     let nb = cfg.num_blocks();
-    let mut must_in = vec![full; nb];
-    let mut may_in = vec![RegMask::EMPTY; nb];
-    let mut must_out = vec![full; nb];
-    let mut may_out = vec![RegMask::EMPTY; nb];
+    let mut must_in = masks.take(nb, full);
+    let mut may_in = masks.take(nb, RegMask::EMPTY);
+    let mut must_out = masks.take(nb, full);
+    let mut may_out = masks.take(nb, RegMask::EMPTY);
     must_in[cfg.entry.index()] = RegMask::EMPTY;
 
     let mut changed = true;
@@ -473,15 +525,13 @@ pub fn verify_plan(cfg: &Cfg, app_orig: &[RegMask], plan: &SavePlan) -> Result<(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipra_cfg::Dominators;
+    use crate::analysis::FuncAnalyses;
     use ipra_ir::builder::FunctionBuilder;
     use ipra_ir::Function;
 
     fn analyses(f: &Function) -> (Cfg, LoopInfo) {
-        let cfg = Cfg::new(f);
-        let dom = Dominators::compute(&cfg);
-        let loops = LoopInfo::compute(&cfg, &dom);
-        (cfg, loops)
+        let an = FuncAnalyses::compute(f);
+        (an.cfg, an.loops)
     }
 
     /// entry(0) -> then(1) | else(2) -> join(3, ret)

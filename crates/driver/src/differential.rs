@@ -4,9 +4,11 @@
 //! simulated machine code (with the register-preservation checker on)
 //! prints exactly what the [`ipra_ir::interp`] reference interpreter
 //! prints — and additionally the compile is deterministic across worker
-//! counts (`jobs = 1` vs `jobs = 4` render byte-identical assembly) and
+//! counts (`jobs = 1` vs `jobs = 4` render byte-identical assembly),
 //! across cache temperature (a warm `--cache-dir` compile replays to the
-//! same assembly as the cold one that populated it). A final trace oracle
+//! same assembly as the cold one that populated it), and across scratch
+//! reuse (a second compile through one persistent pipeline — memoized
+//! analyses, recycled buffers — matches a fresh compile). A final trace oracle
 //! re-compiles under tracing and demands that the `--trace-json` document
 //! re-parses, that its span tree is well formed, and that the per-edge
 //! penalty ledger reconciles exactly with the aggregate statistics.
@@ -203,8 +205,47 @@ pub fn check_module(module: &Module, opts: &DiffOptions) -> Result<DiffVerdict, 
     if let Some(root) = &opts.cache_root {
         check_cache_roundtrip(module, root)?;
     }
+    check_scratch_reuse(module)?;
     check_trace(module)?;
     Ok(DiffVerdict::Pass)
+}
+
+/// Scratch-reuse parity: compiling the same module twice through one
+/// persistent [`ipra_core::Pipeline`] — the second pass replays memoized
+/// analyses and runs inside recycled scratch buffers — must render
+/// assembly byte-identical to a fresh one-shot compile, and the second
+/// pass must answer every analysis lookup from the memo.
+fn check_scratch_reuse(module: &Module) -> Result<(), DiffFailure> {
+    let config = Config::c();
+    let fresh = compile_only(module, &config);
+    let want = asm_of(&fresh, &config);
+
+    let pipe = ipra_core::Pipeline::new();
+    let first = pipe.compile(module, &config.target, &config.opts);
+    if asm_of(&first, &config) != want {
+        return Err(fail(
+            "scratch",
+            "pipeline compile differs from one-shot compile",
+        ));
+    }
+    let second = pipe.compile(module, &config.target, &config.opts);
+    if asm_of(&second, &config) != want {
+        return Err(fail(
+            "scratch",
+            "reused-scratch recompile differs from fresh compile",
+        ));
+    }
+    let n = module.funcs.len() as u64;
+    if second.analysis.hits != n || second.analysis.misses != 0 {
+        return Err(fail(
+            "scratch",
+            format!(
+                "warm recompile expected {n} analysis-memo hits / 0 misses, got {} / {}",
+                second.analysis.hits, second.analysis.misses
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// Trace oracle: a traced compile+run of configuration C must produce a

@@ -282,6 +282,14 @@ impl Metrics {
             .map_or(0, |m| m.value)
     }
 
+    /// Last value of one gauge instance (`None` when never set).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|m| m.name == name && labels_match(&m.labels, labels))
+            .map(|m| m.value)
+    }
+
     /// Sum of every counter instance with this name, across all label sets.
     pub fn counter_sum(&self, name: &str) -> u64 {
         self.counters
@@ -485,6 +493,9 @@ mod tests {
         m.set_gauge("g", &[], 5);
         m.set_gauge("g", &[], -2);
         assert_eq!(m.gauges[0].value, -2);
+        assert_eq!(m.gauge_value("g", &[]), Some(-2));
+        assert_eq!(m.gauge_value("g", &[("k", "v")]), None);
+        assert_eq!(m.gauge_value("absent", &[]), None);
         m.observe("h", &[("phase", "color")], 4);
         m.observe("h", &[("phase", "color")], 6);
         let h = m.histogram("h", &[("phase", "color")]).unwrap();
