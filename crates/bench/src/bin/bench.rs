@@ -3,13 +3,17 @@
 //!
 //! ```text
 //! bench --check-budgets [--cache-file <p>] [--waves-file <p>]
-//!       [--allocs-file <p>] [--history <p>] [--warm-floor <x>]
-//!       [--wave-floor <x>] [--allocs-floor <x>]
+//!       [--allocs-file <p>] [--service-file <p>] [--history <p>]
+//!       [--warm-floor <x>] [--wave-floor <x>] [--allocs-floor <x>]
+//!       [--service-throughput-floor <x>] [--service-warm-floor <x>]
+//!       [--service-p99-ceiling-us <n>]
 //!   --check-budgets    verify the artifacts against the budget floors
 //!   --cache-file <p>   cache results (default BENCH_cache.json)
 //!   --waves-file <p>   wave results (default BENCH_waves.json)
 //!   --allocs-file <p>  allocation results (default BENCH_allocs.json;
 //!                      `none` skips the allocation budget)
+//!   --service-file <p> compile-service results (default
+//!                      BENCH_service.json; `none` skips)
 //!   --history <p>      trajectory file whose lines must all parse
 //!                      (default BENCH_history.jsonl; `none` skips)
 //!   --warm-floor <x>   minimum warm-cache compile speedup (default 3.0)
@@ -17,12 +21,19 @@
 //!                      informational until hosts guarantee >1 cores)
 //!   --allocs-floor <x> minimum warm-recompile allocation reduction as a
 //!                      fraction (default 0.5)
+//!   --service-throughput-floor <x>  minimum daemon throughput in
+//!                      requests/s (default 5.0)
+//!   --service-warm-floor <x>  minimum warm-hit ratio over warm-eligible
+//!                      daemon requests (default 0.25)
+//!   --service-p99-ceiling-us <n>  maximum p99 request latency in
+//!                      microseconds (default 2000000 — generous so the
+//!                      gate trips on collapse, not scheduler jitter)
 //! ```
 //!
 //! Exits nonzero when a budget is violated or an artifact is missing or
 //! malformed, so CI can run it as a hard gate after refreshing the
 //! artifacts with `cache_speedup --small` / `wave_speedup --small` /
-//! `recompile_allocs --small`.
+//! `recompile_allocs --small` / `service_bench --small`.
 
 use std::process::ExitCode;
 
@@ -31,8 +42,10 @@ use ipra_obs::json::{parse_bytes, Json};
 
 fn usage() -> &'static str {
     "usage: bench --check-budgets [--cache-file P] [--waves-file P] \
-     [--allocs-file P|none] [--history P|none] [--warm-floor X] \
-     [--wave-floor X] [--allocs-floor X]"
+     [--allocs-file P|none] [--service-file P|none] [--history P|none] \
+     [--warm-floor X] [--wave-floor X] [--allocs-floor X] \
+     [--service-throughput-floor X] [--service-warm-floor X] \
+     [--service-p99-ceiling-us N]"
 }
 
 /// Loads an artifact and extracts `total.<key>` as a float.
@@ -50,10 +63,14 @@ fn real_main() -> Result<ExitCode, String> {
     let mut cache_file = "BENCH_cache.json".to_string();
     let mut waves_file = "BENCH_waves.json".to_string();
     let mut allocs_file = Some("BENCH_allocs.json".to_string());
+    let mut service_file = Some("BENCH_service.json".to_string());
     let mut history = Some("BENCH_history.jsonl".to_string());
     let mut warm_floor = 3.0f64;
     let mut wave_floor = 0.0f64;
     let mut allocs_floor = 0.5f64;
+    let mut service_throughput_floor = 5.0f64;
+    let mut service_warm_floor = 0.25f64;
+    let mut service_p99_ceiling_us = 2_000_000.0f64;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -64,6 +81,10 @@ fn real_main() -> Result<ExitCode, String> {
             "--allocs-file" => {
                 let p = args.next().ok_or_else(|| usage().to_string())?;
                 allocs_file = (p != "none").then_some(p);
+            }
+            "--service-file" => {
+                let p = args.next().ok_or_else(|| usage().to_string())?;
+                service_file = (p != "none").then_some(p);
             }
             "--history" => {
                 let p = args.next().ok_or_else(|| usage().to_string())?;
@@ -86,6 +107,24 @@ fn real_main() -> Result<ExitCode, String> {
                     .next()
                     .and_then(|v| v.trim().parse().ok())
                     .ok_or("--allocs-floor needs a number")?
+            }
+            "--service-throughput-floor" => {
+                service_throughput_floor = args
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+                    .ok_or("--service-throughput-floor needs a number")?
+            }
+            "--service-warm-floor" => {
+                service_warm_floor = args
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+                    .ok_or("--service-warm-floor needs a number")?
+            }
+            "--service-p99-ceiling-us" => {
+                service_p99_ceiling_us = args
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+                    .ok_or("--service-p99-ceiling-us needs a number")?
             }
             "-h" | "--help" => return Err(usage().to_string()),
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
@@ -126,6 +165,29 @@ fn real_main() -> Result<ExitCode, String> {
             allocs_floor,
             "",
         );
+    }
+    if let Some(path) = &service_file {
+        gate(
+            "service throughput",
+            total_of(path, "throughput_rps")?,
+            service_throughput_floor,
+            " req/s",
+        );
+        gate(
+            "service warm-hit ratio",
+            total_of(path, "warm_hit_ratio")?,
+            service_warm_floor,
+            "",
+        );
+        let p99 = total_of(path, "p99_us")?;
+        let ok = p99 <= service_p99_ceiling_us;
+        println!(
+            "{} service p99 latency: {p99:.0}us (ceiling {service_p99_ceiling_us:.0}us)",
+            if ok { "ok  " } else { "FAIL" }
+        );
+        if !ok {
+            violations += 1;
+        }
     }
 
     if let Some(path) = &history {

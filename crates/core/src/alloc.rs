@@ -69,6 +69,11 @@ pub struct FuncArtifacts {
     /// The function's memoized analyses (shared with the
     /// [`AnalysisCache`], so cloning artifacts never copies them).
     pub analyses: Arc<FuncAnalyses>,
+    /// Whether [`FuncArtifacts::analyses`] came from the memo. Summed by
+    /// the driver into the compile's own hit/miss window — the shared
+    /// memo counters can't be diffed for that, since concurrent compiles
+    /// through one pipeline interleave on them.
+    pub analysis_hit: bool,
     /// Ranges and call sites.
     pub ranges: RangeData,
     /// The allocation.
@@ -527,6 +532,7 @@ pub fn allocate_function_with(
 
     FuncArtifacts {
         analyses: Arc::clone(&analyses),
+        analysis_hit: memo_hit,
         ranges,
         alloc: FuncAllocation {
             assignment,

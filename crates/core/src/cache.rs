@@ -336,11 +336,20 @@ impl AllocCache {
 
     /// Writes every pending entry to its own shard file. Best-effort: the
     /// directory is created if missing, each shard goes through a
-    /// process-unique temp file + atomic rename (so concurrent compiles
-    /// sharing the directory never tear or serialize on one file), and
-    /// I/O errors are swallowed (a failed save costs a future miss, never
-    /// a failed compile).
+    /// process- *and thread-unique* temp file + atomic rename, and I/O
+    /// errors are swallowed (a failed save costs a future miss, never a
+    /// failed compile).
+    ///
+    /// Uniqueness matters twice over: the pid component keeps concurrent
+    /// *processes* sharing a cache directory apart, and the global
+    /// sequence number keeps concurrent *threads of one process* (a
+    /// compile daemon's in-flight requests publishing the same key) from
+    /// reusing one temp path — with a pid-only name, one thread could
+    /// rename a temp file another thread was still writing, publishing a
+    /// torn entry.
     pub fn save(&self) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
         if self.dirty.is_empty() {
             return;
         }
@@ -350,9 +359,11 @@ impl AllocCache {
                 ("version", Json::Int(CACHE_FORMAT_VERSION)),
                 ("funcs", funcs.clone()),
             ]);
-            let tmp = self
-                .dir
-                .join(format!("{key:016x}.{}.tmp", std::process::id()));
+            let tmp = self.dir.join(format!(
+                "{key:016x}.{}.{}.tmp",
+                std::process::id(),
+                SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
             if std::fs::write(&tmp, doc.render()).is_ok()
                 && std::fs::rename(&tmp, self.dir.join(shard_name(*key))).is_err()
             {

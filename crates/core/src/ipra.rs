@@ -79,6 +79,8 @@ pub struct CompiledModule {
     pub cache: CacheStats,
     /// Analysis-memo hits/misses within this compile (all misses for a
     /// one-shot compile; mostly hits on a warm [`Pipeline`] recompile).
+    /// Summed from this compile's own lookups, so concurrent compiles
+    /// sharing the pipeline never pollute each other's window.
     pub analysis: AnalysisStats,
 }
 
@@ -162,7 +164,6 @@ pub(crate) fn compile_module_impl(
     let promotion = prep.promotion;
     let body_hashes = &prep.body_hashes;
     let (cg, scc, openness) = (&prep.cg, &prep.scc, &prep.openness);
-    let analysis0 = pipe.analyses.stats();
 
     // Observability is re-emitted per compile even when the preparation
     // replayed from the memo, so traces stay identical across pipeline
@@ -436,12 +437,21 @@ pub(crate) fn compile_module_impl(
     let mut summaries = Vec::with_capacity(n);
     let mut clobber_masks = Vec::with_capacity(n);
     let mut reports = Vec::with_capacity(n);
+    // This compile's own analysis-memo window, summed from the per-
+    // function hit flags. Diffing the shared memo counters would fold in
+    // whatever concurrent compiles through the same pipeline did.
+    let mut analysis = AnalysisStats::default();
     for (fid, func) in module.funcs.iter() {
         match results[fid.index()]
             .as_ref()
             .expect("every function compiled")
         {
             FuncResult::Fresh(art) => {
+                if art.analysis_hit {
+                    analysis.hits += 1;
+                } else {
+                    analysis.misses += 1;
+                }
                 funcs.push(lowered[fid.index()].take().expect("fresh function lowered"));
                 let a = &art.alloc;
                 summaries.push(a.summary.clone());
@@ -546,7 +556,7 @@ pub(crate) fn compile_module_impl(
         reports,
         promotion,
         cache: cache_stats,
-        analysis: pipe.analyses.stats_since(analysis0),
+        analysis,
     }
 }
 

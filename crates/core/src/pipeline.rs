@@ -20,7 +20,8 @@
 //! same seed through a reused pipeline and a fresh one and compares the
 //! rendered machine code byte for byte.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::{Arc, Mutex};
 
 use ipra_callgraph::{CallGraph, Openness, SccInfo};
@@ -60,10 +61,59 @@ pub(crate) struct PreparedModule {
     pub(crate) openness: Openness,
 }
 
+/// A FIFO-bounded memo: a map plus an insertion-order queue, evicting the
+/// oldest entries once `cap` is exceeded. One-shot compiles use an
+/// unbounded memo (their pipeline dies with the compile); a long-lived
+/// daemon caps both memos so serving an unbounded stream of distinct
+/// modules cannot grow memory without bound.
+#[derive(Debug)]
+pub(crate) struct BoundedMemo<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> BoundedMemo<K, V> {
+    fn new(cap: usize) -> Self {
+        BoundedMemo {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    pub(crate) fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.cap {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Long-lived compilation state: analysis memo, scratch pool, and the
 /// in-memory incremental-cache image. Create one per daemon/JIT/bench
 /// process and push every compile through it.
-#[derive(Debug, Default)]
+///
+/// A `Pipeline` is `Send + Sync`: wave workers already share it within a
+/// compile, and a compile daemon shares one across concurrent client
+/// sessions — every memo sits behind its own lock, and compiles are
+/// bit-identical no matter how the memos interleave.
+#[derive(Debug)]
 pub struct Pipeline {
     /// Per-function analyses memoized across compiles by body hash.
     pub(crate) analyses: AnalysisCache,
@@ -71,18 +121,55 @@ pub struct Pipeline {
     pub(crate) scratch: ScratchPool,
     /// Decoded incremental-cache entries by component key, so a warm
     /// recompile never touches the cache directory again.
-    pub(crate) entries: Mutex<HashMap<u64, Arc<Vec<CachedFunc>>>>,
+    pub(crate) entries: Mutex<BoundedMemo<u64, Arc<Vec<CachedFunc>>>>,
     /// Prepared (transformed + module-level-analyzed) modules by
     /// whole-module hash, so a warm recompile of an unchanged module
     /// skips the clone, the normalization/promotion passes and the
     /// call-graph work entirely.
-    pub(crate) prepared: Mutex<HashMap<(u64, bool), Arc<PreparedModule>>>,
+    pub(crate) prepared: Mutex<BoundedMemo<(u64, bool), Arc<PreparedModule>>>,
 }
 
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+// Compile-time proof that a Pipeline may be shared across daemon session
+// threads (the field types make this true; this pins it against drift).
+const _: fn() = || {
+    fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<Pipeline>();
+};
+
 impl Pipeline {
-    /// An empty pipeline.
+    /// An unbounded pipeline (one-shot compiles, tests, benches).
     pub fn new() -> Pipeline {
-        Pipeline::default()
+        Pipeline::with_memo_caps(usize::MAX, usize::MAX)
+    }
+
+    /// A pipeline whose prepared-module and decoded-entry memos are
+    /// FIFO-bounded to `prepared_cap` / `entries_cap` entries — the
+    /// daemon configuration. The analysis memo needs no cap of its own:
+    /// its entries are only reachable through prepared modules, so
+    /// bounding those bounds its useful size, and stale analyses are
+    /// never looked up again.
+    pub fn with_memo_caps(prepared_cap: usize, entries_cap: usize) -> Pipeline {
+        Pipeline {
+            analyses: AnalysisCache::default(),
+            scratch: ScratchPool::default(),
+            entries: Mutex::new(BoundedMemo::new(entries_cap.max(1))),
+            prepared: Mutex::new(BoundedMemo::new(prepared_cap.max(1))),
+        }
+    }
+
+    /// Current sizes of the (prepared-module, decoded-entry) memos, for
+    /// daemon metrics gauges.
+    pub fn memo_sizes(&self) -> (usize, usize) {
+        (
+            self.prepared.lock().unwrap().len(),
+            self.entries.lock().unwrap().len(),
+        )
     }
 
     /// Compiles a module, reusing any state earlier compiles left behind.

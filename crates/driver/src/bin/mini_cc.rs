@@ -18,7 +18,14 @@
 //!   --profile-out <file>   run, then write per-block execution counts as JSON
 //!   --profile-in <file>    recompile with a previously written profile
 //!   --workload <name>      compile a bundled benchmark instead of a file
+//!   --remote <socket>      send the compile to a running mini-ccd instead
+//!                          of compiling locally (same options, same output)
+//!   --ping                 with --remote: check the daemon is alive
+//!   --shutdown             with --remote: ask the daemon to shut down
 //! ```
+//!
+//! With `--remote`, `--emit metrics` fetches the daemon's metrics
+//! registry as JSON (readable by `trace-tool top`).
 
 use std::process::ExitCode;
 
@@ -29,6 +36,8 @@ use ipra_machine::Target;
 struct Args {
     opts: AllocOptions,
     target: Target,
+    /// `--limit NC,NE` as given, for forwarding to a remote daemon.
+    limit: Option<(usize, usize)>,
     emit: Option<String>,
     run: bool,
     trace: bool,
@@ -37,7 +46,10 @@ struct Args {
     profile_out: Option<String>,
     profile_in: Option<String>,
     verify_mc: bool,
-    input: Input,
+    remote: Option<String>,
+    ping: bool,
+    shutdown: bool,
+    input: Option<Input>,
 }
 
 enum Input {
@@ -49,7 +61,8 @@ fn usage() -> &'static str {
     "usage: mini-cc [-O0|-O2|-O3] [--no-shrink-wrap] [--limit NC,NE] \
      [--emit ir|asm|summary] [--run] [--trace] [--trace-json PATH] \
      [--trace-chrome PATH] [--jobs N] [--cache-dir DIR] [--profile-out PATH] [--profile-in PATH] \
-     [--verify-mc | --no-verify-mc] (<file.mini> | --workload <name>)"
+     [--verify-mc | --no-verify-mc] [--remote SOCKET [--ping | --shutdown]] \
+     (<file.mini> | --workload <name>)"
 }
 
 fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -65,6 +78,10 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     // The static verifier is cheap relative to a compile, so debug builds
     // run it by default; release builds opt in with --verify-mc.
     let mut verify_mc = cfg!(debug_assertions);
+    let mut remote = None;
+    let mut ping = false;
+    let mut shutdown = false;
+    let mut limit = None;
     let mut input = None;
     // `-O2`/`-O3` replace the whole option set, so `--no-shrink-wrap`,
     // `--jobs` and `--cache-dir` are remembered separately and applied
@@ -88,6 +105,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                 let nc: usize = nc.trim().parse().map_err(|_| "bad NC")?;
                 let ne: usize = ne.trim().parse().map_err(|_| "bad NE")?;
                 target = Target::with_class_limits(nc, ne);
+                limit = Some((nc, ne));
             }
             "--emit" => emit = Some(args.next().ok_or("--emit needs a kind")?),
             "--run" => run = true,
@@ -110,6 +128,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                     args.next().ok_or("--workload needs a name")?,
                 ))
             }
+            "--remote" => remote = Some(args.next().ok_or("--remote needs a socket path")?),
+            "--ping" => ping = true,
+            "--shutdown" => shutdown = true,
             "-h" | "--help" => return Err(usage().to_string()),
             other if !other.starts_with('-') => input = Some(Input::File(other.to_string())),
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
@@ -124,10 +145,19 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     if let Some(d) = cache_dir {
         opts.cache_dir = Some(std::path::PathBuf::from(d));
     }
-    let input = input.ok_or_else(|| usage().to_string())?;
+    if (ping || shutdown) && remote.is_none() {
+        return Err("--ping/--shutdown require --remote".to_string());
+    }
+    // Daemon-management commands and `--emit metrics` need no input file;
+    // everything else does.
+    let daemon_cmd = remote.is_some() && (ping || shutdown || emit.as_deref() == Some("metrics"));
+    if input.is_none() && !daemon_cmd {
+        return Err(usage().to_string());
+    }
     Ok(Args {
         opts,
         target,
+        limit,
         emit,
         run,
         trace,
@@ -136,13 +166,176 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         profile_out,
         profile_in,
         verify_mc,
+        remote,
+        ping,
+        shutdown,
         input,
     })
 }
 
+/// Client mode: forward the compile (or a management command) to a
+/// running `mini-ccd` over its Unix socket. Options are forwarded field
+/// for field, so the daemon's output is byte-identical to a local
+/// compile under the same flags.
+fn remote_main(socket: &str, args: &Args) -> Result<(), String> {
+    use ipra_driver::service::{roundtrip, CompileRequest, RequestSource};
+    use ipra_obs::json::Json;
+
+    let mut stream =
+        std::os::unix::net::UnixStream::connect(socket).map_err(|e| format!("{socket}: {e}"))?;
+    let ask = |stream: &mut std::os::unix::net::UnixStream, req: &Json| {
+        roundtrip(stream, req).map_err(|e| format!("{socket}: {e}"))
+    };
+
+    if args.shutdown {
+        let resp = ask(
+            &mut stream,
+            &Json::obj(vec![("cmd", Json::Str("shutdown".into()))]),
+        )?;
+        if resp.get("status").and_then(Json::as_str) != Some("ok") {
+            return Err(format!("shutdown refused: {}", resp.render()));
+        }
+        eprintln!("[mini-ccd] shutting down");
+        return Ok(());
+    }
+    if args.ping {
+        let resp = ask(
+            &mut stream,
+            &Json::obj(vec![("cmd", Json::Str("ping".into()))]),
+        )?;
+        if resp.get("pong") != Some(&Json::Bool(true)) {
+            return Err(format!("unexpected ping response: {}", resp.render()));
+        }
+        println!("pong");
+        return Ok(());
+    }
+    if args.emit.as_deref() == Some("metrics") {
+        let resp = ask(
+            &mut stream,
+            &Json::obj(vec![("cmd", Json::Str("metrics".into()))]),
+        )?;
+        let m = resp
+            .get("metrics")
+            .ok_or_else(|| format!("no metrics in response: {}", resp.render()))?;
+        println!("{}", m.render_pretty());
+        return Ok(());
+    }
+
+    if args.profile_out.is_some() || args.profile_in.is_some() {
+        return Err("profile feedback is not supported with --remote".to_string());
+    }
+    if args.trace || args.trace_chrome.is_some() {
+        return Err(
+            "with --remote, use --trace-json (the daemon returns the trace document)".to_string(),
+        );
+    }
+    match args.emit.as_deref() {
+        None | Some("asm") => {}
+        Some(other) => return Err(format!("--emit {other} is not supported with --remote")),
+    }
+
+    // The client reads files itself and ships the source inline, so the
+    // daemon never depends on the client's filesystem layout.
+    let source = match args.input.as_ref().expect("validated in parse") {
+        Input::File(path) => RequestSource::Source(
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        ),
+        Input::Workload(name) => RequestSource::Workload(name.clone()),
+    };
+    let mut req = CompileRequest::new(1, source);
+    req.opt = match args.opts.mode {
+        AllocMode::NoAlloc => "O0".into(),
+        AllocMode::Intra => "O2".into(),
+        AllocMode::Inter => "O3".into(),
+    };
+    req.shrink_wrap = Some(args.opts.shrink_wrap);
+    req.jobs = args.opts.jobs;
+    req.limit = args.limit;
+    req.cache_dir = args
+        .opts
+        .cache_dir
+        .as_ref()
+        .map(|p| p.display().to_string());
+    req.run = args.run || args.emit.is_none();
+    req.trace = args.trace_json.is_some();
+
+    let resp = ask(&mut stream, &req.to_json())?;
+    match resp.get("status").and_then(Json::as_str) {
+        Some("ok") => {}
+        Some("busy") => {
+            return Err(format!(
+                "daemon busy: {}",
+                resp.get("error").and_then(Json::as_str).unwrap_or("")
+            ))
+        }
+        _ => {
+            return Err(resp
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("malformed daemon response")
+                .to_string())
+        }
+    }
+    if let Some(c) = resp.get("cache") {
+        if c.get("enabled") == Some(&Json::Bool(true)) {
+            eprintln!(
+                "[cache] hits: {}  misses: {}  cutoffs: {}",
+                c.get("hits").and_then(Json::as_i64).unwrap_or(0),
+                c.get("misses").and_then(Json::as_i64).unwrap_or(0),
+                c.get("cutoffs").and_then(Json::as_i64).unwrap_or(0)
+            );
+        }
+    }
+    if resp.get("warm") == Some(&Json::Bool(true)) {
+        eprintln!("[remote] warm: replayed from the daemon's analysis memo");
+    }
+    if args.emit.as_deref() == Some("asm") {
+        if let Some(asm) = resp.get("asm").and_then(Json::as_str) {
+            print!("{asm}");
+        }
+    }
+    if let Some(out) = resp.get("output").and_then(Json::as_arr) {
+        for v in out {
+            if let Some(v) = v.as_i64() {
+                println!("{v}");
+            }
+        }
+    }
+    if let Some(stats) = resp.get("stats") {
+        let g = |k: &str| stats.get(k).and_then(Json::as_i64).unwrap_or(0);
+        let calls = g("calls");
+        let cpc = if calls > 0 {
+            g("cycles") as f64 / calls as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[{}] cycles: {}  insts: {}  calls: {}  loads: {}  stores: {}  scalar l/s: {}  cycles/call: {:.1}",
+            resp.get("config").and_then(Json::as_str).unwrap_or("?"),
+            g("cycles"),
+            g("insts"),
+            calls,
+            g("loads"),
+            g("stores"),
+            g("scalar_mem"),
+            cpc
+        );
+    }
+    if let Some(path) = &args.trace_json {
+        let trace = resp
+            .get("trace")
+            .ok_or("daemon response carries no trace document")?;
+        std::fs::write(path, trace.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn real_main() -> Result<(), String> {
     let args = parse_args_from(std::env::args().skip(1))?;
-    let source = match &args.input {
+    if let Some(socket) = args.remote.clone() {
+        return remote_main(&socket, &args);
+    }
+    let source = match args.input.as_ref().ok_or_else(|| usage().to_string())? {
         Input::File(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
         Input::Workload(name) => ipra_workloads::by_name(name)
             .ok_or_else(|| {
@@ -378,6 +571,32 @@ mod tests {
         // Default tracks the build profile.
         let e = parse(&["x.mini"]);
         assert_eq!(e.verify_mc, cfg!(debug_assertions));
+    }
+
+    #[test]
+    fn remote_flags_parse() {
+        let a = parse(&["--remote", "/tmp/ccd.sock", "x.mini"]);
+        assert_eq!(a.remote.as_deref(), Some("/tmp/ccd.sock"));
+        assert!(!a.ping && !a.shutdown);
+        // Management commands need no input file.
+        let b = parse(&["--remote", "/tmp/ccd.sock", "--shutdown"]);
+        assert!(b.shutdown && b.input.is_none());
+        let c = parse(&["--remote", "/tmp/ccd.sock", "--ping"]);
+        assert!(c.ping);
+        let d = parse(&["--remote", "/tmp/ccd.sock", "--emit", "metrics"]);
+        assert_eq!(d.emit.as_deref(), Some("metrics"));
+        // But a remote compile still does, and --ping alone is invalid.
+        assert!(
+            parse_args_from(["--remote", "/tmp/ccd.sock"].iter().map(|s| s.to_string())).is_err()
+        );
+        assert!(parse_args_from(["--ping"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn limit_is_remembered_for_forwarding() {
+        let a = parse(&["--limit", "7,0", "x.mini"]);
+        assert_eq!(a.limit, Some((7, 0)));
+        assert_eq!(parse(&["x.mini"]).limit, None);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! trace-tool flame <trace.json>
 //! ```
 //!
+//! `top` also accepts a metrics-registry document (as written by
+//! `mini-cc --remote <socket> --emit metrics`) and renders its counters,
+//! gauges and latency histograms instead.
+//!
 //! `diff` exits 1 when any deterministic penalty quantity regressed past
 //! the threshold (default 10%), so CI can gate on it directly. Usage and
 //! I/O errors exit 2.
@@ -14,19 +18,23 @@
 use std::process::ExitCode;
 
 use ipra_driver::tracetool::{self, DiffOptions, TopBy, TraceDoc};
+use ipra_obs::json::Json;
 
 fn usage() -> &'static str {
     "usage: trace-tool <subcommand>\n\
-     \x20 top   <trace.json> [--by penalty|time] [--limit N]\n\
+     \x20 top   <trace.json | metrics.json> [--by penalty|time] [--limit N]\n\
      \x20 diff  <old.json> <new.json> [--threshold PCT] [--min-abs N]\n\
      \x20 cache <trace.json>\n\
      \x20 flame <trace.json>"
 }
 
-fn load(path: &str) -> Result<TraceDoc, String> {
+fn load_json(path: &str) -> Result<Json, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    let doc = ipra_obs::json::parse_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
-    tracetool::load(&doc).map_err(|e| format!("{path}: {e}"))
+    ipra_obs::json::parse_bytes(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load(path: &str) -> Result<TraceDoc, String> {
+    tracetool::load(&load_json(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
 fn real_main(args: &[String]) -> Result<ExitCode, String> {
@@ -61,7 +69,13 @@ fn real_main(args: &[String]) -> Result<ExitCode, String> {
                 }
             }
             let path = path.ok_or_else(|| usage().to_string())?;
-            print!("{}", tracetool::top_report(&load(&path)?, by, limit));
+            let doc = load_json(&path)?;
+            if tracetool::is_metrics_doc(&doc) {
+                print!("{}", tracetool::metrics_report(&doc, limit));
+            } else {
+                let doc = tracetool::load(&doc).map_err(|e| format!("{path}: {e}"))?;
+                print!("{}", tracetool::top_report(&doc, by, limit));
+            }
             Ok(ExitCode::SUCCESS)
         }
         "diff" => {

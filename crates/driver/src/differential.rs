@@ -16,6 +16,11 @@
 //! Seeds whose oracle run exhausts a resource budget (fuel or call depth)
 //! are *skipped*, not failed: a generated program too expensive to execute
 //! tells us nothing about the compiler.
+//!
+//! Source-level seeds additionally pass through the daemon-vs-oneshot
+//! oracle: the seed is compiled by a live in-process `mini-ccd` service
+//! session (cold, then warm on the hot pipeline) and both responses must
+//! carry assembly byte-identical to a fresh one-shot compile.
 
 use std::fmt;
 use std::path::PathBuf;
@@ -361,7 +366,56 @@ fn check_cache_roundtrip(module: &Module, root: &std::path::Path) -> Result<(), 
     result
 }
 
-/// Compiles Mini source and runs [`check_module`] on the result.
+/// Daemon-vs-oneshot oracle: the same source sent to a live in-process
+/// compile service (a real session over a Unix socket pair, speaking the
+/// framed wire protocol) must render assembly byte-identical to a fresh
+/// one-shot compile — on the cold first request and on the warm repeat
+/// answered from the hot pipeline.
+fn check_service(source: &str, module: &Module) -> Result<(), DiffFailure> {
+    use crate::service::{roundtrip, CompileRequest, RequestSource, Service};
+
+    let config = Config::c();
+    let want = asm_of(&compile_only(module, &config), &config);
+    let service = Service::with_defaults();
+    let (mut client, server) = std::os::unix::net::UnixStream::pair()
+        .map_err(|e| fail("service", format!("socketpair failed: {e}")))?;
+    std::thread::scope(|s| {
+        let srv = s.spawn(move || service.serve_session(&server, &server));
+        for (id, label) in [(1, "cold"), (2, "warm")] {
+            let req = CompileRequest::new(id, RequestSource::Source(source.to_string()));
+            let resp = roundtrip(&mut client, &req.to_json())
+                .map_err(|e| fail("service", format!("{label} request failed: {e}")))?;
+            if resp.get("status").and_then(|j| j.as_str()) != Some("ok") {
+                return Err(fail(
+                    "service",
+                    format!("{label} compile not ok: {}", resp.render()),
+                ));
+            }
+            if resp.get("asm").and_then(|j| j.as_str()) != Some(want.as_str()) {
+                return Err(fail(
+                    "service",
+                    format!("{label} daemon assembly differs from one-shot compile"),
+                ));
+            }
+            let warm_flag = resp.get("warm") == Some(&ipra_obs::json::Json::Bool(true));
+            if warm_flag != (label == "warm") {
+                return Err(fail(
+                    "service",
+                    format!("{label} request reported warm={warm_flag}"),
+                ));
+            }
+        }
+        drop(client);
+        srv.join()
+            .map_err(|_| fail("service", "session thread panicked"))?
+            .map_err(|e| fail("service", format!("session torn down: {e}")))?;
+        Ok(())
+    })
+}
+
+/// Compiles Mini source and runs [`check_module`] on the result, then —
+/// because only source-level seeds can exercise the wire protocol — the
+/// daemon-vs-oneshot service oracle ([`check_service`]).
 ///
 /// # Errors
 ///
@@ -370,7 +424,11 @@ fn check_cache_roundtrip(module: &Module, root: &std::path::Path) -> Result<(), 
 pub fn check_source(source: &str, opts: &DiffOptions) -> Result<DiffVerdict, DiffFailure> {
     let module = ipra_frontend::compile(source)
         .map_err(|e| fail("frontend", format!("generated source rejected: {e}")))?;
-    check_module(&module, opts)
+    let verdict = check_module(&module, opts)?;
+    if verdict == DiffVerdict::Pass {
+        check_service(source, &module)?;
+    }
+    Ok(verdict)
 }
 
 #[cfg(test)]
@@ -406,6 +464,12 @@ mod tests {
             DiffVerdict::Skipped(t) => assert!(t.is_resource_limit()),
             v => panic!("expected a skip, got {v:?}"),
         }
+    }
+
+    #[test]
+    fn service_oracle_accepts_a_healthy_program() {
+        let module = ipra_frontend::compile(OK).unwrap();
+        check_service(OK, &module).unwrap();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod differential;
 pub mod profile;
+pub mod service;
 pub mod trace;
 pub mod tracetool;
 

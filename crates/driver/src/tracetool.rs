@@ -453,6 +453,118 @@ pub fn cache_report(doc: &TraceDoc) -> Result<String, String> {
     Ok(out)
 }
 
+/// True when `doc` is a metrics-registry document (the shape of
+/// [`ipra_obs::metrics::Metrics::to_json`], as served by `mini-ccd`'s
+/// `metrics` command and saved by `mini-cc --remote --emit metrics`)
+/// rather than a compile trace.
+pub fn is_metrics_doc(doc: &Json) -> bool {
+    doc.get("counters").and_then(Json::as_arr).is_some()
+        && doc.get("histograms").and_then(Json::as_arr).is_some()
+        && doc.get("functions").is_none()
+}
+
+fn metric_label(inst: &Json) -> String {
+    let name = get_str(inst, "name");
+    let labels = inst
+        .get("labels")
+        .and_then(Json::as_obj)
+        .map(|pairs| {
+            pairs
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .unwrap_or_default();
+    if labels.is_empty() {
+        name
+    } else {
+        format!("{name}{{{labels}}}")
+    }
+}
+
+/// Upper estimate of the q-quantile from a serialized log₂ histogram —
+/// the JSON mirror of `Log2Histogram::quantile_upper`.
+fn histogram_quantile(value: &Json, q: f64) -> u64 {
+    let count = get_u64(value, "count");
+    if count == 0 {
+        return 0;
+    }
+    let max = get_u64(value, "max");
+    let want = (q.clamp(0.0, 1.0) * count as f64).ceil() as u64;
+    let mut seen = 0u64;
+    if let Some(buckets) = value.get("buckets").and_then(Json::as_arr) {
+        for b in buckets {
+            let c = get_u64(b, "count");
+            seen += c;
+            if c > 0 && seen >= want {
+                return max.min(get_u64(b, "hi").saturating_sub(1));
+            }
+        }
+    }
+    max
+}
+
+/// The `top` report for a metrics document: counters ranked by value,
+/// gauges, and histograms with count/mean/p50/p99/max — `n` rows per
+/// section.
+pub fn metrics_report(doc: &Json, n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== trace-tool metrics ==");
+
+    let mut counters: Vec<&Json> = doc
+        .get("counters")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().collect())
+        .unwrap_or_default();
+    counters.sort_by_key(|c| std::cmp::Reverse(get_u64(c, "value")));
+    if !counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for c in counters.iter().take(n) {
+            let _ = writeln!(out, "  {:<56} {:>12}", metric_label(c), get_u64(c, "value"));
+        }
+    }
+
+    let gauges = doc.get("gauges").and_then(Json::as_arr).unwrap_or(&[]);
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for g in gauges.iter().take(n) {
+            let _ = writeln!(
+                out,
+                "  {:<56} {:>12}",
+                metric_label(g),
+                g.get("value").and_then(Json::as_i64).unwrap_or(0)
+            );
+        }
+    }
+
+    let histograms = doc.get("histograms").and_then(Json::as_arr).unwrap_or(&[]);
+    if !histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for h in histograms.iter().take(n) {
+            let v = h.get("value").cloned().unwrap_or(Json::Null);
+            let count = get_u64(&v, "count");
+            let mean = if count == 0 {
+                0.0
+            } else {
+                get_u64(&v, "sum") as f64 / count as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:<40} count {:>8}  mean {:>10.1}  p50 <= {:>8}  p99 <= {:>8}  max {:>8}",
+                metric_label(h),
+                count,
+                mean,
+                histogram_quantile(&v, 0.50),
+                histogram_quantile(&v, 0.99),
+                get_u64(&v, "max")
+            );
+        }
+    }
+    out
+}
+
 /// Collapsed-stack output for `flamegraph.pl`: one line per phase-tree
 /// node, `func;phase;subphase <self-time-ns>`.
 pub fn flame(doc: &TraceDoc) -> String {
@@ -587,6 +699,42 @@ mod tests {
         let mut no_cache = d.clone();
         no_cache.cache = None;
         assert!(cache_report(&no_cache).is_err());
+    }
+
+    #[test]
+    fn metrics_documents_are_detected_and_reported() {
+        let text = r#"{
+          "counters": [
+            {"name": "service.requests",
+             "labels": {"cmd": "compile", "status": "ok"}, "value": 26},
+            {"name": "service.busy_rejections", "labels": {}, "value": 2}
+          ],
+          "gauges": [
+            {"name": "service.queue_depth", "labels": {}, "value": 3}
+          ],
+          "histograms": [
+            {"name": "service.request_micros", "labels": {"cmd": "compile"},
+             "value": {"count": 4, "sum": 1000, "max": 700, "buckets": [
+               {"lo": 64, "hi": 128, "count": 2},
+               {"lo": 512, "hi": 1024, "count": 2}]}}
+          ]
+        }"#;
+        let doc = parse(text).unwrap();
+        assert!(is_metrics_doc(&doc));
+        assert!(!is_metrics_doc(&parse("{\"functions\": []}").unwrap()));
+        let r = metrics_report(&doc, 10);
+        assert!(r.contains("service.requests{cmd=compile,status=ok}"), "{r}");
+        // Counters rank by value: requests (26) above busy_rejections (2).
+        assert!(
+            r.find("service.requests").unwrap() < r.find("service.busy_rejections").unwrap(),
+            "{r}"
+        );
+        assert!(r.contains("service.queue_depth"), "{r}");
+        // p50 falls in [64,128) -> <= 127; p99 in the top bucket, capped
+        // at the observed max.
+        assert!(r.contains("p50 <=      127"), "{r}");
+        assert!(r.contains("p99 <=      700"), "{r}");
+        assert!(r.contains("mean      250.0"), "{r}");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod frame;
 pub mod json;
 pub mod metrics;
 

@@ -1,0 +1,167 @@
+//! Golden round-trip test: a compile answered by the service must be
+//! byte-identical to a local `compile_module` of the same source under
+//! the same options — across the whole bundled workload corpus, cold
+//! and warm, and under register-class limits.
+
+use std::os::unix::net::UnixStream;
+
+use ipra_driver::service::{roundtrip, CompileRequest, RequestSource, Service};
+use ipra_driver::Config;
+use ipra_obs::json::Json;
+
+fn local_asm(source: &str, config: &Config) -> String {
+    let module = ipra_frontend::compile(source).unwrap();
+    let compiled = ipra_core::compile_module(&module, &config.target, &config.opts);
+    let mut out = String::new();
+    for (_, f) in compiled.mmodule.funcs.iter() {
+        out.push_str(
+            &f.display_in(&config.target.regs, &compiled.mmodule)
+                .to_string(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+fn remote_asm(service: &Service, req: &CompileRequest) -> (String, bool) {
+    let (mut client, server) = UnixStream::pair().unwrap();
+    std::thread::scope(|s| {
+        let srv = s.spawn(move || service.serve_session(&server, &server).unwrap());
+        let resp = roundtrip(&mut client, &req.to_json()).unwrap();
+        drop(client);
+        srv.join().unwrap();
+        assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "remote compile failed: {resp:?}"
+        );
+        (
+            resp.get("asm").and_then(Json::as_str).unwrap().to_string(),
+            resp.get("warm") == Some(&Json::Bool(true)),
+        )
+    })
+}
+
+#[test]
+fn remote_compiles_match_local_compiles_across_the_corpus() {
+    let service = Service::with_defaults();
+    for w in ipra_workloads::all() {
+        let want = local_asm(w.source, &Config::o3());
+        let req = CompileRequest::new(1, RequestSource::Workload(w.name.into()));
+        let (cold, cold_warm) = remote_asm(&service, &req);
+        assert_eq!(
+            cold, want,
+            "[{}] daemon vs local asm diverged (cold)",
+            w.name
+        );
+        assert!(!cold_warm, "[{}] first compile cannot be warm", w.name);
+        // Same request again: answered from the hot pipeline, still
+        // byte-identical.
+        let (warm, warm_warm) = remote_asm(&service, &req);
+        assert_eq!(
+            warm, want,
+            "[{}] daemon vs local asm diverged (warm)",
+            w.name
+        );
+        assert!(warm_warm, "[{}] repeat compile should be warm", w.name);
+    }
+}
+
+#[test]
+fn remote_option_surface_matches_local_configs() {
+    let service = Service::with_defaults();
+    let w = ipra_workloads::by_name("stanford").unwrap();
+
+    // -O2, class limits, and shrink-wrap off each change codegen; the
+    // remote option surface must land on exactly the local config.
+    let mut o2 = CompileRequest::new(1, RequestSource::Workload(w.name.into()));
+    o2.opt = "O2".into();
+    assert_eq!(
+        remote_asm(&service, &o2).0,
+        local_asm(w.source, &Config::a())
+    );
+
+    let mut d = CompileRequest::new(2, RequestSource::Workload(w.name.into()));
+    d.limit = Some((7, 0));
+    assert_eq!(
+        remote_asm(&service, &d).0,
+        local_asm(w.source, &Config::d())
+    );
+
+    let mut b = CompileRequest::new(3, RequestSource::Workload(w.name.into()));
+    b.shrink_wrap = Some(false);
+    assert_eq!(
+        remote_asm(&service, &b).0,
+        local_asm(w.source, &Config::b())
+    );
+
+    let mut o0 = CompileRequest::new(4, RequestSource::Workload(w.name.into()));
+    o0.opt = "O0".into();
+    assert_eq!(
+        remote_asm(&service, &o0).0,
+        local_asm(w.source, &Config::no_alloc())
+    );
+}
+
+#[test]
+fn remote_run_reproduces_local_output_and_stats() {
+    let service = Service::with_defaults();
+    let w = ipra_workloads::by_name("calcc").unwrap();
+    let module = ipra_frontend::compile(w.source).unwrap();
+    let local = ipra_driver::compile_and_run(&module, &Config::o3()).unwrap();
+
+    let mut req = CompileRequest::new(1, RequestSource::Workload(w.name.into()));
+    req.run = true;
+    let (mut client, server) = UnixStream::pair().unwrap();
+    std::thread::scope(|s| {
+        let srv = s.spawn(|| service.serve_session(&server, &server).unwrap());
+        let resp = roundtrip(&mut client, &req.to_json()).unwrap();
+        drop(client);
+        srv.join().unwrap();
+        let out: Vec<i64> = resp
+            .get("output")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        assert_eq!(out, local.output, "simulated output diverged");
+        let stats = resp.get("stats").unwrap();
+        assert_eq!(
+            stats.get("cycles").and_then(Json::as_i64),
+            Some(local.stats.cycles as i64)
+        );
+        assert_eq!(
+            stats.get("scalar_mem").and_then(Json::as_i64),
+            Some(local.stats.scalar_mem() as i64)
+        );
+    });
+}
+
+#[test]
+fn remote_trace_document_is_served() {
+    let service = Service::with_defaults();
+    let mut req = CompileRequest::new(
+        1,
+        RequestSource::Source(
+            "fn f(x: int) -> int { return x + 1; } fn main() { print(f(1)); }".into(),
+        ),
+    );
+    req.run = true;
+    req.trace = true;
+    let (mut client, server) = UnixStream::pair().unwrap();
+    std::thread::scope(|s| {
+        let srv = s.spawn(|| service.serve_session(&server, &server).unwrap());
+        let resp = roundtrip(&mut client, &req.to_json()).unwrap();
+        drop(client);
+        srv.join().unwrap();
+        let trace = resp.get("trace").expect("trace requested");
+        // The document has the CompileTrace shape trace-tool consumes.
+        assert!(trace.get("config").is_some(), "trace carries its config");
+        assert!(
+            trace.get("funcs").and_then(Json::as_arr).is_some()
+                || trace.get("functions").and_then(Json::as_arr).is_some(),
+            "trace carries per-function entries: {trace:?}"
+        );
+    });
+}
