@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! bench --check-budgets [--cache-file <p>] [--waves-file <p>]
-//!       [--allocs-file <p>] [--service-file <p>] [--history <p>]
+//!       [--allocs-file <p>] [--service-file <p>] [--convsearch-file <p>]
+//!       [--history <p>]
 //!       [--warm-floor <x>] [--wave-floor <x>] [--allocs-floor <x>]
 //!       [--service-throughput-floor <x>] [--service-warm-floor <x>]
 //!       [--service-p99-ceiling-us <n>]
@@ -14,6 +15,11 @@
 //!                      `none` skips the allocation budget)
 //!   --service-file <p> compile-service results (default
 //!                      BENCH_service.json; `none` skips)
+//!   --convsearch-file <p>  convention-search report (default
+//!                      BENCH_convsearch.json; `none` skips). Gated on
+//!                      zero failures, every point passing both the
+//!                      static verifier and the interpreter oracle, and
+//!                      at least 12 points per register-file shape
 //!   --history <p>      trajectory file whose lines must all parse
 //!                      (default BENCH_history.jsonl; `none` skips)
 //!   --warm-floor <x>   minimum warm-cache compile speedup (default 3.0)
@@ -42,7 +48,8 @@ use ipra_obs::json::{parse_bytes, Json};
 
 fn usage() -> &'static str {
     "usage: bench --check-budgets [--cache-file P] [--waves-file P] \
-     [--allocs-file P|none] [--service-file P|none] [--history P|none] \
+     [--allocs-file P|none] [--service-file P|none] \
+     [--convsearch-file P|none] [--history P|none] \
      [--warm-floor X] [--wave-floor X] [--allocs-floor X] \
      [--service-throughput-floor X] [--service-warm-floor X] \
      [--service-p99-ceiling-us N]"
@@ -64,6 +71,7 @@ fn real_main() -> Result<ExitCode, String> {
     let mut waves_file = "BENCH_waves.json".to_string();
     let mut allocs_file = Some("BENCH_allocs.json".to_string());
     let mut service_file = Some("BENCH_service.json".to_string());
+    let mut convsearch_file = Some("BENCH_convsearch.json".to_string());
     let mut history = Some("BENCH_history.jsonl".to_string());
     let mut warm_floor = 3.0f64;
     let mut wave_floor = 0.0f64;
@@ -85,6 +93,10 @@ fn real_main() -> Result<ExitCode, String> {
             "--service-file" => {
                 let p = args.next().ok_or_else(|| usage().to_string())?;
                 service_file = (p != "none").then_some(p);
+            }
+            "--convsearch-file" => {
+                let p = args.next().ok_or_else(|| usage().to_string())?;
+                convsearch_file = (p != "none").then_some(p);
             }
             "--history" => {
                 let p = args.next().ok_or_else(|| usage().to_string())?;
@@ -188,6 +200,38 @@ fn real_main() -> Result<ExitCode, String> {
         if !ok {
             violations += 1;
         }
+    }
+
+    if let Some(path) = &convsearch_file {
+        // Correctness floors, not perf floors: the committed penalty
+        // surface must have zero failing point/program pairs, every point
+        // verified and interpreter-matched, and Table-2-style coverage of
+        // at least 12 points per register-file shape.
+        let points = total_of(path, "points")?;
+        let passing = total_of(path, "passing_points")?;
+        let failures = total_of(path, "failures")?;
+        let min_pts = total_of(path, "min_points_per_shape")?;
+        let mut conv_gate = |what: &str, ok: bool, detail: String| {
+            println!("{} {what}: {detail}", if ok { "ok  " } else { "FAIL" });
+            if !ok {
+                violations += 1;
+            }
+        };
+        conv_gate(
+            "convsearch failures",
+            failures == 0.0,
+            format!("{failures:.0} (must be 0)"),
+        );
+        conv_gate(
+            "convsearch verified points",
+            points > 0.0 && passing == points,
+            format!("{passing:.0}/{points:.0} points pass verify + interp"),
+        );
+        conv_gate(
+            "convsearch shape coverage",
+            min_pts >= 12.0,
+            format!("{min_pts:.0} points on the sparsest shape (floor 12)"),
+        );
     }
 
     if let Some(path) = &history {

@@ -33,7 +33,7 @@ use std::path::{Path, PathBuf};
 use ipra_ir::{BinOp, BlockId, Callee, EntityVec, Fnv64, FuncId, Inst, Module, UnOp};
 use ipra_machine::{
     FrameSlot, MAddress, MBlock, MCallee, MFunction, MInst, MOperand, MTerminator, MemClass, PReg,
-    RegClass, RegMask, SlotPurpose, Target,
+    RegMask, SlotPurpose, Target,
 };
 use ipra_obs::json::{self, Json};
 
@@ -99,30 +99,13 @@ pub struct CachedFunc {
 pub fn config_fingerprint(target: &Target, opts: &AllocOptions) -> u64 {
     let mut h = Fnv64::new();
     h.write_i64(CACHE_FORMAT_VERSION);
+    // The whole register-file layout — names, classes, allocatable order,
+    // argument registers, reserved positions — via the target-level
+    // fingerprint, so any convention partition or arg-count change
+    // separates cache keys (and layout-identical named targets share
+    // them). The derived masks are folded in as a redundant guard.
     let regs = &target.regs;
-    h.write_usize(regs.num_regs());
-    for i in 0..regs.num_regs() {
-        let r = PReg(i as u8);
-        h.write_str(regs.name(r));
-        h.write_u8(match regs.class(r) {
-            None => 0,
-            Some(RegClass::CallerSaved) => 1,
-            Some(RegClass::CalleeSaved) => 2,
-        });
-    }
-    h.write_usize(regs.allocatable().len());
-    for r in regs.allocatable() {
-        h.write_u8(r.0);
-    }
-    h.write_usize(regs.param_regs().len());
-    for r in regs.param_regs() {
-        h.write_u8(r.0);
-    }
-    h.write_u8(regs.ret_reg().0);
-    h.write_u8(regs.ra().0);
-    for s in regs.scratch() {
-        h.write_u8(s.0);
-    }
+    h.write_u64(regs.fingerprint());
     h.write_u32(regs.default_clobbers().0);
     h.write_u32(regs.callee_saved_mask().0);
 

@@ -5,6 +5,10 @@
 //!   -O0 | -O2 | -O3        optimization level (default -O3)
 //!   --no-shrink-wrap       disable save/restore shrink-wrapping
 //!   --limit <nc>,<ne>      restrict allocatable registers per class
+//!   --target <name>        compile for a named target from the registry
+//!                          (mips-like, table2-d, table2-e, embedded8,
+//!                          searched) or an anonymous convention point
+//!                          conv:POOL,CALLER,ARGS
 //!   --emit ir|asm|summary  print IR, machine code, or per-function report
 //!   --run                  simulate and print output + statistics
 //!   --trace                print the compile/execution trace to stderr
@@ -38,6 +42,8 @@ struct Args {
     target: Target,
     /// `--limit NC,NE` as given, for forwarding to a remote daemon.
     limit: Option<(usize, usize)>,
+    /// `--target NAME` as given, for forwarding to a remote daemon.
+    target_name: Option<String>,
     emit: Option<String>,
     run: bool,
     trace: bool,
@@ -59,6 +65,7 @@ enum Input {
 
 fn usage() -> &'static str {
     "usage: mini-cc [-O0|-O2|-O3] [--no-shrink-wrap] [--limit NC,NE] \
+     [--target NAME|conv:P,C,A] \
      [--emit ir|asm|summary] [--run] [--trace] [--trace-json PATH] \
      [--trace-chrome PATH] [--jobs N] [--cache-dir DIR] [--profile-out PATH] [--profile-in PATH] \
      [--verify-mc | --no-verify-mc] [--remote SOCKET [--ping | --shutdown]] \
@@ -82,6 +89,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut ping = false;
     let mut shutdown = false;
     let mut limit = None;
+    let mut target_name = None;
     let mut input = None;
     // `-O2`/`-O3` replace the whole option set, so `--no-shrink-wrap`,
     // `--jobs` and `--cache-dir` are remembered separately and applied
@@ -104,8 +112,16 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
                 let (nc, ne) = v.split_once(',').ok_or("--limit needs NC,NE")?;
                 let nc: usize = nc.trim().parse().map_err(|_| "bad NC")?;
                 let ne: usize = ne.trim().parse().map_err(|_| "bad NE")?;
+                if nc > 11 || ne > 9 {
+                    return Err("--limit is at most 11,9 for the mips family".into());
+                }
                 target = Target::with_class_limits(nc, ne);
                 limit = Some((nc, ne));
+            }
+            "--target" => {
+                let v = args.next().ok_or("--target needs a name")?;
+                target = Target::parse(&v)?;
+                target_name = Some(v);
             }
             "--emit" => emit = Some(args.next().ok_or("--emit needs a kind")?),
             "--run" => run = true,
@@ -145,6 +161,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     if let Some(d) = cache_dir {
         opts.cache_dir = Some(std::path::PathBuf::from(d));
     }
+    if limit.is_some() && target_name.is_some() {
+        return Err("--limit and --target are mutually exclusive".to_string());
+    }
     if (ping || shutdown) && remote.is_none() {
         return Err("--ping/--shutdown require --remote".to_string());
     }
@@ -158,6 +177,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
         opts,
         target,
         limit,
+        target_name,
         emit,
         run,
         trace,
@@ -251,6 +271,7 @@ fn remote_main(socket: &str, args: &Args) -> Result<(), String> {
     req.shrink_wrap = Some(args.opts.shrink_wrap);
     req.jobs = args.opts.jobs;
     req.limit = args.limit;
+    req.target = args.target_name.clone();
     req.cache_dir = args
         .opts
         .cache_dir
@@ -597,6 +618,48 @@ mod tests {
         let a = parse(&["--limit", "7,0", "x.mini"]);
         assert_eq!(a.limit, Some((7, 0)));
         assert_eq!(parse(&["x.mini"]).limit, None);
+    }
+
+    #[test]
+    fn target_flag_parses_names_and_conv_triples() {
+        let a = parse(&["--target", "embedded8", "x.mini"]);
+        assert_eq!(a.target_name.as_deref(), Some("embedded8"));
+        assert_eq!(a.target.regs.allocatable().len(), 8);
+        let b = parse(&["--target", "conv:8,6,2", "x.mini"]);
+        assert_eq!(
+            b.target.regs.fingerprint(),
+            a.target.regs.fingerprint(),
+            "conv:8,6,2 is embedded8's spec"
+        );
+        // The target survives a later opt-level flag.
+        let c = parse(&["--target", "searched", "-O2", "x.mini"]);
+        assert_eq!(
+            c.target.regs.fingerprint(),
+            ipra_machine::Target::by_name("searched")
+                .unwrap()
+                .regs
+                .fingerprint()
+        );
+        assert_eq!(parse(&["x.mini"]).target_name, None);
+    }
+
+    #[test]
+    fn target_flag_rejects_bad_values_and_limit_combos() {
+        let err = |words: &[&str]| {
+            parse_args_from(words.iter().map(|s| s.to_string()))
+                .err()
+                .unwrap()
+        };
+        assert!(err(&["--target", "nonesuch", "x.mini"]).contains("unknown target"));
+        assert!(err(&["--target", "conv:4,9,1", "x.mini"]).contains("caller"));
+        assert!(err(&["--target", "embedded8", "--limit", "7,0", "x.mini"])
+            .contains("mutually exclusive"));
+        assert!(
+            err(&["--limit", "7,0", "--target", "embedded8", "x.mini"])
+                .contains("mutually exclusive"),
+            "order must not matter"
+        );
+        assert!(err(&["--limit", "12,0", "x.mini"]).contains("at most"));
     }
 
     #[test]

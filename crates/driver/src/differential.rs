@@ -25,17 +25,24 @@
 use std::fmt;
 use std::path::PathBuf;
 
+use ipra_core::config::AllocOptions;
 use ipra_core::ipra::CompiledModule;
 use ipra_ir::interp::{self, InterpOptions, Trap};
 use ipra_ir::Module;
+use ipra_machine::Target;
 
 use crate::{compile_only, run_compiled, Config};
 
 /// Every named configuration the differential harness checks, in table
 /// order: the `-O2` baseline, Table 1 columns A–C, the register-starved
-/// Table 2 columns D and E, and the no-allocation oracle config.
+/// Table 2 columns D and E, the no-allocation oracle config, and the
+/// `-O3` pipeline retargeted at the irregular register files — the
+/// `embedded8` named target and the `convsearch`-winning partition — so
+/// every seed also exercises conventions far from the mips-like shape
+/// (skewed caller/callee split, few allocatable registers, reduced
+/// argument-register count).
 pub fn all_configs() -> Vec<Config> {
-    vec![
+    let mut v = vec![
         Config::o2_base(),
         Config::a(),
         Config::b(),
@@ -43,7 +50,15 @@ pub fn all_configs() -> Vec<Config> {
         Config::d(),
         Config::e(),
         Config::no_alloc(),
-    ]
+    ];
+    for name in ["embedded8", "searched"] {
+        v.push(Config {
+            name: name.into(),
+            target: Target::by_name(name).expect("registry target"),
+            opts: AllocOptions::o3(),
+        });
+    }
+    v
 }
 
 /// Knobs for one differential check.
@@ -439,6 +454,14 @@ mod tests {
         fn add(a: int, b: int) -> int { return a + b; }
         fn main() { print(add(2, 3)); }
     "#;
+
+    #[test]
+    fn cross_product_includes_the_irregular_targets() {
+        let names: Vec<String> = all_configs().into_iter().map(|c| c.name).collect();
+        for want in ["embedded8", "searched"] {
+            assert!(names.iter().any(|n| n == want), "{want} missing: {names:?}");
+        }
+    }
 
     #[test]
     fn healthy_program_passes_all_configs() {

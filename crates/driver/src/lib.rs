@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod convsearch;
 pub mod differential;
 pub mod profile;
 pub mod service;

@@ -430,13 +430,29 @@ impl Service {
         if let Some(d) = field("cache_dir").and_then(Json::as_str) {
             opts.cache_dir = Some(std::path::PathBuf::from(d));
         }
+        let named = match field("target") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(name)) => Some(Target::parse(name)?),
+            Some(_) => return Err("target must be a string".into()),
+        };
         let target = match field("limit") {
-            None | Some(Json::Null) => Target::mips_like(),
+            None | Some(Json::Null) => named.unwrap_or_else(Target::mips_like),
+            Some(_) if named.is_some() => {
+                return Err("limit and target are mutually exclusive".into())
+            }
             Some(Json::Arr(a)) if a.len() == 2 => {
                 let nc = a[0].as_i64().filter(|v| *v >= 0);
                 let ne = a[1].as_i64().filter(|v| *v >= 0);
                 match (nc, ne) {
-                    (Some(nc), Some(ne)) => Target::with_class_limits(nc as usize, ne as usize),
+                    // Bounds-checked here rather than panicking inside
+                    // `with_class_limits`: a malformed request must never
+                    // take a session thread down.
+                    (Some(nc), Some(ne)) if nc <= 11 && ne <= 9 => {
+                        Target::with_class_limits(nc as usize, ne as usize)
+                    }
+                    (Some(_), Some(_)) => {
+                        return Err("limit is at most [11, 9] for the mips family".into())
+                    }
                     _ => return Err("limit must be [nc, ne] with non-negative counts".into()),
                 }
             }
@@ -569,6 +585,9 @@ pub struct CompileRequest {
     pub jobs: usize,
     /// Register class limits, as in `--limit NC,NE`.
     pub limit: Option<(usize, usize)>,
+    /// Named target or `conv:POOL,CALLER,ARGS`, as in `--target NAME`.
+    /// Mutually exclusive with `limit`.
+    pub target: Option<String>,
     /// Server-side incremental-cache directory.
     pub cache_dir: Option<String>,
     /// Simulate after compiling.
@@ -587,6 +606,7 @@ impl CompileRequest {
             shrink_wrap: None,
             jobs: 0,
             limit: None,
+            target: None,
             cache_dir: None,
             run: false,
             trace: false,
@@ -612,6 +632,9 @@ impl CompileRequest {
                 "limit",
                 Json::Arr(vec![Json::Int(nc as i64), Json::Int(ne as i64)]),
             ));
+        }
+        if let Some(t) = &self.target {
+            options.push(("target", Json::Str(t.clone())));
         }
         if let Some(d) = &self.cache_dir {
             options.push(("cache_dir", Json::Str(d.clone())));

@@ -3,15 +3,21 @@
 //! A MIPS R2000-like register file (the machine of the paper's §8
 //! measurements), a configurable cycle cost model, and the lowered machine
 //! code form produced by the register allocator and executed by `ipra-sim`.
+//! Beyond the paper's machine, a named-target registry
+//! ([`Target::by_name`]) and a parameterized [`ConventionSpec`] describe
+//! irregular register files and searched calling conventions.
 //!
 //! ```
-//! use ipra_machine::{RegClass, RegFile};
+//! use ipra_machine::{RegClass, RegFile, Target};
 //!
 //! let rf = RegFile::mips_like();
 //! assert_eq!(rf.allocatable_of(RegClass::CalleeSaved).count(), 9);
 //! // Table 2 configuration E: only 7 callee-saved registers.
 //! let e = RegFile::with_class_limits(0, 7);
 //! assert_eq!(e.allocatable().len(), 7);
+//! // An irregular embedded target from the registry.
+//! let t = Target::by_name("embedded8").unwrap();
+//! assert_eq!(t.regs.allocatable().len(), 8);
 //! ```
 
 #![warn(missing_docs)]
@@ -28,6 +34,6 @@ pub use code::{
     MTerminator, MemClass, SlotPurpose,
 };
 pub use cost::CostModel;
-pub use regs::{PReg, RegClass, RegFile, RegMask};
+pub use regs::{ConventionSpec, PReg, RegClass, RegFile, RegMask};
 pub use summary::{FuncSummary, ParamLoc};
-pub use target::Target;
+pub use target::{Target, TargetInfo};

@@ -118,6 +118,120 @@ impl FromIterator<PReg> for RegMask {
     }
 }
 
+/// Parameterized description of a register file *and* its calling
+/// convention, from which every [`RegFile`] is built.
+///
+/// The file always carries four reserved registers (two assembler
+/// scratches, the return-value register and the link register) followed by
+/// three blocks: `arg_regs` argument registers (caller-saved by
+/// convention), `caller_regs` plain caller-saved registers of which the
+/// first `caller_alloc` are allocatable, and `callee_regs` callee-saved
+/// registers of which the first `callee_alloc` are allocatable. Keeping
+/// non-allocatable registers *present* (classed but withheld from the
+/// allocator) reproduces the paper's Table 2 methodology, where the
+/// machine does not shrink — only the allocator's freedom does.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ConventionSpec {
+    /// Argument registers (`a0..`), always caller-saved by convention.
+    pub arg_regs: usize,
+    /// Whether the argument registers are also allocatable.
+    pub args_allocatable: bool,
+    /// Caller-saved registers present in the file (`t0..`).
+    pub caller_regs: usize,
+    /// Allocatable prefix of the caller-saved block.
+    pub caller_alloc: usize,
+    /// Callee-saved registers present in the file (`s0..`).
+    pub callee_regs: usize,
+    /// Allocatable prefix of the callee-saved block.
+    pub callee_alloc: usize,
+}
+
+/// Reserved registers every file carries: two scratches, `rv` and `ra`.
+const NUM_RESERVED: usize = 4;
+
+impl ConventionSpec {
+    /// The MIPS-family layout of the paper's measurements: 4 argument
+    /// registers, 11 caller-saved, 9 callee-saved, with the allocatable
+    /// sets restricted to the given per-class counts (Table 2 runs with
+    /// (7, 0) and (0, 7)). The argument registers are allocatable only in
+    /// the unrestricted configuration, exactly as the paper's compiler
+    /// behaves.
+    pub fn mips_family(caller_alloc: usize, callee_alloc: usize) -> Self {
+        ConventionSpec {
+            arg_regs: 4,
+            args_allocatable: caller_alloc == 11 && callee_alloc == 9,
+            caller_regs: 11,
+            caller_alloc,
+            callee_regs: 9,
+            callee_alloc,
+        }
+    }
+
+    /// A fully-allocatable convention point for the search mode: a pool of
+    /// `pool` registers whose first `caller` are caller-saved (the rest
+    /// callee-saved), with the first `args` caller-saved registers doubling
+    /// as argument registers. This models sweeping the *software*
+    /// convention over fixed hardware: the file's size never changes
+    /// within one pool, only the caller/callee partition and the
+    /// argument-register count do.
+    pub fn convention(pool: usize, caller: usize, args: usize) -> Self {
+        assert!(caller <= pool, "caller-saved count exceeds the pool");
+        assert!(args <= caller, "argument registers must be caller-saved");
+        ConventionSpec {
+            arg_regs: args,
+            args_allocatable: true,
+            caller_regs: caller - args,
+            caller_alloc: caller - args,
+            callee_regs: pool - caller,
+            callee_alloc: pool - caller,
+        }
+    }
+
+    /// Total registers the spec describes, reserved ones included.
+    pub fn num_regs(&self) -> usize {
+        NUM_RESERVED + self.arg_regs + self.caller_regs + self.callee_regs
+    }
+
+    /// Size of the allocatable set.
+    pub fn num_allocatable(&self) -> usize {
+        (if self.args_allocatable {
+            self.arg_regs
+        } else {
+            0
+        }) + self.caller_alloc
+            + self.callee_alloc
+    }
+
+    /// Checks the spec fits the machine model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint: an allocatable
+    /// prefix longer than its block, or a file too large for a 32-bit
+    /// [`RegMask`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.caller_alloc > self.caller_regs {
+            return Err(format!(
+                "caller_alloc {} exceeds the {} caller-saved registers present",
+                self.caller_alloc, self.caller_regs
+            ));
+        }
+        if self.callee_alloc > self.callee_regs {
+            return Err(format!(
+                "callee_alloc {} exceeds the {} callee-saved registers present",
+                self.callee_alloc, self.callee_regs
+            ));
+        }
+        if self.num_regs() > 32 {
+            return Err(format!(
+                "{} registers do not fit a 32-bit RegMask",
+                self.num_regs()
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Description of the machine's register file.
 ///
 /// The default layout mirrors the MIPS R2000 as used in the paper (§8):
@@ -125,8 +239,11 @@ impl FromIterator<PReg> for RegMask {
 /// callee-saved — plus 4 argument registers that behave as caller-saved when
 /// not carrying parameters, a return-value register, a link register and two
 /// assembler scratch registers reserved for memory-resident operands.
+/// Other shapes — register-starved files, skewed caller/callee splits,
+/// searched conventions — are built from a [`ConventionSpec`].
 #[derive(Clone, Debug)]
 pub struct RegFile {
+    spec: ConventionSpec,
     names: Vec<String>,
     class: Vec<Option<RegClass>>,
     allocatable: Vec<PReg>,
@@ -154,7 +271,29 @@ impl RegFile {
     pub fn with_class_limits(caller: usize, callee: usize) -> Self {
         assert!(caller <= 11, "at most 11 caller-saved registers");
         assert!(callee <= 9, "at most 9 callee-saved registers");
-        let unrestricted = caller == 11 && callee == 9;
+        Self::from_spec(ConventionSpec::mips_family(caller, callee))
+    }
+
+    /// A fully-allocatable searched convention: see
+    /// [`ConventionSpec::convention`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `caller > pool` or `args > caller`, or when the pool
+    /// does not fit the machine model.
+    pub fn convention(pool: usize, caller: usize, args: usize) -> Self {
+        Self::from_spec(ConventionSpec::convention(pool, caller, args))
+    }
+
+    /// Builds the register file a [`ConventionSpec`] describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ConventionSpec::validate`] rejects the spec.
+    pub fn from_spec(spec: ConventionSpec) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid convention spec: {e}");
+        }
 
         let mut names = Vec::new();
         let mut class = Vec::new();
@@ -169,24 +308,25 @@ impl RegFile {
         let scratch1 = push("at1".into(), None);
         let ret_reg = push("rv".into(), None);
         let ra = push("ra".into(), None);
-        let param_regs: Vec<PReg> = (0..4)
+        let param_regs: Vec<PReg> = (0..spec.arg_regs)
             .map(|i| push(format!("a{i}"), Some(RegClass::CallerSaved)))
             .collect();
-        let t_regs: Vec<PReg> = (0..11)
+        let t_regs: Vec<PReg> = (0..spec.caller_regs)
             .map(|i| push(format!("t{i}"), Some(RegClass::CallerSaved)))
             .collect();
-        let s_regs: Vec<PReg> = (0..9)
+        let s_regs: Vec<PReg> = (0..spec.callee_regs)
             .map(|i| push(format!("s{i}"), Some(RegClass::CalleeSaved)))
             .collect();
 
         let mut allocatable = Vec::new();
-        if unrestricted {
+        if spec.args_allocatable {
             allocatable.extend(param_regs.iter().copied());
         }
-        allocatable.extend(t_regs.iter().take(caller));
-        allocatable.extend(s_regs.iter().take(callee));
+        allocatable.extend(t_regs.iter().take(spec.caller_alloc));
+        allocatable.extend(s_regs.iter().take(spec.callee_alloc));
 
         RegFile {
+            spec,
             names,
             class,
             allocatable,
@@ -195,6 +335,44 @@ impl RegFile {
             scratch: [scratch0, scratch1],
             ra,
         }
+    }
+
+    /// The spec this file was built from.
+    pub fn spec(&self) -> ConventionSpec {
+        self.spec
+    }
+
+    /// Stable fingerprint of the whole layout: names, classes, allocatable
+    /// order, argument registers and reserved-register positions. Two
+    /// files compare equal under allocation (and may share cache entries)
+    /// exactly when their fingerprints match; any partition, arg-count or
+    /// naming difference separates them.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = ipra_ir::Fnv64::new();
+        h.write_usize(self.num_regs());
+        for i in 0..self.num_regs() {
+            let r = PReg(i as u8);
+            h.write_str(self.name(r));
+            h.write_u8(match self.class(r) {
+                None => 0,
+                Some(RegClass::CallerSaved) => 1,
+                Some(RegClass::CalleeSaved) => 2,
+            });
+        }
+        h.write_usize(self.allocatable.len());
+        for r in &self.allocatable {
+            h.write_u8(r.0);
+        }
+        h.write_usize(self.param_regs.len());
+        for r in &self.param_regs {
+            h.write_u8(r.0);
+        }
+        h.write_u8(self.ret_reg.0);
+        h.write_u8(self.ra.0);
+        for s in self.scratch {
+            h.write_u8(s.0);
+        }
+        h.finish()
     }
 
     /// Total number of registers (allocatable and reserved).
@@ -332,6 +510,62 @@ mod tests {
             );
         }
         assert_eq!(rf.callee_saved_mask().count(), 9);
+    }
+
+    #[test]
+    fn convention_constructor_partitions_the_pool() {
+        let rf = RegFile::convention(8, 6, 2);
+        assert_eq!(rf.allocatable().len(), 8);
+        assert_eq!(rf.param_regs().len(), 2);
+        assert_eq!(rf.allocatable_of(RegClass::CallerSaved).count(), 6);
+        assert_eq!(rf.allocatable_of(RegClass::CalleeSaved).count(), 2);
+        // Argument registers are caller-saved and allocatable.
+        for &a in rf.param_regs() {
+            assert_eq!(rf.class(a), Some(RegClass::CallerSaved));
+            assert!(rf.allocatable().contains(&a));
+        }
+        // Degenerate but legal corners.
+        let all_callee = RegFile::convention(6, 0, 0);
+        assert_eq!(all_callee.param_regs().len(), 0);
+        assert_eq!(all_callee.allocatable_of(RegClass::CalleeSaved).count(), 6);
+        let all_args = RegFile::convention(4, 4, 4);
+        assert_eq!(all_args.param_regs().len(), 4);
+        assert_eq!(all_args.allocatable().len(), 4);
+    }
+
+    #[test]
+    fn spec_round_trips_and_validates() {
+        let spec = ConventionSpec::convention(8, 6, 2);
+        assert_eq!(RegFile::from_spec(spec).spec(), spec);
+        assert_eq!(
+            RegFile::mips_like().spec(),
+            ConventionSpec::mips_family(11, 9)
+        );
+        assert!(ConventionSpec {
+            caller_alloc: 12,
+            ..ConventionSpec::mips_family(11, 9)
+        }
+        .validate()
+        .is_err());
+        assert!(ConventionSpec::convention(29, 10, 2).validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_separates_partitions() {
+        let a = RegFile::convention(8, 6, 2);
+        assert_eq!(a.fingerprint(), RegFile::convention(8, 6, 2).fingerprint());
+        assert_ne!(a.fingerprint(), RegFile::convention(8, 5, 2).fingerprint());
+        assert_ne!(a.fingerprint(), RegFile::convention(8, 6, 1).fingerprint());
+        assert_ne!(
+            RegFile::with_class_limits(7, 0).fingerprint(),
+            RegFile::with_class_limits(0, 7).fingerprint()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "argument registers must be caller-saved")]
+    fn convention_rejects_args_beyond_caller() {
+        let _ = RegFile::convention(8, 1, 2);
     }
 
     #[test]

@@ -1,7 +1,14 @@
-//! Bundled target description.
+//! Bundled target description and the named-target registry.
+//!
+//! Every register-file shape the toolchain knows by name lives here, so
+//! each layer (driver flags, the compile service, the differential fuzz
+//! oracle, the convention-search mode) resolves targets through one table
+//! instead of growing its own constructors. Anonymous convention points
+//! parse from `conv:POOL,CALLER,ARGS` strings, making every point of the
+//! search space expressible on a command line or over the wire.
 
 use crate::cost::CostModel;
-use crate::regs::RegFile;
+use crate::regs::{ConventionSpec, RegFile};
 
 /// Everything the register allocator and lowering need to know about the
 /// machine: the register file and the cycle cost model.
@@ -13,6 +20,65 @@ pub struct Target {
     pub cost: CostModel,
 }
 
+/// One entry of the named-target registry.
+#[derive(Clone, Copy, Debug)]
+pub struct TargetInfo {
+    /// The name `Target::by_name` resolves.
+    pub name: &'static str,
+    /// One-line description for `--help`-style listings.
+    pub description: &'static str,
+}
+
+/// A registry row: the target's metadata and its constructor.
+type NamedTarget = (TargetInfo, fn() -> Target);
+
+/// The registry of named targets, in presentation order.
+const NAMED: &[NamedTarget] = &[
+    (
+        TargetInfo {
+            name: "mips-like",
+            description: "the paper's R2000-like file: 4 arg + 11 caller- + 9 callee-saved",
+        },
+        Target::mips_like,
+    ),
+    (
+        TargetInfo {
+            name: "table2-d",
+            description: "Table 2 column D: only 7 caller-saved registers allocatable",
+        },
+        || Target::with_class_limits(7, 0),
+    ),
+    (
+        TargetInfo {
+            name: "table2-e",
+            description: "Table 2 column E: only 7 callee-saved registers allocatable",
+        },
+        || Target::with_class_limits(0, 7),
+    ),
+    (
+        TargetInfo {
+            name: "embedded8",
+            description: "irregular embedded file: 8 allocatable regs, 6 caller/2 callee, 2 args",
+        },
+        || Target::convention(8, 6, 2),
+    ),
+    (
+        TargetInfo {
+            name: "searched",
+            description:
+                "best mips24-pool partition found by `convsearch` (see BENCH_convsearch.json)",
+        },
+        || Target::convention(SEARCHED.0, SEARCHED.1, SEARCHED.2),
+    ),
+];
+
+/// The winning `(pool, caller, args)` point of the `convsearch` sweep over
+/// the mips24 shape: lowest aggregate penalty cycles across the workload
+/// corpus (ties broken by total cycles). Re-derive with `cargo run
+/// --release -p ipra-driver --bin convsearch` after allocator changes; the
+/// committed report is `BENCH_convsearch.json`.
+pub const SEARCHED: (usize, usize, usize) = (24, 21, 4);
+
 impl Target {
     /// The full MIPS-like target of the paper's measurements.
     pub fn mips_like() -> Self {
@@ -22,12 +88,83 @@ impl Target {
         }
     }
 
-    /// Target with a restricted allocatable set (Table 2).
+    /// Target with a restricted allocatable set (Table 2), routed through
+    /// the same [`ConventionSpec`] plumbing as every named target.
     pub fn with_class_limits(caller: usize, callee: usize) -> Self {
         Target {
             regs: RegFile::with_class_limits(caller, callee),
             cost: CostModel::r2000(),
         }
+    }
+
+    /// A fully-allocatable searched convention point (see
+    /// [`RegFile::convention`]) under the default cost model.
+    pub fn convention(pool: usize, caller: usize, args: usize) -> Self {
+        Target {
+            regs: RegFile::convention(pool, caller, args),
+            cost: CostModel::r2000(),
+        }
+    }
+
+    /// A target built from an explicit spec under the default cost model.
+    pub fn from_spec(spec: ConventionSpec) -> Self {
+        Target {
+            regs: RegFile::from_spec(spec),
+            cost: CostModel::r2000(),
+        }
+    }
+
+    /// Resolves a registry name (see [`Target::named`]).
+    pub fn by_name(name: &str) -> Option<Target> {
+        NAMED
+            .iter()
+            .find(|(info, _)| info.name == name)
+            .map(|(_, build)| build())
+    }
+
+    /// Resolves a target string: a registry name, or an anonymous
+    /// convention point `conv:POOL,CALLER,ARGS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the valid targets on an unknown name, or
+    /// describing the malformed/invalid convention triple.
+    pub fn parse(s: &str) -> Result<Target, String> {
+        if let Some(t) = Self::by_name(s) {
+            return Ok(t);
+        }
+        if let Some(triple) = s.strip_prefix("conv:") {
+            let parts: Vec<&str> = triple.split(',').collect();
+            if parts.len() != 3 {
+                return Err(format!("`{s}`: expected conv:POOL,CALLER,ARGS"));
+            }
+            let mut nums = [0usize; 3];
+            for (n, p) in nums.iter_mut().zip(&parts) {
+                *n = p
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("`{s}`: `{p}` is not a count"))?;
+            }
+            let (pool, caller, args) = (nums[0], nums[1], nums[2]);
+            if caller > pool || args > caller {
+                return Err(format!(
+                    "`{s}`: need args <= caller <= pool (got pool={pool}, caller={caller}, args={args})"
+                ));
+            }
+            let spec = ConventionSpec::convention(pool, caller, args);
+            spec.validate().map_err(|e| format!("`{s}`: {e}"))?;
+            return Ok(Target::from_spec(spec));
+        }
+        let names: Vec<&str> = Self::named().iter().map(|i| i.name).collect();
+        Err(format!(
+            "unknown target `{s}`; named targets: {} (or conv:POOL,CALLER,ARGS)",
+            names.join(", ")
+        ))
+    }
+
+    /// The registry entries, in presentation order.
+    pub fn named() -> Vec<TargetInfo> {
+        NAMED.iter().map(|(info, _)| *info).collect()
     }
 }
 
@@ -42,5 +179,73 @@ mod tests {
         let d = Target::with_class_limits(7, 0);
         assert_eq!(d.regs.allocatable().len(), 7);
         assert_eq!(d.cost.load, t.cost.load);
+    }
+
+    #[test]
+    fn registry_resolves_every_named_target() {
+        for info in Target::named() {
+            let t = Target::by_name(info.name).expect(info.name);
+            assert!(
+                !t.regs.allocatable().is_empty(),
+                "{} has no allocatable registers",
+                info.name
+            );
+            assert!(t.regs.num_regs() <= 32, "{} overflows RegMask", info.name);
+        }
+        assert!(Target::by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn table2_names_match_class_limits() {
+        let d = Target::by_name("table2-d").unwrap();
+        assert_eq!(
+            d.regs.fingerprint(),
+            Target::with_class_limits(7, 0).regs.fingerprint()
+        );
+        let e = Target::by_name("table2-e").unwrap();
+        assert_eq!(
+            e.regs.fingerprint(),
+            Target::with_class_limits(0, 7).regs.fingerprint()
+        );
+    }
+
+    #[test]
+    fn embedded8_is_deliberately_irregular() {
+        let t = Target::by_name("embedded8").unwrap();
+        assert_eq!(t.regs.allocatable().len(), 8, "few allocatable registers");
+        assert_eq!(t.regs.param_regs().len(), 2, "reduced argument registers");
+        let spec = t.regs.spec();
+        // Skewed split: 6 caller-saved (2 of them argument registers)
+        // against 2 callee-saved.
+        assert_eq!(spec.arg_regs + spec.caller_alloc, 6);
+        assert_eq!(spec.callee_alloc, 2);
+    }
+
+    #[test]
+    fn parse_accepts_names_and_conv_triples() {
+        assert_eq!(
+            Target::parse("mips-like").unwrap().regs.fingerprint(),
+            Target::mips_like().regs.fingerprint()
+        );
+        let t = Target::parse("conv:8,6,2").unwrap();
+        assert_eq!(
+            t.regs.fingerprint(),
+            Target::by_name("embedded8").unwrap().regs.fingerprint()
+        );
+        assert!(Target::parse("conv:8,9,2").is_err(), "caller > pool");
+        assert!(Target::parse("conv:8,6").is_err(), "missing count");
+        assert!(Target::parse("conv:a,b,c").is_err(), "non-numeric");
+        assert!(Target::parse("conv:40,10,4").is_err(), "pool too large");
+        let err = Target::parse("nonesuch").unwrap_err();
+        assert!(err.contains("mips-like"), "{err}");
+    }
+
+    #[test]
+    fn searched_point_is_a_valid_mips24_partition() {
+        let (pool, caller, args) = SEARCHED;
+        assert_eq!(pool, 24, "searched partition sweeps the mips24 pool");
+        assert!(args <= caller && caller <= pool);
+        let t = Target::by_name("searched").unwrap();
+        assert_eq!(t.regs.allocatable().len(), pool);
     }
 }

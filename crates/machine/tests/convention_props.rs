@@ -1,0 +1,225 @@
+//! Property tests for [`ConventionSpec`]/[`RegFile`] invariants, over both
+//! an exhaustive small-spec enumeration and a deterministic random sweep
+//! (hand-rolled xorshift PRNG — the external `proptest` crate is not
+//! vendored in offline builds).
+//!
+//! Invariants checked for every register file:
+//! - caller-saved, callee-saved and unclassed (reserved) registers
+//!   partition the file: disjoint and exhaustive;
+//! - argument registers are caller-saved and are a prefix of the file;
+//! - reserved registers (assembler scratches, `rv`, `ra`) are never
+//!   allocatable and never classed;
+//! - the allocatable set has no duplicates and stays within the file;
+//! - `default_clobbers`/`callee_saved_mask` agree with the classes;
+//! - the spec round-trips through the file, and the fingerprint separates
+//!   any two files with different specs while staying stable for equal
+//!   ones.
+
+use std::collections::HashSet;
+
+use ipra_machine::{ConventionSpec, PReg, RegClass, RegFile};
+
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Every structural invariant a [`RegFile`] must satisfy, checked against
+/// the spec it was built from.
+fn check_file(spec: ConventionSpec) {
+    let file = RegFile::from_spec(spec);
+
+    // The spec round-trips.
+    assert_eq!(file.spec(), spec, "spec does not round-trip");
+    assert_eq!(file.num_regs(), spec.num_regs());
+    assert_eq!(file.allocatable().len(), spec.num_allocatable());
+
+    // Classes partition the file: each register is exactly one of
+    // caller-saved, callee-saved, or reserved (unclassed).
+    let mut caller = Vec::new();
+    let mut callee = Vec::new();
+    let mut reserved = Vec::new();
+    for i in 0..file.num_regs() {
+        let r = PReg(i as u8);
+        match file.class(r) {
+            Some(RegClass::CallerSaved) => caller.push(r),
+            Some(RegClass::CalleeSaved) => callee.push(r),
+            None => reserved.push(r),
+        }
+    }
+    assert_eq!(
+        caller.len() + callee.len() + reserved.len(),
+        file.num_regs(),
+        "classes must be exhaustive"
+    );
+    assert_eq!(caller.len(), spec.arg_regs + spec.caller_regs);
+    assert_eq!(callee.len(), spec.callee_regs);
+    assert_eq!(reserved.len(), 4, "two scratches, rv and ra");
+
+    // Reserved registers are exactly the scratches, rv and ra, and are
+    // never allocatable.
+    let reserved_set: HashSet<u8> = reserved.iter().map(|r| r.0).collect();
+    for s in file.scratch() {
+        assert!(reserved_set.contains(&s.0), "scratch must be reserved");
+    }
+    assert!(reserved_set.contains(&file.ret_reg().0));
+    assert!(reserved_set.contains(&file.ra().0));
+    for r in file.allocatable() {
+        assert!(
+            !reserved_set.contains(&r.0),
+            "reserved register {} is allocatable",
+            file.name(*r)
+        );
+    }
+
+    // The allocatable set has no duplicates and stays in bounds.
+    let alloc_set: HashSet<u8> = file.allocatable().iter().map(|r| r.0).collect();
+    assert_eq!(alloc_set.len(), file.allocatable().len(), "duplicate");
+    for r in file.allocatable() {
+        assert!((r.0 as usize) < file.num_regs());
+    }
+
+    // Argument registers are caller-saved, distinct, and within bounds.
+    assert_eq!(file.param_regs().len(), spec.arg_regs);
+    let param_set: HashSet<u8> = file.param_regs().iter().map(|r| r.0).collect();
+    assert_eq!(param_set.len(), spec.arg_regs, "duplicate param reg");
+    for r in file.param_regs() {
+        assert_eq!(
+            file.class(*r),
+            Some(RegClass::CallerSaved),
+            "argument registers are caller-saved by convention"
+        );
+    }
+
+    // Masks agree with the classes.
+    let clobbers = file.default_clobbers();
+    let preserved = file.callee_saved_mask();
+    assert!(clobbers.intersect(preserved).is_empty());
+    for r in &caller {
+        if alloc_set.contains(&r.0) {
+            assert!(clobbers.contains(*r), "allocatable caller-saved clobbers");
+        }
+        assert!(!preserved.contains(*r));
+    }
+    for r in &callee {
+        assert!(preserved.contains(*r), "callee-saved is preserved");
+        assert!(!clobbers.contains(*r));
+    }
+
+    // The fingerprint is stable across rebuilds of the same spec.
+    assert_eq!(
+        file.fingerprint(),
+        RegFile::from_spec(spec).fingerprint(),
+        "fingerprint must be deterministic"
+    );
+}
+
+/// Specs with distinct field values must hash to distinct fingerprints
+/// (the cache-key separation the incremental cache depends on).
+fn check_separation(a: ConventionSpec, b: ConventionSpec) {
+    let fa = RegFile::from_spec(a).fingerprint();
+    let fb = RegFile::from_spec(b).fingerprint();
+    if a == b {
+        assert_eq!(fa, fb);
+    } else {
+        assert_ne!(fa, fb, "{a:?} and {b:?} collide");
+    }
+}
+
+#[test]
+fn exhaustive_small_convention_points() {
+    // Every (pool, caller, args) with pool <= 10 — 506 register files.
+    let mut n = 0;
+    for pool in 0..=10 {
+        for caller in 0..=pool {
+            for args in 0..=caller.min(4) {
+                let spec = ConventionSpec::convention(pool, caller, args);
+                assert!(spec.validate().is_ok(), "{spec:?}");
+                check_file(spec);
+                n += 1;
+            }
+        }
+    }
+    assert!(n > 200, "enumeration shrank: {n}");
+}
+
+#[test]
+fn exhaustive_mips_family_class_limits() {
+    for caller in 0..=11 {
+        for callee in 0..=9 {
+            let spec = ConventionSpec::mips_family(caller, callee);
+            assert!(spec.validate().is_ok(), "{spec:?}");
+            check_file(spec);
+        }
+    }
+}
+
+#[test]
+fn random_specs_either_validate_and_hold_or_are_rejected() {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for _ in 0..2000 {
+        let spec = ConventionSpec {
+            arg_regs: rng.below(8),
+            args_allocatable: rng.below(2) == 1,
+            caller_regs: rng.below(16),
+            caller_alloc: rng.below(16),
+            callee_regs: rng.below(16),
+            callee_alloc: rng.below(16),
+        };
+        match spec.validate() {
+            Ok(()) => {
+                check_file(spec);
+                accepted += 1;
+            }
+            Err(e) => {
+                // Rejection must cite a real constraint violation.
+                assert!(
+                    spec.caller_alloc > spec.caller_regs
+                        || spec.callee_alloc > spec.callee_regs
+                        || spec.num_regs() > 32,
+                    "spurious rejection of {spec:?}: {e}"
+                );
+                rejected += 1;
+            }
+        }
+    }
+    // The generator must actually exercise both outcomes.
+    assert!(accepted > 100, "only {accepted} specs accepted");
+    assert!(rejected > 100, "only {rejected} specs rejected");
+}
+
+#[test]
+fn fingerprints_separate_random_spec_pairs() {
+    let mut rng = Rng(0xdead_beef_cafe_f00d);
+    let mut specs = Vec::new();
+    while specs.len() < 60 {
+        let pool = rng.below(25);
+        let caller = rng.below(pool + 1);
+        let args = rng.below(caller.min(4) + 1);
+        specs.push(ConventionSpec::convention(pool, caller, args));
+    }
+    // Add mips-family points too, so cross-family collisions are covered.
+    for (c, e) in [(11, 9), (7, 0), (0, 7), (3, 3)] {
+        specs.push(ConventionSpec::mips_family(c, e));
+    }
+    for a in &specs {
+        for b in &specs {
+            check_separation(*a, *b);
+        }
+    }
+}

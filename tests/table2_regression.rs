@@ -1,0 +1,99 @@
+//! Table 2 regression pins: `Target::with_class_limits` now routes
+//! through the named-target registry's [`ConventionSpec`] plumbing, and
+//! these tests pin the dynamic statistics of the D (7 caller-saved) and
+//! E (7 callee-saved) columns on the two bundled workloads to the exact
+//! values measured before that refactor — the register-file rebuild must
+//! be bit-for-bit behavior-preserving, not merely plausible.
+
+use ipra_driver::{compile_and_run, Config};
+use ipra_machine::Target;
+
+struct Pin {
+    workload: &'static str,
+    config: fn() -> Config,
+    cycles: u64,
+    insts: u64,
+    calls: u64,
+    loads: u64,
+    stores: u64,
+    scalar_mem: u64,
+}
+
+const PINS: &[Pin] = &[
+    Pin {
+        workload: "nim",
+        config: Config::d,
+        cycles: 2_203_369,
+        insts: 1_406_145,
+        calls: 89_029,
+        loads: 186_201,
+        stores: 147_346,
+        scalar_mem: 305_965,
+    },
+    Pin {
+        workload: "nim",
+        config: Config::e,
+        cycles: 2_221_701,
+        insts: 1_431_724,
+        calls: 89_029,
+        loads: 178_954,
+        stores: 152_402,
+        scalar_mem: 303_774,
+    },
+    Pin {
+        workload: "stanford",
+        config: Config::d,
+        cycles: 1_243_353,
+        insts: 941_464,
+        calls: 29_071,
+        loads: 139_319,
+        stores: 108_264,
+        scalar_mem: 127_098,
+    },
+    Pin {
+        workload: "stanford",
+        config: Config::e,
+        cycles: 1_361_475,
+        insts: 1_020_212,
+        calls: 29_071,
+        loads: 178_693,
+        stores: 147_638,
+        scalar_mem: 205_846,
+    },
+];
+
+#[test]
+fn class_limited_targets_reproduce_pre_registry_statistics() {
+    for pin in PINS {
+        let w = ipra_workloads::by_name(pin.workload).unwrap();
+        let module = ipra_workloads::compile_workload(w).unwrap();
+        let config = (pin.config)();
+        let m = compile_and_run(&module, &config)
+            .unwrap_or_else(|t| panic!("[{}/{}] trapped: {t}", pin.workload, config.name));
+        let tag = format!("{}/{}", pin.workload, config.name);
+        assert_eq!(m.stats.cycles, pin.cycles, "{tag} cycles");
+        assert_eq!(m.stats.insts, pin.insts, "{tag} insts");
+        assert_eq!(m.stats.calls, pin.calls, "{tag} calls");
+        assert_eq!(m.stats.total_loads(), pin.loads, "{tag} loads");
+        assert_eq!(m.stats.total_stores(), pin.stores, "{tag} stores");
+        assert_eq!(m.stats.scalar_mem(), pin.scalar_mem, "{tag} scalar mem");
+    }
+}
+
+/// The registry's `table2-d`/`table2-e` names and the `with_class_limits`
+/// constructor must describe the same register files.
+#[test]
+fn registry_table2_names_alias_with_class_limits() {
+    assert_eq!(
+        Target::by_name("table2-d").unwrap().regs.fingerprint(),
+        Target::with_class_limits(7, 0).regs.fingerprint()
+    );
+    assert_eq!(
+        Target::by_name("table2-e").unwrap().regs.fingerprint(),
+        Target::with_class_limits(0, 7).regs.fingerprint()
+    );
+    assert_ne!(
+        Target::with_class_limits(7, 0).regs.fingerprint(),
+        Target::with_class_limits(0, 7).regs.fingerprint()
+    );
+}
