@@ -4,7 +4,7 @@
 //! ```text
 //! bench --check-budgets [--cache-file <p>] [--waves-file <p>]
 //!       [--allocs-file <p>] [--service-file <p>] [--convsearch-file <p>]
-//!       [--history <p>]
+//!       [--inline-file <p>] [--history <p>]
 //!       [--warm-floor <x>] [--wave-floor <x>] [--allocs-floor <x>]
 //!       [--service-throughput-floor <x>] [--service-warm-floor <x>]
 //!       [--service-p99-ceiling-us <n>]
@@ -20,6 +20,11 @@
 //!                      zero failures, every point passing both the
 //!                      static verifier and the interpreter oracle, and
 //!                      at least 12 points per register-file shape
+//!   --inline-file <p>  inlining × IPRA ablation (default
+//!                      BENCH_inline.json; `none` skips). Gated on the
+//!                      inline+IPRA leg's total penalty cycles staying at
+//!                      or below the inline-off leg's, and on the inliner
+//!                      having actually fired
 //!   --history <p>      trajectory file whose lines must all parse
 //!                      (default BENCH_history.jsonl; `none` skips)
 //!   --warm-floor <x>   minimum warm-cache compile speedup (default 3.0)
@@ -49,7 +54,7 @@ use ipra_obs::json::{parse_bytes, Json};
 fn usage() -> &'static str {
     "usage: bench --check-budgets [--cache-file P] [--waves-file P] \
      [--allocs-file P|none] [--service-file P|none] \
-     [--convsearch-file P|none] [--history P|none] \
+     [--convsearch-file P|none] [--inline-file P|none] [--history P|none] \
      [--warm-floor X] [--wave-floor X] [--allocs-floor X] \
      [--service-throughput-floor X] [--service-warm-floor X] \
      [--service-p99-ceiling-us N]"
@@ -72,6 +77,7 @@ fn real_main() -> Result<ExitCode, String> {
     let mut allocs_file = Some("BENCH_allocs.json".to_string());
     let mut service_file = Some("BENCH_service.json".to_string());
     let mut convsearch_file = Some("BENCH_convsearch.json".to_string());
+    let mut inline_file = Some("BENCH_inline.json".to_string());
     let mut history = Some("BENCH_history.jsonl".to_string());
     let mut warm_floor = 3.0f64;
     let mut wave_floor = 0.0f64;
@@ -97,6 +103,10 @@ fn real_main() -> Result<ExitCode, String> {
             "--convsearch-file" => {
                 let p = args.next().ok_or_else(|| usage().to_string())?;
                 convsearch_file = (p != "none").then_some(p);
+            }
+            "--inline-file" => {
+                let p = args.next().ok_or_else(|| usage().to_string())?;
+                inline_file = (p != "none").then_some(p);
             }
             "--history" => {
                 let p = args.next().ok_or_else(|| usage().to_string())?;
@@ -231,6 +241,33 @@ fn real_main() -> Result<ExitCode, String> {
             "convsearch shape coverage",
             min_pts >= 12.0,
             format!("{min_pts:.0} points on the sparsest shape (floor 12)"),
+        );
+    }
+
+    if let Some(path) = &inline_file {
+        // Correctness floor: inlining a call site removes its
+        // save/restore obligation entirely, so with IPRA also on the
+        // total register-usage penalty must not exceed the no-inlining
+        // baseline's — if it does, the inliner is creating pressure the
+        // allocator can't recover.
+        let off = total_of(path, "penalty_off")?;
+        let with = total_of(path, "penalty_inline_ipra")?;
+        let inlined = total_of(path, "sites_inlined")?;
+        let mut inline_gate = |what: &str, ok: bool, detail: String| {
+            println!("{} {what}: {detail}", if ok { "ok  " } else { "FAIL" });
+            if !ok {
+                violations += 1;
+            }
+        };
+        inline_gate(
+            "inline+IPRA penalty",
+            with <= off,
+            format!("{with:.0} cycles vs {off:.0} inline-off (must not exceed)"),
+        );
+        inline_gate(
+            "inline sites",
+            inlined > 0.0,
+            format!("{inlined:.0} sites inlined (must be > 0)"),
         );
     }
 

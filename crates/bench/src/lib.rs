@@ -12,6 +12,7 @@
 //! ```
 
 pub mod alloc_meter;
+pub mod inline_ablation;
 
 use std::path::{Path, PathBuf};
 

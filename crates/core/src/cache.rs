@@ -44,8 +44,9 @@ use crate::summary::{FuncSummary, ParamLoc};
 /// Bumped whenever the key derivation, the entry encoding, or the on-disk
 /// layout changes; files written by another version load as empty.
 /// Version 3 moved from one `ipra-cache.json` document to one
-/// `<key>.ce.json` file per component entry.
-pub const CACHE_FORMAT_VERSION: i64 = 3;
+/// `<key>.ce.json` file per component entry. Version 4 folded the
+/// inline configuration into the config fingerprint.
+pub const CACHE_FORMAT_VERSION: i64 = 4;
 
 /// Outcome counters of one compile with the cache enabled.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -130,6 +131,15 @@ pub fn config_fingerprint(target: &Target, opts: &AllocOptions) -> u64 {
     h.write_usize(forced.len());
     for f in forced {
         h.write_str(f);
+    }
+    // The *effective* inline setting (matching what `prepare_module`
+    // consults), so an `IPRA_INLINE` flip separates keys exactly like a
+    // flag flip. The budget only separates keys while inlining is on.
+    if opts.effective_inline() {
+        h.write_u8(1);
+        h.write_u32(opts.inline_budget);
+    } else {
+        h.write_u8(0);
     }
     h.finish()
 }

@@ -39,6 +39,14 @@ pub struct AllocOptions {
     /// invisible and they are open), simulating incomplete program
     /// information (§3) without editing the IR.
     pub forced_open: HashSet<String>,
+    /// Run the profile-guided inliner (see [`crate::inline`]) between
+    /// global promotion and the call-graph phases. Off in every preset;
+    /// the `IPRA_INLINE` environment variable (`1`/`on` or `0`/`off`)
+    /// overrides this field when set.
+    pub inline: bool,
+    /// Per-caller growth budget for the inliner, in instructions. Only
+    /// consulted when inlining is (effectively) on.
+    pub inline_budget: u32,
     /// Worker threads for the wave scheduler: `0` picks
     /// `std::thread::available_parallelism`, `1` forces the serial path.
     /// Results are bit-identical for every value. The `IPRA_JOBS`
@@ -63,6 +71,8 @@ impl AllocOptions {
             promote_globals: true,
             split_ranges: true,
             forced_open: HashSet::new(),
+            inline: false,
+            inline_budget: crate::inline::DEFAULT_INLINE_BUDGET,
             jobs: 0,
             cache_dir: None,
         }
@@ -102,6 +112,8 @@ impl AllocOptions {
             promote_globals: false,
             split_ranges: false,
             forced_open: HashSet::new(),
+            inline: false,
+            inline_budget: crate::inline::DEFAULT_INLINE_BUDGET,
             jobs: 0,
             cache_dir: None,
         }
@@ -111,6 +123,32 @@ impl AllocOptions {
     pub fn force_open(mut self, name: impl Into<String>) -> Self {
         self.forced_open.insert(name.into());
         self
+    }
+
+    /// Turns the profile-guided inliner on or off.
+    pub fn with_inline(mut self, on: bool) -> Self {
+        self.inline = on;
+        self
+    }
+
+    /// Sets the inliner's per-caller growth budget.
+    pub fn with_inline_budget(mut self, budget: u32) -> Self {
+        self.inline_budget = budget;
+        self
+    }
+
+    /// Resolves [`AllocOptions::inline`]: `IPRA_INLINE` (when set to a
+    /// recognized value) wins, then the field. `1`/`on`/`true` enable,
+    /// `0`/`off`/`false` disable; anything else falls through.
+    pub fn effective_inline(&self) -> bool {
+        match std::env::var("IPRA_INLINE") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "on" | "true" => true,
+                "0" | "off" | "false" => false,
+                _ => self.inline,
+            },
+            Err(_) => self.inline,
+        }
     }
 
     /// Sets the wave-scheduler worker count (see [`AllocOptions::jobs`]).
@@ -192,6 +230,21 @@ mod tests {
         assert_eq!(
             o.effective_cache_dir(),
             Some(std::path::PathBuf::from("/tmp/x"))
+        );
+    }
+
+    #[test]
+    fn inline_resolution() {
+        // Note: assumes IPRA_INLINE is unset in the test environment.
+        if std::env::var_os("IPRA_INLINE").is_some() {
+            return;
+        }
+        assert!(!AllocOptions::o3().effective_inline());
+        assert!(AllocOptions::o3().with_inline(true).effective_inline());
+        assert_eq!(AllocOptions::o3().with_inline_budget(7).inline_budget, 7);
+        assert_eq!(
+            AllocOptions::o3().inline_budget,
+            crate::inline::DEFAULT_INLINE_BUDGET
         );
     }
 

@@ -32,6 +32,7 @@ use crate::alloc::{allocate_function_with, FuncArtifacts, SummaryEnv};
 use crate::analysis::{AnalysisCache, AnalysisStats};
 use crate::cache::{component_key, config_fingerprint, AllocCache, CacheStats, CachedFunc};
 use crate::config::{AllocMode, AllocOptions};
+use crate::inline::{inline_hot_calls, InlineStats};
 use crate::lower::lower_function_with;
 use crate::normalize::normalize_entries;
 use crate::pipeline::{Pipeline, PreparedModule};
@@ -75,6 +76,8 @@ pub struct CompiledModule {
     pub reports: Vec<FuncReport>,
     /// Global-promotion statistics (zero when the pass is off).
     pub promotion: PromotionStats,
+    /// What the profile-guided inliner did (default when the pass is off).
+    pub inline: InlineStats,
     /// Incremental-cache outcome (default when no cache was configured).
     pub cache: CacheStats,
     /// Analysis-memo hits/misses within this compile (all misses for a
@@ -113,11 +116,17 @@ pub fn compile_module_with_profile(
 }
 
 /// The module-level front half of one compile: clone and transform the
-/// input (entry normalization, optional global promotion), hash the
-/// transformed bodies, and build the call graph, its SCC condensation and
-/// the openness classification. Deterministic in the input, so
-/// [`Pipeline`] memoizes the whole bundle by module hash.
-pub(crate) fn prepare_module(module: &Module, opts: &AllocOptions) -> PreparedModule {
+/// input (entry normalization, optional global promotion, optional
+/// profile-guided inlining), hash the transformed bodies, and build the
+/// call graph, its SCC condensation and the openness classification.
+/// Deterministic in the input (including the profile, which steers the
+/// inliner when that pass is on), so [`Pipeline`] memoizes the whole
+/// bundle by module hash plus inline configuration.
+pub(crate) fn prepare_module(
+    module: &Module,
+    opts: &AllocOptions,
+    profile: Option<&[Vec<u64>]>,
+) -> PreparedModule {
     let input = module.clone();
     let mut module = module.clone();
     // Prologue code must run once per invocation, so entries may not be
@@ -127,6 +136,16 @@ pub(crate) fn prepare_module(module: &Module, opts: &AllocOptions) -> PreparedMo
         promote_globals(&mut module)
     } else {
         PromotionStats::default()
+    };
+    // Inlining runs before the hashes and the call-graph phases below, so
+    // the incremental cache, the analysis memo, the SCC condensation and
+    // the openness classification all see the transformed bodies —
+    // summary/body-hash invalidation falls out of the key derivation.
+    let inline_on = opts.effective_inline();
+    let inline = if inline_on {
+        inline_hot_calls(&mut module, opts.inline_budget, &opts.forced_open, profile)
+    } else {
+        InlineStats::default()
     };
 
     // Structural hashes of the *transformed* bodies: both the incremental
@@ -139,8 +158,16 @@ pub(crate) fn prepare_module(module: &Module, opts: &AllocOptions) -> PreparedMo
     PreparedModule {
         input,
         promote: opts.promote_globals,
+        inline_on,
+        inline_budget: opts.inline_budget,
+        inline_profile: if inline_on {
+            profile.map(|p| p.to_vec())
+        } else {
+            None
+        },
         module,
         promotion,
+        inline,
         body_hashes,
         cg,
         scc,
@@ -159,7 +186,7 @@ pub(crate) fn compile_module_impl(
     profile: Option<&[Vec<u64>]>,
     pipe: &Pipeline,
 ) -> CompiledModule {
-    let prep = pipe.prepared(module, opts);
+    let prep = pipe.prepared(module, opts, profile);
     let module = &prep.module;
     let promotion = prep.promotion;
     let body_hashes = &prep.body_hashes;
@@ -173,6 +200,11 @@ pub(crate) fn compile_module_impl(
         "promote.accesses_rewritten",
         promotion.accesses_rewritten as u64,
     );
+    if prep.inline_on {
+        ipra_obs::counter("inline.sites_considered", prep.inline.sites_considered);
+        ipra_obs::counter("inline.inlined", prep.inline.inlined);
+        ipra_obs::counter("inline.budget_stops", prep.inline.budget_stops);
+    }
     scc.record_stats();
     openness.record_stats();
 
@@ -555,6 +587,7 @@ pub(crate) fn compile_module_impl(
         clobber_masks,
         reports,
         promotion,
+        inline: prep.inline.clone(),
         cache: cache_stats,
         analysis,
     }

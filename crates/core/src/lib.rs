@@ -22,6 +22,7 @@ pub mod analysis;
 pub mod cache;
 pub mod color;
 pub mod config;
+pub mod inline;
 pub mod ipra;
 pub mod lower;
 pub mod normalize;
@@ -39,6 +40,7 @@ pub use analysis::{AnalysisCache, AnalysisStats, FuncAnalyses};
 pub use cache::{AllocCache, CacheStats, CachedFunc};
 pub use color::{Assignment, VregLoc};
 pub use config::{AllocMode, AllocOptions};
+pub use inline::{inline_hot_calls, InlineStats, DEFAULT_INLINE_BUDGET};
 pub use ipra::{compile_module, compile_module_with_profile, CompiledModule, FuncReport};
 pub use lower::lower_function;
 pub use normalize::normalize_entries;

@@ -25,12 +25,13 @@ use std::hash::Hash;
 use std::sync::{Arc, Mutex};
 
 use ipra_callgraph::{CallGraph, Openness, SccInfo};
-use ipra_ir::{hash_module, Module};
+use ipra_ir::{hash_module, Fnv64, Module};
 use ipra_machine::Target;
 
 use crate::analysis::{AnalysisCache, AnalysisStats};
 use crate::cache::CachedFunc;
 use crate::config::AllocOptions;
+use crate::inline::InlineStats;
 use crate::ipra::{compile_module_impl, prepare_module, CompiledModule};
 use crate::promote::PromotionStats;
 use crate::scratch::ScratchPool;
@@ -47,10 +48,21 @@ pub(crate) struct PreparedModule {
     pub(crate) input: Module,
     /// Whether global promotion ran (it changes the transformed body).
     pub(crate) promote: bool,
+    /// Whether the inliner ran (it changes the transformed body too).
+    pub(crate) inline_on: bool,
+    /// The inliner's budget at preparation time.
+    pub(crate) inline_budget: u32,
+    /// The profile the inliner ranked sites with (`None` when inlining
+    /// was off or no profile was supplied) — part of the memo's exact
+    /// equality guard, because a different profile can pick different
+    /// sites for the same input module.
+    pub(crate) inline_profile: Option<Vec<Vec<u64>>>,
     /// The transformed module all downstream passes read.
     pub(crate) module: Module,
     /// What global promotion did (zeros when the pass is off).
     pub(crate) promotion: PromotionStats,
+    /// What the inliner did (default when the pass is off).
+    pub(crate) inline: InlineStats,
     /// Structural hash of each transformed function body, by `FuncId`.
     pub(crate) body_hashes: Vec<u64>,
     /// Call graph of the transformed module.
@@ -123,10 +135,12 @@ pub struct Pipeline {
     /// recompile never touches the cache directory again.
     pub(crate) entries: Mutex<BoundedMemo<u64, Arc<Vec<CachedFunc>>>>,
     /// Prepared (transformed + module-level-analyzed) modules by
-    /// whole-module hash, so a warm recompile of an unchanged module
-    /// skips the clone, the normalization/promotion passes and the
-    /// call-graph work entirely.
-    pub(crate) prepared: Mutex<BoundedMemo<(u64, bool), Arc<PreparedModule>>>,
+    /// whole-module hash plus inline configuration, so a warm recompile
+    /// of an unchanged module skips the clone, the normalization /
+    /// promotion / inlining passes and the call-graph work entirely —
+    /// while an inline-config or profile change can never replay a stale
+    /// transform.
+    pub(crate) prepared: Mutex<BoundedMemo<(u64, bool, u64), Arc<PreparedModule>>>,
 }
 
 impl Default for Pipeline {
@@ -177,6 +191,33 @@ impl Pipeline {
         self.compile_with_profile(module, target, opts, None)
     }
 
+    /// The inline-configuration component of the prepared-module memo
+    /// key: `0` when inlining is off (so profiles keep sharing one
+    /// prepared module, as before), otherwise a hash of the budget and
+    /// the full profile the inliner would consume.
+    fn inline_key(opts: &AllocOptions, profile: Option<&[Vec<u64>]>) -> u64 {
+        if !opts.effective_inline() {
+            return 0;
+        }
+        let mut h = Fnv64::new();
+        h.write_u8(1);
+        h.write_u32(opts.inline_budget);
+        match profile {
+            Some(p) => {
+                h.write_u8(1);
+                h.write_usize(p.len());
+                for counts in p {
+                    h.write_usize(counts.len());
+                    for &c in counts {
+                        h.write_u64(c);
+                    }
+                }
+            }
+            None => h.write_u8(0),
+        }
+        h.finish()
+    }
+
     /// [`Pipeline::compile`] with profile feedback (see
     /// [`crate::compile_module_with_profile`]).
     pub fn compile_with_profile(
@@ -195,17 +236,33 @@ impl Pipeline {
         self.analyses.stats()
     }
 
-    /// The prepared form of `module` under `opts`, from the memo when the
-    /// exact same input was prepared before. A colliding hash is caught by
-    /// the stored input's equality check and recomputed (last write wins).
-    pub(crate) fn prepared(&self, module: &Module, opts: &AllocOptions) -> Arc<PreparedModule> {
-        let key = (hash_module(module), opts.promote_globals);
+    /// The prepared form of `module` under `opts` (and, when inlining is
+    /// on, `profile`), from the memo when the exact same input was
+    /// prepared before. A colliding hash is caught by the stored input's
+    /// equality check — covering the inline configuration and the exact
+    /// profile — and recomputed (last write wins).
+    pub(crate) fn prepared(
+        &self,
+        module: &Module,
+        opts: &AllocOptions,
+        profile: Option<&[Vec<u64>]>,
+    ) -> Arc<PreparedModule> {
+        let inline_on = opts.effective_inline();
+        let key = (
+            hash_module(module),
+            opts.promote_globals,
+            Self::inline_key(opts, profile),
+        );
         if let Some(p) = self.prepared.lock().unwrap().get(&key) {
-            if p.promote == opts.promote_globals && p.input == *module {
+            let inline_matches = p.inline_on == inline_on
+                && (!inline_on
+                    || (p.inline_budget == opts.inline_budget
+                        && p.inline_profile.as_deref() == profile));
+            if p.promote == opts.promote_globals && inline_matches && p.input == *module {
                 return Arc::clone(p);
             }
         }
-        let p = Arc::new(prepare_module(module, opts));
+        let p = Arc::new(prepare_module(module, opts, profile));
         self.prepared.lock().unwrap().insert(key, Arc::clone(&p));
         p
     }

@@ -30,8 +30,13 @@ impl BlockWeights {
 
     /// Measured profile: per-block execution counts normalized so the entry
     /// block weighs 1 per invocation. Falls back to the static estimate for
-    /// functions that never ran.
+    /// functions that never ran — and for functions whose block count no
+    /// longer matches the profile's (the inliner splices blocks in after a
+    /// training run, making the stale counts meaningless for this body).
     pub fn from_profile(cfg: &Cfg, loops: &LoopInfo, counts: &[u64]) -> Self {
+        if counts.len() != cfg.num_blocks() {
+            return Self::from_loops(cfg, loops);
+        }
         let invocations = counts[cfg.entry.index()];
         if invocations == 0 {
             return Self::from_loops(cfg, loops);

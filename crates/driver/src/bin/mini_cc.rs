@@ -21,6 +21,14 @@
 //!   --no-verify-mc         skip the static verifier
 //!   --profile-out <file>   run, then write per-block execution counts as JSON
 //!   --profile-in <file>    recompile with a previously written profile
+//!   --inline               run the profile-guided inliner before allocation
+//!                          (ranks direct call sites by profile count ×
+//!                          estimated save/restore penalty; pairs with
+//!                          --profile-in, falls back to static ranking)
+//!   --inline-budget <n>    instruction-growth budget for --inline
+//!                          (default 48); the IPRA_INLINE env var can
+//!                          force the pass on (1/on/true) or off
+//!                          (0/off/false) regardless of the flag
 //!   --workload <name>      compile a bundled benchmark instead of a file
 //!   --remote <socket>      send the compile to a running mini-ccd instead
 //!                          of compiling locally (same options, same output)
@@ -68,6 +76,7 @@ fn usage() -> &'static str {
      [--target NAME|conv:P,C,A] \
      [--emit ir|asm|summary] [--run] [--trace] [--trace-json PATH] \
      [--trace-chrome PATH] [--jobs N] [--cache-dir DIR] [--profile-out PATH] [--profile-in PATH] \
+     [--inline] [--inline-budget N] \
      [--verify-mc | --no-verify-mc] [--remote SOCKET [--ping | --shutdown]] \
      (<file.mini> | --workload <name>)"
 }
@@ -99,6 +108,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut no_shrink_wrap = false;
     let mut jobs = None;
     let mut cache_dir = None;
+    let mut inline = false;
+    let mut inline_budget = None;
 
     let mut args = args;
     while let Some(a) = args.next() {
@@ -139,6 +150,15 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--no-verify-mc" => verify_mc = false,
             "--profile-out" => profile_out = Some(args.next().ok_or("--profile-out needs a path")?),
             "--profile-in" => profile_in = Some(args.next().ok_or("--profile-in needs a path")?),
+            "--inline" => inline = true,
+            "--inline-budget" => {
+                let v = args.next().ok_or("--inline-budget needs a count")?;
+                inline_budget = Some(
+                    v.trim()
+                        .parse::<u32>()
+                        .map_err(|_| "bad --inline-budget count")?,
+                );
+            }
             "--workload" => {
                 input = Some(Input::Workload(
                     args.next().ok_or("--workload needs a name")?,
@@ -160,6 +180,12 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if let Some(d) = cache_dir {
         opts.cache_dir = Some(std::path::PathBuf::from(d));
+    }
+    if inline {
+        opts.inline = true;
+    }
+    if let Some(b) = inline_budget {
+        opts.inline_budget = b;
     }
     if limit.is_some() && target_name.is_some() {
         return Err("--limit and --target are mutually exclusive".to_string());
@@ -277,6 +303,10 @@ fn remote_main(socket: &str, args: &Args) -> Result<(), String> {
         .cache_dir
         .as_ref()
         .map(|p| p.display().to_string());
+    if args.opts.inline {
+        req.inline = Some(true);
+        req.inline_budget = Some(args.opts.inline_budget);
+    }
     req.run = args.run || args.emit.is_none();
     req.trace = args.trace_json.is_some();
 
@@ -576,6 +606,27 @@ mod tests {
         let b = parse(&["--profile-in", "p.json", "--run", "x.mini"]);
         assert_eq!(b.profile_in.as_deref(), Some("p.json"));
         assert!(b.run);
+    }
+
+    #[test]
+    fn inline_flags_parse_and_survive_opt_level() {
+        let a = parse(&["--inline", "-O3", "x.mini"]);
+        assert!(a.opts.inline);
+        assert_eq!(a.opts.inline_budget, ipra_core::DEFAULT_INLINE_BUDGET);
+        let b = parse(&["-O2", "--inline", "--inline-budget", "96", "x.mini"]);
+        assert!(b.opts.inline);
+        assert_eq!(b.opts.inline_budget, 96);
+        // Budget order doesn't matter relative to the opt level either.
+        let c = parse(&["--inline-budget", "7", "--inline", "-O3", "x.mini"]);
+        assert_eq!(c.opts.inline_budget, 7);
+        let d = parse(&["x.mini"]);
+        assert!(!d.opts.inline, "default: inliner off");
+        assert!(parse_args_from(
+            ["--inline-budget", "many", "x.mini"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_err());
     }
 
     #[test]

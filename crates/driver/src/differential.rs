@@ -35,12 +35,15 @@ use crate::{compile_only, run_compiled, Config};
 
 /// Every named configuration the differential harness checks, in table
 /// order: the `-O2` baseline, Table 1 columns A–C, the register-starved
-/// Table 2 columns D and E, the no-allocation oracle config, and the
+/// Table 2 columns D and E, the no-allocation oracle config, the
 /// `-O3` pipeline retargeted at the irregular register files — the
 /// `embedded8` named target and the `convsearch`-winning partition — so
 /// every seed also exercises conventions far from the mips-like shape
 /// (skewed caller/callee split, few allocatable registers, reduced
-/// argument-register count).
+/// argument-register count), and the two inliner ablation legs
+/// (`inline/A`, `inline/C`), whose module transform must preserve the
+/// interpreter oracle, the static register contracts and byte-identity
+/// across jobs just like any allocation config.
 pub fn all_configs() -> Vec<Config> {
     let mut v = vec![
         Config::o2_base(),
@@ -58,6 +61,8 @@ pub fn all_configs() -> Vec<Config> {
             opts: AllocOptions::o3(),
         });
     }
+    v.push(Config::inline_a());
+    v.push(Config::inline_c());
     v
 }
 
@@ -345,40 +350,45 @@ fn check_trace(module: &Module) -> Result<(), DiffFailure> {
 }
 
 /// Cold compile populates a fresh cache directory; the warm compile must
-/// replay every function and render byte-identical assembly.
+/// replay every function and render byte-identical assembly. Checked
+/// under configuration C and under the `inline/C` leg (whose transformed
+/// bodies drive different cache keys through the same derivation).
 fn check_cache_roundtrip(module: &Module, root: &std::path::Path) -> Result<(), DiffFailure> {
-    let dir = root.join(format!("diff-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
+    for (label, base) in [("cache", Config::c()), ("inline/cache", Config::inline_c())] {
+        let dir = root.join(format!("diff-{}-{label}", std::process::id()).replace('/', "-"));
+        let _ = std::fs::remove_dir_all(&dir);
 
-    let mut cfg = Config::c();
-    cfg.opts.cache_dir = Some(dir.clone());
-    let n = module.funcs.len() as u64;
+        let mut cfg = base;
+        cfg.opts.cache_dir = Some(dir.clone());
+        let n = module.funcs.len() as u64;
 
-    let cold = compile_only(module, &cfg);
-    let warm = compile_only(module, &cfg);
-    let result = if cold.cache.misses != n || cold.cache.hits != 0 {
-        Err(fail(
-            "cache",
-            format!(
-                "cold compile expected {n} misses / 0 hits, got {} / {}",
-                cold.cache.misses, cold.cache.hits
-            ),
-        ))
-    } else if warm.cache.hits != n || warm.cache.misses != 0 {
-        Err(fail(
-            "cache",
-            format!(
-                "warm compile expected {n} hits / 0 misses, got {} / {}",
-                warm.cache.hits, warm.cache.misses
-            ),
-        ))
-    } else if asm_of(&warm, &cfg) != asm_of(&cold, &cfg) {
-        Err(fail("cache", "warm assembly differs from cold"))
-    } else {
-        Ok(())
-    };
-    let _ = std::fs::remove_dir_all(&dir);
-    result
+        let cold = compile_only(module, &cfg);
+        let warm = compile_only(module, &cfg);
+        let result = if cold.cache.misses != n || cold.cache.hits != 0 {
+            Err(fail(
+                label,
+                format!(
+                    "cold compile expected {n} misses / 0 hits, got {} / {}",
+                    cold.cache.misses, cold.cache.hits
+                ),
+            ))
+        } else if warm.cache.hits != n || warm.cache.misses != 0 {
+            Err(fail(
+                label,
+                format!(
+                    "warm compile expected {n} hits / 0 misses, got {} / {}",
+                    warm.cache.hits, warm.cache.misses
+                ),
+            ))
+        } else if asm_of(&warm, &cfg) != asm_of(&cold, &cfg) {
+            Err(fail(label, "warm assembly differs from cold"))
+        } else {
+            Ok(())
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        result?;
+    }
+    Ok(())
 }
 
 /// Daemon-vs-oneshot oracle: the same source sent to a live in-process

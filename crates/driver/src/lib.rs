@@ -115,6 +115,29 @@ impl Config {
             opts: AllocOptions::no_alloc(),
         }
     }
+
+    /// The "inline without IPRA" ablation leg: configuration A (`-O2`
+    /// with shrink-wrap) plus the profile-guided inliner. The `inline/`
+    /// name prefix is load-bearing: the fuzz reducer keys failures by
+    /// config name, so inline-leg failures minimize as `inline/<config>`
+    /// pseudo-configs.
+    pub fn inline_a() -> Self {
+        Config {
+            name: "inline/A".into(),
+            target: Target::mips_like(),
+            opts: AllocOptions::o2_shrink_wrap().with_inline(true),
+        }
+    }
+
+    /// The "inline + IPRA" ablation leg: configuration C (`-O3` with
+    /// shrink-wrap) plus the profile-guided inliner.
+    pub fn inline_c() -> Self {
+        Config {
+            name: "inline/C".into(),
+            target: Target::mips_like(),
+            opts: AllocOptions::o3().with_inline(true),
+        }
+    }
 }
 
 /// The result of compiling and simulating one program under one config.

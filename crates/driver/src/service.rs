@@ -36,14 +36,15 @@
 //! {"cmd": "compile", "id": 1,
 //!  "source": "fn main() { print(1); }",
 //!  "options": {"opt": "O3", "shrink_wrap": true, "jobs": 0,
-//!              "limit": [7, 0], "cache_dir": "/tmp/c"},
+//!              "limit": [7, 0], "cache_dir": "/tmp/c",
+//!              "inline": true, "inline_budget": 48},
 //!  "run": true, "trace": false}
 //! ```
 //!
 //! `source` may be replaced by `path` (read server-side) or `workload`
 //! (a bundled benchmark name). Every `options` field is optional and
 //! defaults to the `mini-cc` defaults (`-O3`, shrink-wrap on, auto
-//! jobs, full register file, no cache). Responses carry `id` back,
+//! jobs, full register file, no cache, inliner off). Responses carry `id` back,
 //! `status` (`ok` | `error` | `busy`), and on success the rendered
 //! `asm`, a `warm` flag (the whole compile was answered from the
 //! analysis memo), `cache`/`analysis` statistics, plus `output` and
@@ -430,6 +431,21 @@ impl Service {
         if let Some(d) = field("cache_dir").and_then(Json::as_str) {
             opts.cache_dir = Some(std::path::PathBuf::from(d));
         }
+        if let Some(b) = field("inline").and_then(as_bool) {
+            opts.inline = b;
+        }
+        match field("inline_budget") {
+            None | Some(Json::Null) => {}
+            Some(v) => match v.as_i64() {
+                // Bounds-checked like `limit`: a malformed request must
+                // never panic a session thread or smuggle in a budget the
+                // CLI's u32 flag could not express.
+                Some(b) if (0..=i64::from(u32::MAX)).contains(&b) => {
+                    opts.inline_budget = b as u32;
+                }
+                _ => return Err("inline_budget must be a non-negative integer".into()),
+            },
+        }
         let named = match field("target") {
             None | Some(Json::Null) => None,
             Some(Json::Str(name)) => Some(Target::parse(name)?),
@@ -590,6 +606,11 @@ pub struct CompileRequest {
     pub target: Option<String>,
     /// Server-side incremental-cache directory.
     pub cache_dir: Option<String>,
+    /// Override the profile-guided inliner (default: the level's
+    /// default, which is off), as in `--inline`.
+    pub inline: Option<bool>,
+    /// Inliner growth budget, as in `--inline-budget N`.
+    pub inline_budget: Option<u32>,
     /// Simulate after compiling.
     pub run: bool,
     /// Return a `CompileTrace` document.
@@ -608,6 +629,8 @@ impl CompileRequest {
             limit: None,
             target: None,
             cache_dir: None,
+            inline: None,
+            inline_budget: None,
             run: false,
             trace: false,
         }
@@ -638,6 +661,12 @@ impl CompileRequest {
         }
         if let Some(d) = &self.cache_dir {
             options.push(("cache_dir", Json::Str(d.clone())));
+        }
+        if let Some(b) = self.inline {
+            options.push(("inline", Json::Bool(b)));
+        }
+        if let Some(b) = self.inline_budget {
+            options.push(("inline_budget", Json::Int(i64::from(b))));
         }
         Json::obj(vec![
             ("cmd", Json::Str("compile".into())),
@@ -808,6 +837,39 @@ mod tests {
             want.push('\n');
         }
         assert_eq!(resp.get("asm").and_then(Json::as_str), Some(want.as_str()));
+    }
+
+    #[test]
+    fn inline_options_match_local_config_and_are_bounds_checked() {
+        // inline=true at O3 must match a local Config::inline_c() compile.
+        let service = Service::with_defaults();
+        let mut req = CompileRequest::new(1, RequestSource::Source(DEMO.into()));
+        req.inline = Some(true);
+        let resp = &serve(&service, &[req.to_json()])[0];
+        let module = ipra_frontend::compile(DEMO).unwrap();
+        let ic = Config::inline_c();
+        let local = ipra_core::compile_module(&module, &ic.target, &ic.opts);
+        let mut want = String::new();
+        for (_, f) in local.mmodule.funcs.iter() {
+            want.push_str(&f.display_in(&ic.target.regs, &local.mmodule).to_string());
+            want.push('\n');
+        }
+        assert_eq!(resp.get("asm").and_then(Json::as_str), Some(want.as_str()));
+
+        // Malformed budgets are structured errors, not panics.
+        for bad in [Json::Int(-1), Json::Str("many".into())] {
+            let req = Json::obj(vec![
+                ("cmd", Json::Str("compile".into())),
+                ("id", Json::Int(2)),
+                ("source", Json::Str(DEMO.into())),
+                (
+                    "options",
+                    Json::obj(vec![("inline", Json::Bool(true)), ("inline_budget", bad)]),
+                ),
+            ]);
+            let (resp, _) = service.dispatch(&req);
+            assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        }
     }
 
     #[test]

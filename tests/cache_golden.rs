@@ -225,6 +225,77 @@ fn interface_change_invalidates_exactly_the_ancestor_set() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Editing a function the inliner spliced away must recompile exactly
+/// the inliner's ancestor set: the function itself plus every function
+/// whose post-inline body transitively contains the splice. Functions
+/// outside that set replay from the cache — the inliner must not turn
+/// every edit into a cold compile — and the warm result stays
+/// bit-identical to a cold compile of the edited program.
+#[test]
+fn editing_an_inlined_away_function_recompiles_the_inline_ancestor_set() {
+    // A constant-only edit: under the plain config the early cutoff
+    // confines this to `leaf` alone (previous test). Under the inliner
+    // the spliced copies of `leaf`'s body change too, so the ancestor
+    // set must recompile — and nothing else.
+    let v2 = CHAIN_V1.replace("return a + 1;", "return a + 2;");
+    let m1 = ipra_frontend::compile(CHAIN_V1).unwrap();
+    let m2 = ipra_frontend::compile(&v2).unwrap();
+
+    let dir = cache_dir("inline-cutoff");
+    let mut cfg = Config::inline_c();
+    cfg.opts.cache_dir = Some(dir.clone());
+
+    let cold1 = compile_only(&m1, &cfg);
+    assert_eq!(cold1.cache.misses, 5);
+
+    // The expected invalidation set, from the inliner's own edge list:
+    // the transitive closure of "spliced `leaf` (or a function containing
+    // it) into its body".
+    let mut expected: std::collections::BTreeSet<String> =
+        std::iter::once("leaf".to_string()).collect();
+    loop {
+        let before = expected.len();
+        for (caller, callee) in &cold1.inline.edges {
+            if expected.contains(callee) {
+                expected.insert(caller.clone());
+            }
+        }
+        if expected.len() == before {
+            break;
+        }
+    }
+    assert!(
+        expected.len() > 1,
+        "fixture must actually inline leaf somewhere (edges: {:?})",
+        cold1.inline.edges
+    );
+
+    let warm2 = compile_only(&m2, &cfg);
+    let recompiled: std::collections::BTreeSet<String> =
+        warm2.cache.recompiled.iter().cloned().collect();
+    assert_eq!(
+        recompiled, expected,
+        "recompilation must cover exactly the inline-ancestor set"
+    );
+    assert_eq!(
+        warm2.cache.hits,
+        5 - expected.len() as u64,
+        "functions outside the splice set replay from the cache"
+    );
+
+    let fresh2 = compile_only(&m2, &{
+        let mut c = Config::inline_c();
+        c.opts.jobs = cfg.opts.jobs;
+        c
+    });
+    assert_eq!(
+        observe(&warm2, &cfg),
+        observe(&fresh2, &cfg),
+        "incremental result == cold compile of the edited program"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Corrupted, truncated, or version-skewed shard files must behave
 /// exactly like an empty cache: a cold compile that then repopulates the
 /// directory. Entries live in per-key `<key>.ce.json` shards, so the test

@@ -67,6 +67,38 @@ fn remote_compiles_match_local_compiles_across_the_corpus() {
     }
 }
 
+/// Warm replay with the inliner on: repeating an `inline` request must
+/// be answered entirely from the hot pipeline (warm-hit ratio 1.00
+/// across the corpus) and stay byte-identical to a local
+/// `Config::inline_c()` compile — the inliner's transform must be
+/// memoized, not recomputed into a different module each time.
+#[test]
+fn inline_requests_stay_warm_on_replay_across_the_corpus() {
+    let service = Service::with_defaults();
+    let mut replays = 0u64;
+    let mut warm_hits = 0u64;
+    for w in ipra_workloads::all() {
+        let want = local_asm(w.source, &Config::inline_c());
+        let mut req = CompileRequest::new(1, RequestSource::Workload(w.name.into()));
+        req.inline = Some(true);
+        let (cold, cold_warm) = remote_asm(&service, &req);
+        assert_eq!(cold, want, "[{}] daemon vs local inline asm (cold)", w.name);
+        assert!(
+            !cold_warm,
+            "[{}] first inline compile cannot be warm",
+            w.name
+        );
+        let (warm, warm_warm) = remote_asm(&service, &req);
+        assert_eq!(warm, want, "[{}] daemon vs local inline asm (warm)", w.name);
+        replays += 1;
+        warm_hits += u64::from(warm_warm);
+    }
+    assert_eq!(
+        warm_hits, replays,
+        "inline replays must keep the daemon's warm-hit ratio at 1.00"
+    );
+}
+
 #[test]
 fn remote_option_surface_matches_local_configs() {
     let service = Service::with_defaults();
